@@ -1,0 +1,49 @@
+//! Criterion microbenchmarks for the substrate: planning, execution and
+//! time simulation throughput (the data-collection hot path).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sparksim::plan::planner::PlannerOptions;
+use sparksim::{ClusterConfig, Engine, ResourceConfig, SimulatorConfig};
+use std::hint::black_box;
+use workloads::imdb::{generate, ImdbConfig};
+
+const SQL: &str = "SELECT COUNT(*) FROM title t, movie_companies mc, movie_keyword mk \
+                   WHERE t.id = mc.movie_id AND t.id = mk.movie_id \
+                   AND mc.company_id < 60 AND mk.keyword_id < 20";
+
+fn engine() -> Engine {
+    let data = generate(&ImdbConfig { title_rows: 1000, seed: 9 });
+    let scale = data.simulated_scale();
+    Engine::with_options(
+        data.catalog,
+        PlannerOptions::scaled_to(scale),
+        ClusterConfig::default(),
+        SimulatorConfig { data_scale: scale, ..SimulatorConfig::default() },
+    )
+}
+
+fn bench_substrate(c: &mut Criterion) {
+    let engine = engine();
+    let plans = engine.plan_candidates(SQL).expect("plans");
+    let exec = engine.execute_plan(&plans[0]).expect("runs");
+    let res = ResourceConfig::default_for(engine.simulator().cluster());
+
+    let mut group = c.benchmark_group("substrate");
+    group.bench_function("parse_resolve_enumerate", |b| {
+        b.iter(|| black_box(engine.plan_candidates(black_box(SQL)).unwrap().len()))
+    });
+    group.bench_function("execute_3way_join", |b| {
+        b.iter(|| black_box(engine.execute_plan(black_box(&plans[0])).unwrap().batch.num_rows()))
+    });
+    group.bench_function("simulate_one_run", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            black_box(engine.simulator().simulate(&plans[0], &exec.metrics, &res, seed))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_substrate);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! **Fig. 8** — adaptability of RAAL across executor-memory environments.
+//!
+//! Trains one RAAL model on the full resource-varying IMDB collection and
+//! evaluates the test split *sliced by executor memory* (1–8 GB). The
+//! paper's shape: COR and R² stay above ~0.9 and flat; RE around 0.1;
+//! MSE stable — i.e. accuracy does not degrade in any memory environment.
+
+use bench::{build_model, fmt, run_pipeline, section, train_config, write_tsv, HarnessOpts, Workload};
+use raal::train::training_transform;
+use raal::{evaluate, train, train_test_split, ModelConfig};
+use sparksim::ClusterConfig;
+
+fn main() {
+    let opts = HarnessOpts::from_env();
+    section("Fig. 8 — RAAL adaptability across executor memory (IMDB)");
+    let bench = bench::build_bench(Workload::Imdb, opts.full, opts.seed);
+    let pipeline = run_pipeline(&bench, opts.full, opts.seed, true);
+    let (train_set, test_set) = train_test_split(pipeline.samples.clone(), 0.8, opts.seed);
+    println!("records: train {}, test {}", train_set.len(), test_set.len());
+
+    let mut model = build_model(ModelConfig::raal(pipeline.encoder.node_dim()));
+    train(&mut model, &train_set, &train_config(opts.full, opts.seed));
+
+    // Memory is feature index 4 (Table I order), normalised by node memory.
+    let node_mem = ClusterConfig::default().memory_per_node_gb;
+    let memories = [1.0f64, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+    println!(
+        "\n{:>8} {:>7} {:>9} {:>9} {:>9} {:>9}",
+        "mem(GB)", "n", "RE", "MSE", "COR", "R2"
+    );
+    let mut rows = Vec::new();
+    for &mem in &memories {
+        let want = (mem / node_mem) as f32;
+        let slice: Vec<_> = test_set
+            .iter()
+            .filter(|s| (s.resources[4] - want).abs() < 1e-6)
+            .cloned()
+            .collect();
+        if slice.len() < 5 {
+            println!("{mem:>8.0} {:>7} (too few samples, skipped)", slice.len());
+            continue;
+        }
+        let summary = evaluate(&model, &slice).summary(training_transform);
+        println!(
+            "{mem:>8.0} {:>7} {:>9} {:>9} {:>9} {:>9}",
+            slice.len(),
+            fmt(summary.re),
+            fmt(summary.mse),
+            fmt(summary.cor),
+            fmt(summary.r2)
+        );
+        rows.push(vec![
+            format!("{mem}"),
+            slice.len().to_string(),
+            fmt(summary.re),
+            fmt(summary.mse),
+            fmt(summary.cor),
+            fmt(summary.r2),
+        ]);
+    }
+    write_tsv(
+        &opts.out_dir,
+        "fig8_adaptability.tsv",
+        &["memory_gb", "n", "RE", "MSE", "COR", "R2"],
+        &rows,
+    );
+}

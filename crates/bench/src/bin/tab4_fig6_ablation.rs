@@ -1,0 +1,94 @@
+//! **Table IV + Fig. 6** — Module ablation of the RAAL model.
+//!
+//! Trains RAAL, NE-LSTM (no structure embedding), NA-LSTM (no node-aware
+//! attention) and RAAC (CNN plan-feature layer) on the same IMDB-like
+//! collection. Reports the paper's four metrics per variant (Table IV) and
+//! the per-epoch training-loss curves (Fig. 6). Expected shape: RAAL best
+//! on every metric; NA-LSTM's curve least stable; RAAC behind the LSTMs.
+
+use bench::{build_model, fmt, run_pipeline, section, train_config, write_tsv, HarnessOpts, Workload};
+use raal::train::training_transform;
+use raal::{evaluate, train, train_test_split, ModelConfig};
+
+fn main() {
+    let opts = HarnessOpts::from_env();
+    section("Table IV / Fig. 6 — ablation of RAAL modules (IMDB)");
+    let bench = bench::build_bench(Workload::Imdb, opts.full, opts.seed);
+
+    // Two pipelines: with and without the structure embedding (NE-LSTM).
+    let with_structure = run_pipeline(&bench, opts.full, opts.seed, true);
+    let without_structure = run_pipeline(&bench, opts.full, opts.seed, false);
+    println!("records: {}", with_structure.samples.len());
+
+    let (train_s, test_s) =
+        train_test_split(with_structure.samples.clone(), 0.8, opts.seed);
+    let (train_ne, test_ne) =
+        train_test_split(without_structure.samples.clone(), 0.8, opts.seed);
+    let tcfg = train_config(opts.full, opts.seed);
+
+    let variants: Vec<(&str, ModelConfig, bool)> = vec![
+        ("NE-LSTM", ModelConfig::raal(without_structure.encoder.node_dim()), false),
+        ("NA-LSTM", ModelConfig::na_lstm(with_structure.encoder.node_dim()), true),
+        ("RAAC", ModelConfig::raac(with_structure.encoder.node_dim()), true),
+        ("RAAL", ModelConfig::raal(with_structure.encoder.node_dim()), true),
+    ];
+
+    println!(
+        "\n{:>10} {:>9} {:>9} {:>9} {:>9} {:>10}",
+        "model", "RE", "MSE", "COR", "R2", "train(s)"
+    );
+    let mut table_rows = Vec::new();
+    let mut loss_rows: Vec<Vec<String>> = Vec::new();
+    let mut max_epochs = 0usize;
+    let mut curves: Vec<(String, Vec<f64>)> = Vec::new();
+
+    for (name, cfg, structured) in variants {
+        let (tr, te) = if structured { (&train_s, &test_s) } else { (&train_ne, &test_ne) };
+        let mut model = build_model(cfg);
+        let history = train(&mut model, tr, &tcfg);
+        let summary = evaluate(&model, te).summary(training_transform);
+        println!(
+            "{:>10} {:>9} {:>9} {:>9} {:>9} {:>10}",
+            name,
+            fmt(summary.re),
+            fmt(summary.mse),
+            fmt(summary.cor),
+            fmt(summary.r2),
+            fmt(history.train_seconds)
+        );
+        table_rows.push(vec![
+            name.to_string(),
+            fmt(summary.re),
+            fmt(summary.mse),
+            fmt(summary.cor),
+            fmt(summary.r2),
+            fmt(history.train_seconds),
+        ]);
+        max_epochs = max_epochs.max(history.epoch_losses.len());
+        curves.push((name.to_string(), history.epoch_losses));
+    }
+
+    // Fig. 6: loss per epoch, one column per model.
+    for epoch in 0..max_epochs {
+        let mut row = vec![format!("{}", epoch + 1)];
+        for (_, losses) in &curves {
+            row.push(
+                losses
+                    .get(epoch)
+                    .map(|l| format!("{l:.6}"))
+                    .unwrap_or_default(),
+            );
+        }
+        loss_rows.push(row);
+    }
+    write_tsv(
+        &opts.out_dir,
+        "tab4_ablation.tsv",
+        &["model", "RE", "MSE", "COR", "R2", "train_s"],
+        &table_rows,
+    );
+    let mut header = vec!["epoch"];
+    let names: Vec<String> = curves.iter().map(|(n, _)| n.clone()).collect();
+    header.extend(names.iter().map(String::as_str));
+    write_tsv(&opts.out_dir, "fig6_training_loss.tsv", &header, &loss_rows);
+}

@@ -1,0 +1,89 @@
+//! **Table VII** — the impact of the resource-aware attention layer.
+//!
+//! For both workloads (IMDB on "Tencent Cloud", TPC-H on "Ali Cloud") and
+//! all four model variants, trains the model twice — without and with the
+//! resource-aware attention layer — on resource-varying collections.
+//! Expected shape: adding resource awareness improves every variant on
+//! every metric, with the MSE gap especially large on TPC-H.
+
+use bench::{build_model, fmt, run_pipeline, section, train_config, write_tsv, HarnessOpts, Workload};
+use raal::train::training_transform;
+use raal::{evaluate, train, train_test_split, MetricSummary, ModelConfig};
+
+fn main() {
+    let opts = HarnessOpts::from_env();
+    section("Table VII — resource-aware attention on/off, both workloads");
+    let mut rows = Vec::new();
+
+    for workload in [Workload::Imdb, Workload::Tpch] {
+        let bench = bench::build_bench(workload, opts.full, opts.seed);
+        let structured = run_pipeline(&bench, opts.full, opts.seed, true);
+        let unstructured = run_pipeline(&bench, opts.full, opts.seed, false);
+        println!("\n[{workload}] records: {}", structured.samples.len());
+
+        let (tr_s, te_s) = train_test_split(structured.samples.clone(), 0.8, opts.seed);
+        let (tr_n, te_n) = train_test_split(unstructured.samples.clone(), 0.8, opts.seed);
+        // Eight trainings per workload: trim the per-model budget in
+        // reduced mode so the whole table stays minutes-scale.
+        let mut tcfg = train_config(opts.full, opts.seed);
+        if !opts.full {
+            tcfg.epochs = 22;
+        }
+
+        let variants: Vec<(&str, ModelConfig, bool)> = vec![
+            ("NE-LSTM", ModelConfig::raal(unstructured.encoder.node_dim()), false),
+            ("NA-LSTM", ModelConfig::na_lstm(structured.encoder.node_dim()), true),
+            ("RAAC", ModelConfig::raac(structured.encoder.node_dim()), true),
+            ("RAAL", ModelConfig::raal(structured.encoder.node_dim()), true),
+        ];
+
+        println!(
+            "{:>10} | {:>9} {:>9} {:>9} {:>9} | {:>9} {:>9} {:>9} {:>9}",
+            "model", "RE-", "MSE-", "COR-", "R2-", "RE+", "MSE+", "COR+", "R2+"
+        );
+        for (name, cfg, uses_structure) in variants {
+            let (tr, te) = if uses_structure { (&tr_s, &te_s) } else { (&tr_n, &te_n) };
+            let run_one = |cfg: ModelConfig| -> MetricSummary {
+                let mut model = build_model(cfg);
+                train(&mut model, tr, &tcfg);
+                evaluate(&model, te).summary(training_transform)
+            };
+            let without = run_one(cfg.clone().without_resources());
+            let with = run_one(cfg);
+            println!(
+                "{:>10} | {:>9} {:>9} {:>9} {:>9} | {:>9} {:>9} {:>9} {:>9}",
+                name,
+                fmt(without.re),
+                fmt(without.mse),
+                fmt(without.cor),
+                fmt(without.r2),
+                fmt(with.re),
+                fmt(with.mse),
+                fmt(with.cor),
+                fmt(with.r2)
+            );
+            rows.push(vec![
+                workload.to_string(),
+                name.to_string(),
+                fmt(without.re),
+                fmt(without.mse),
+                fmt(without.cor),
+                fmt(without.r2),
+                fmt(with.re),
+                fmt(with.mse),
+                fmt(with.cor),
+                fmt(with.r2),
+            ]);
+        }
+    }
+
+    write_tsv(
+        &opts.out_dir,
+        "tab7_resource_attention.tsv",
+        &[
+            "workload", "model", "RE_without", "MSE_without", "COR_without", "R2_without",
+            "RE_with", "MSE_with", "COR_with", "R2_with",
+        ],
+        &rows,
+    );
+}

@@ -1,0 +1,247 @@
+//! # bench — experiment harnesses
+//!
+//! One binary per table/figure of the paper's evaluation (see DESIGN.md's
+//! per-experiment index). This library holds the shared plumbing: argument
+//! parsing, dataset/engine construction at two scales (`--full` ≈ paper
+//! scale, default = reduced-but-shape-preserving), the standard
+//! collect→encode→train pipeline, and TSV output.
+
+#![warn(missing_docs)]
+
+use encoding::word2vec::W2vConfig;
+use encoding::{EncoderConfig, PlanEncoder};
+use raal::dataset::{collect, Collection, CollectionConfig};
+use raal::{CostModel, ModelConfig, TrainConfig};
+use sparksim::plan::planner::PlannerOptions;
+use sparksim::{ClusterConfig, Engine, SimulatorConfig};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use workloads::querygen::QueryGenConfig;
+use workloads::FkGraph;
+
+/// Command-line options shared by every harness.
+#[derive(Debug, Clone)]
+pub struct HarnessOpts {
+    /// Paper-scale run (slow) instead of the reduced default.
+    pub full: bool,
+    /// Output directory for TSV result files.
+    pub out_dir: PathBuf,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl HarnessOpts {
+    /// Parses `--full`, `--out <dir>` and `--seed <n>` from `std::env`.
+    pub fn from_env() -> Self {
+        let mut opts = Self { full: false, out_dir: PathBuf::from("results"), seed: 42 };
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--full" => opts.full = true,
+                "--out" => {
+                    i += 1;
+                    opts.out_dir = PathBuf::from(args.get(i).expect("--out needs a value"));
+                }
+                "--seed" => {
+                    i += 1;
+                    opts.seed = args
+                        .get(i)
+                        .expect("--seed needs a value")
+                        .parse()
+                        .expect("--seed must be an integer");
+                }
+                other => panic!("unknown argument '{other}' (use --full / --out DIR / --seed N)"),
+            }
+            i += 1;
+        }
+        opts
+    }
+}
+
+/// Workload identity for harness pipelines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// IMDB-like (JOB) dataset.
+    Imdb,
+    /// TPC-H-like dataset.
+    Tpch,
+}
+
+impl std::fmt::Display for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Workload::Imdb => write!(f, "IMDB"),
+            Workload::Tpch => write!(f, "TPC-H"),
+        }
+    }
+}
+
+/// A workload bound to an engine whose simulator is scaled to the paper's
+/// dataset size.
+pub struct Bench {
+    /// The engine (catalog + planner + simulator).
+    pub engine: Engine,
+    /// FK graph for query generation.
+    pub graph: FkGraph,
+    /// Which workload this is.
+    pub workload: Workload,
+}
+
+/// Builds a workload engine. Reduced scale keeps every harness minutes-
+/// fast; `--full` approaches the paper's row counts.
+pub fn build_bench(workload: Workload, full: bool, seed: u64) -> Bench {
+    let cluster = ClusterConfig::default();
+    let (catalog, graph, scale) = match workload {
+        Workload::Imdb => {
+            let rows = if full { 20_000 } else { 2_000 };
+            let data = workloads::imdb::generate(&workloads::imdb::ImdbConfig {
+                title_rows: rows,
+                seed,
+            });
+            let scale = data.simulated_scale();
+            (data.catalog, data.graph, scale)
+        }
+        Workload::Tpch => {
+            let rows = if full { 6_000 } else { 800 };
+            let data = workloads::tpch::generate(&workloads::tpch::TpchConfig {
+                customer_rows: rows,
+                seed,
+            });
+            let scale = data.simulated_scale();
+            (data.catalog, data.graph, scale)
+        }
+    };
+    let sim_cfg = SimulatorConfig { data_scale: scale, ..SimulatorConfig::default() };
+    let engine = Engine::with_options(catalog, planner_options(scale), cluster, sim_cfg);
+    Bench { engine, graph, workload }
+}
+
+/// Planner options with the broadcast threshold expressed at the
+/// *deployed* data scale: estimated plan bytes are unscaled (the catalog
+/// holds the scaled-down tables), so Catalyst's 10 MB threshold must be
+/// divided by the simulator's `data_scale`.
+pub fn planner_options(data_scale: f64) -> PlannerOptions {
+    PlannerOptions::scaled_to(data_scale)
+}
+
+/// Standard collection sizes: the paper gathers 63k records (IMDB) and
+/// 50k (TPC-H); the reduced default keeps the same structure at ~1/40.
+pub fn collection_config(workload: Workload, full: bool, seed: u64) -> CollectionConfig {
+    let num_queries = match (workload, full) {
+        (Workload::Imdb, true) => 6000,
+        (Workload::Imdb, false) => 120,
+        (Workload::Tpch, true) => 5000,
+        (Workload::Tpch, false) => 100,
+    };
+    CollectionConfig {
+        num_queries,
+        resource_states_per_plan: 3,
+        runs_per_observation: 3,
+        querygen: QueryGenConfig::default(),
+        grid: sparksim::ResourceGrid::default(),
+        seed,
+        threads: 0,
+    }
+}
+
+/// Standard training configuration.
+pub fn train_config(full: bool, seed: u64) -> TrainConfig {
+    TrainConfig {
+        epochs: if full { 25 } else { 35 },
+        lr: 1.5e-3,
+        batch_size: 32,
+        clip_norm: 5.0,
+        seed,
+        threads: 0,
+    }
+}
+
+/// Standard word2vec configuration.
+pub fn w2v_config(full: bool) -> W2vConfig {
+    W2vConfig {
+        dim: 32,
+        epochs: if full { 4 } else { 2 },
+        ..W2vConfig::default()
+    }
+}
+
+/// The standard pipeline: collect → word2vec → encode.
+pub struct Pipeline {
+    /// Raw collection.
+    pub collection: Collection,
+    /// Trained encoder.
+    pub encoder: PlanEncoder,
+    /// Encoded samples.
+    pub samples: Vec<encoding::Sample>,
+}
+
+/// Runs the standard pipeline for a workload.
+pub fn run_pipeline(bench: &Bench, full: bool, seed: u64, structure: bool) -> Pipeline {
+    let cfg = collection_config(bench.workload, full, seed);
+    let collection = collect(&bench.engine, &bench.graph, &cfg);
+    let encoder = collection.build_encoder(
+        &w2v_config(full),
+        EncoderConfig { structure, ..EncoderConfig::default() },
+    );
+    let samples = collection.encode(&encoder, &bench.engine);
+    Pipeline { collection, encoder, samples }
+}
+
+/// Builds a RAAL-family model sized for harness runs.
+pub fn build_model(cfg: ModelConfig) -> CostModel {
+    CostModel::new(cfg)
+}
+
+/// Writes a TSV file with a header row, creating the directory as needed.
+pub fn write_tsv(dir: &Path, name: &str, header: &[&str], rows: &[Vec<String>]) -> PathBuf {
+    std::fs::create_dir_all(dir).expect("create results dir");
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path).expect("create results file");
+    writeln!(f, "{}", header.join("\t")).expect("write header");
+    for row in rows {
+        writeln!(f, "{}", row.join("\t")).expect("write row");
+    }
+    println!("  -> wrote {}", path.display());
+    path
+}
+
+/// Formats a float for tables.
+pub fn fmt(x: f64) -> String {
+    if x.abs() >= 100.0 {
+        format!("{x:.1}")
+    } else {
+        format!("{x:.4}")
+    }
+}
+
+/// Prints a boxed section header.
+pub fn section(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduced_benches_construct() {
+        let b = build_bench(Workload::Imdb, false, 1);
+        assert!(b.engine.catalog().len() >= 10);
+        let b = build_bench(Workload::Tpch, false, 1);
+        assert_eq!(b.engine.catalog().len(), 8);
+    }
+
+    #[test]
+    fn tsv_writer_round_trips() {
+        let dir = std::env::temp_dir().join("raal_bench_test");
+        let path = write_tsv(
+            &dir,
+            "t.tsv",
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()]],
+        );
+        let content = std::fs::read_to_string(path).unwrap();
+        assert_eq!(content, "a\tb\n1\t2\n");
+    }
+}

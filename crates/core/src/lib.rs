@@ -1,0 +1,33 @@
+//! # raal — the Resource-Aware Attentional LSTM deep cost model
+//!
+//! The primary contribution of *"A Resource-Aware Deep Cost Model for Big
+//! Data Query Processing"* (ICDE 2022), built on the `sparksim`,
+//! `workloads`, `encoding` and `nn` substrates:
+//!
+//! * [`model`] — the RAAL network (LSTM plan-feature layer, node-aware
+//!   attention, resource-aware attention, dense head) and all ablations
+//!   (NA-LSTM, RAAC, ±resource attention; NE-LSTM via the encoder's
+//!   structure flag);
+//! * [`train`] — mini-batch Adam training with multi-threaded gradients;
+//! * [`dataset`] — the data-collection pipeline (queries → plans →
+//!   observed runs → word2vec → samples);
+//! * [`metrics`] — RE, MSE, COR and R² (Eqs. 12–15);
+//! * [`selection`] — plan selection with a trained model (Fig. 1's use).
+//!
+//! Quickstart: see `examples/quickstart.rs` at the workspace root.
+
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod persist;
+pub mod metrics;
+pub mod model;
+pub mod selection;
+pub mod train;
+
+pub use dataset::{collect, Collection, CollectionConfig};
+pub use metrics::{EvalSet, MetricSummary};
+pub use persist::ModelBundle;
+pub use model::{CostModel, ModelConfig, PlanLayerKind};
+pub use selection::{evaluate_selection, select_plan, SelectionOutcome};
+pub use train::{evaluate, train, train_test_split, TrainConfig, TrainHistory};

@@ -1,0 +1,505 @@
+//! The Resource-Aware Attentional LSTM cost model (RAAL, Sec. IV-D) and
+//! its ablations.
+//!
+//! One [`CostModel`] covers the whole model family of the paper's
+//! evaluation via [`ModelConfig`]:
+//!
+//! | paper name | plan layer | node attention | resource attention | structure embedding |
+//! |------------|-----------|----------------|--------------------|---------------------|
+//! | RAAL       | LSTM      | yes            | yes                | yes (encoder)       |
+//! | NE-LSTM    | LSTM      | yes            | configurable       | **no** (encoder)    |
+//! | NA-LSTM    | LSTM      | **no**         | configurable       | yes                 |
+//! | RAAC       | **CNN**   | yes            | configurable       | yes                 |
+//!
+//! The structure-embedding ablation lives in the *encoder*
+//! ([`encoding::EncoderConfig::structure`]); everything else is a model
+//! flag. Targets are trained in normalised log-space
+//! ([`normalize_seconds`]) with MSE loss, as in the paper.
+
+use encoding::plan_encoder::{EncodedPlan, PLAN_STAT_FEATURES};
+use nn::layers::{dot_attention, Activation, Conv1d, Dense, LstmCell};
+use nn::{Graph, ParamId, ParamStore, Tensor, Var};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Which network models the node sequence (the plan feature layer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlanLayerKind {
+    /// LSTM (RAAL and the LSTM ablations).
+    Lstm,
+    /// 1-D CNN (the RAAC ablation).
+    Cnn,
+}
+
+/// Model architecture and ablation flags.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelConfig {
+    /// Per-node input feature width (from the encoder).
+    pub node_dim: usize,
+    /// Hidden width of the plan feature layer.
+    pub hidden: usize,
+    /// Attention latent dimension (the paper's K = 32).
+    pub latent_k: usize,
+    /// Plan feature layer kind.
+    pub plan_layer: PlanLayerKind,
+    /// Enable the node-aware attention layer.
+    pub node_attention: bool,
+    /// Enable the resource-aware attention layer (when disabled the model
+    /// never sees the resource vector, as in Table VII's left columns).
+    pub resource_attention: bool,
+    /// Resource feature width.
+    pub resource_dim: usize,
+    /// Dense head width.
+    pub head_hidden: usize,
+    /// Initialisation seed.
+    pub seed: u64,
+}
+
+impl ModelConfig {
+    /// The full RAAL configuration.
+    pub fn raal(node_dim: usize) -> Self {
+        Self {
+            node_dim,
+            hidden: 64,
+            latent_k: 32,
+            plan_layer: PlanLayerKind::Lstm,
+            node_attention: true,
+            resource_attention: true,
+            resource_dim: sparksim::ResourceConfig::NUM_FEATURES,
+            head_hidden: 64,
+            seed: 0xA11,
+        }
+    }
+
+    /// NA-LSTM: RAAL without node-aware attention.
+    pub fn na_lstm(node_dim: usize) -> Self {
+        Self { node_attention: false, ..Self::raal(node_dim) }
+    }
+
+    /// RAAC: RAAL with a CNN plan feature layer.
+    pub fn raac(node_dim: usize) -> Self {
+        Self { plan_layer: PlanLayerKind::Cnn, ..Self::raal(node_dim) }
+    }
+
+    /// Disables the resource-aware attention layer (ablation).
+    pub fn without_resources(mut self) -> Self {
+        self.resource_attention = false;
+        self
+    }
+}
+
+/// Maximum seconds representable by the normalised log target.
+pub const MAX_SECONDS: f64 = 7200.0;
+
+/// Maps seconds to the `[0, 1]` log-space training target.
+pub fn normalize_seconds(seconds: f64) -> f32 {
+    ((1.0 + seconds.clamp(0.0, MAX_SECONDS)).ln() / (1.0 + MAX_SECONDS).ln()) as f32
+}
+
+/// Inverse of [`normalize_seconds`]. Outputs are clamped to the label
+/// range `[0, MAX_SECONDS]`: an unclamped network extrapolation in log
+/// space would denormalise to absurd times and single-handedly wreck
+/// raw-space R².
+pub fn denormalize_seconds(y: f32) -> f64 {
+    ((y as f64).clamp(0.0, 1.0) * (1.0 + MAX_SECONDS).ln()).exp() - 1.0
+}
+
+/// A deep cost model instance (RAAL or an ablation).
+#[derive(Clone, Serialize, Deserialize)]
+pub struct CostModel {
+    cfg: ModelConfig,
+    store: ParamStore,
+    lstm: Option<LstmCell>,
+    cnn: Option<Conv1d>,
+    /// Node-attention query/key projections (`hidden x K`).
+    wq: Option<ParamId>,
+    wk: Option<ParamId>,
+    /// Resource-attention projections.
+    wr: Option<ParamId>,
+    wk_res: Option<ParamId>,
+    head1: Dense,
+    head2: Dense,
+    out: Dense,
+    /// Label standardisation (set by the trainer): the network regresses
+    /// `(normalize_seconds(y) − mean) / std`, which keeps gradients
+    /// well-scaled even though the log-targets span a narrow band.
+    label_mean: f32,
+    label_std: f32,
+}
+
+impl std::fmt::Debug for CostModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CostModel")
+            .field("cfg", &self.cfg)
+            .field("weights", &self.store.num_weights())
+            .finish()
+    }
+}
+
+impl CostModel {
+    /// Builds and initialises a model.
+    pub fn new(cfg: ModelConfig) -> Self {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let (lstm, cnn) = match cfg.plan_layer {
+            PlanLayerKind::Lstm => (
+                Some(LstmCell::new(&mut store, &mut rng, "plan.lstm", cfg.node_dim, cfg.hidden)),
+                None,
+            ),
+            PlanLayerKind::Cnn => (
+                None,
+                Some(Conv1d::new(&mut store, &mut rng, "plan.cnn", cfg.node_dim, cfg.hidden, 3)),
+            ),
+        };
+        let (wq, wk) = if cfg.node_attention {
+            (
+                Some(store.register(
+                    "attn.node.wq",
+                    nn::init::xavier_uniform(&mut rng, cfg.hidden, cfg.latent_k),
+                )),
+                Some(store.register(
+                    "attn.node.wk",
+                    nn::init::xavier_uniform(&mut rng, cfg.hidden, cfg.latent_k),
+                )),
+            )
+        } else {
+            (None, None)
+        };
+        let (wr, wk_res) = if cfg.resource_attention {
+            (
+                Some(store.register(
+                    "attn.res.wr",
+                    nn::init::xavier_uniform(&mut rng, cfg.resource_dim, cfg.latent_k),
+                )),
+                Some(store.register(
+                    "attn.res.wk",
+                    nn::init::xavier_uniform(&mut rng, cfg.hidden, cfg.latent_k),
+                )),
+            )
+        } else {
+            (None, None)
+        };
+        // When resource awareness is on, the head sees both the
+        // attention context M and the raw normalised resource vector
+        // (joined with the "other statistical features", Sec. IV-D's
+        // prediction layer).
+        let head_in = cfg.hidden
+            + if cfg.resource_attention { cfg.hidden + cfg.resource_dim } else { 0 }
+            + PLAN_STAT_FEATURES;
+        let head1 = Dense::new(&mut store, &mut rng, "head.1", head_in, cfg.head_hidden, Activation::Relu);
+        let head2 = Dense::new(
+            &mut store,
+            &mut rng,
+            "head.2",
+            cfg.head_hidden,
+            cfg.head_hidden / 2,
+            Activation::Relu,
+        );
+        let out = Dense::new(
+            &mut store,
+            &mut rng,
+            "head.out",
+            cfg.head_hidden / 2,
+            1,
+            Activation::Identity,
+        );
+        Self {
+            cfg,
+            store,
+            lstm,
+            cnn,
+            wq,
+            wk,
+            wr,
+            wk_res,
+            head1,
+            head2,
+            out,
+            label_mean: 0.0,
+            label_std: 1.0,
+        }
+    }
+
+    /// Sets the label standardisation constants (normalised-log space).
+    /// Called by the trainer with the training set's statistics.
+    pub fn set_label_stats(&mut self, mean: f32, std: f32) {
+        self.label_mean = mean;
+        self.label_std = std.max(1e-4);
+    }
+
+    /// Current label standardisation `(mean, std)`.
+    pub fn label_stats(&self) -> (f32, f32) {
+        (self.label_mean, self.label_std)
+    }
+
+    /// The standardised training target for a time in seconds.
+    pub fn target(&self, seconds: f64) -> f32 {
+        (normalize_seconds(seconds) - self.label_mean) / self.label_std
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ModelConfig {
+        &self.cfg
+    }
+
+    /// Total trainable weights.
+    pub fn num_weights(&self) -> usize {
+        self.store.num_weights()
+    }
+
+    /// Parameter store (for optimizers).
+    pub fn store(&self) -> &ParamStore {
+        &self.store
+    }
+
+    /// Mutable parameter store (for optimizers).
+    pub fn store_mut(&mut self) -> &mut ParamStore {
+        &mut self.store
+    }
+
+    /// Builds the forward graph for one sample, returning the prediction
+    /// in normalised log-space (a `1 x 1` variable).
+    pub fn forward(&self, g: &mut Graph, plan: &EncodedPlan, resources: &[f32]) -> Var {
+        let n = plan.num_nodes();
+        assert!(n > 0, "cannot cost an empty plan");
+        let x = g.input(node_matrix(plan));
+
+        // Plan feature layer.
+        let h = match self.cfg.plan_layer {
+            PlanLayerKind::Lstm => self
+                .lstm
+                .as_ref()
+                .expect("lstm exists for Lstm kind")
+                .forward_seq(g, &self.store, x),
+            PlanLayerKind::Cnn => self
+                .cnn
+                .as_ref()
+                .expect("cnn exists for Cnn kind")
+                .forward_seq(g, &self.store, x),
+        };
+
+        // Node-aware attention (Eq. 8–9): each node attends over its
+        // children; the plan representation pools the enriched rows.
+        let p = if self.cfg.node_attention {
+            let wq = g.param(&self.store, self.wq.expect("node attention enabled"));
+            let wk = g.param(&self.store, self.wk.expect("node attention enabled"));
+            let q_all = g.matmul(h, wq);
+            let k_all = g.matmul(h, wk);
+            let mut reps = Vec::with_capacity(n);
+            for i in 0..n {
+                let hi = g.slice_rows(h, i, 1);
+                let kids = &plan.children[i];
+                if kids.is_empty() {
+                    reps.push(hi);
+                    continue;
+                }
+                let qi = g.slice_rows(q_all, i, 1);
+                let key_rows: Vec<Var> =
+                    kids.iter().map(|&c| g.slice_rows(k_all, c, 1)).collect();
+                let keys = g.concat_rows(&key_rows);
+                let val_rows: Vec<Var> = kids.iter().map(|&c| g.slice_rows(h, c, 1)).collect();
+                let values = g.concat_rows(&val_rows);
+                let ctx = dot_attention(g, qi, keys, values);
+                reps.push(g.add(hi, ctx));
+            }
+            let enriched = g.concat_rows(&reps);
+            g.mean_rows(enriched)
+        } else {
+            g.mean_rows(h)
+        };
+
+        // Resource-aware attention (Eq. 10–11): the resource vector
+        // queries the node hidden states.
+        let stats = g.input(Tensor::row(&plan.plan_stats));
+        let features = if self.cfg.resource_attention {
+            assert_eq!(
+                resources.len(),
+                self.cfg.resource_dim,
+                "resource vector width mismatch"
+            );
+            let rvec = g.input(Tensor::row(resources));
+            let wr = g.param(&self.store, self.wr.expect("resource attention enabled"));
+            let wk_res = g.param(&self.store, self.wk_res.expect("resource attention enabled"));
+            let q = g.matmul(rvec, wr);
+            let keys = g.matmul(h, wk_res);
+            let m = dot_attention(g, q, keys, h);
+            g.concat_cols(&[p, m, rvec, stats])
+        } else {
+            g.concat_cols(&[p, stats])
+        };
+
+        // Prediction head.
+        let z = self.head1.forward(g, &self.store, features);
+        let z = self.head2.forward(g, &self.store, z);
+        self.out.forward(g, &self.store, z)
+    }
+
+    /// Builds the training loss graph for one sample (standardised target).
+    pub fn loss(&self, g: &mut Graph, plan: &EncodedPlan, resources: &[f32], seconds: f64) -> Var {
+        let pred = self.forward(g, plan, resources);
+        g.mse_loss(pred, &Tensor::scalar(self.target(seconds)))
+    }
+
+    /// Predicts the execution time of a plan in seconds.
+    pub fn predict_seconds(&self, plan: &EncodedPlan, resources: &[f32]) -> f64 {
+        let mut g = Graph::new();
+        let pred = self.forward(&mut g, plan, resources);
+        let y = g.value(pred).item() * self.label_std + self.label_mean;
+        denormalize_seconds(y)
+    }
+
+    /// Restores internal optimizer buffers after deserialisation.
+    pub fn restore(&mut self) {
+        self.store.restore_state();
+    }
+}
+
+fn node_matrix(plan: &EncodedPlan) -> Tensor {
+    let n = plan.num_nodes();
+    let dim = plan.node_features[0].len();
+    let mut data = Vec::with_capacity(n * dim);
+    for row in &plan.node_features {
+        debug_assert_eq!(row.len(), dim);
+        data.extend_from_slice(row);
+    }
+    Tensor::from_vec(n, dim, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_plan(n: usize, dim: usize) -> EncodedPlan {
+        let node_features = (0..n)
+            .map(|i| (0..dim).map(|d| ((i * 7 + d) % 13) as f32 / 13.0).collect())
+            .collect();
+        // Chain, except the root is a join-like node with two children —
+        // single-child softmax is constant and would starve the
+        // node-attention weights of gradient.
+        let children: Vec<Vec<usize>> = (0..n)
+            .map(|i| {
+                if i == 0 {
+                    vec![]
+                } else if i == n - 1 && n >= 3 {
+                    vec![i - 1, i - 2]
+                } else {
+                    vec![i - 1]
+                }
+            })
+            .collect();
+        EncodedPlan {
+            node_features,
+            children,
+            plan_stats: vec![0.1; PLAN_STAT_FEATURES],
+        }
+    }
+
+    fn resources() -> Vec<f32> {
+        vec![1.0, 1.0, 0.25, 0.5, 0.25, 0.9, 0.8]
+    }
+
+    #[test]
+    fn all_variants_run_forward() {
+        let dim = 20;
+        let plan = toy_plan(5, dim);
+        for cfg in [
+            ModelConfig::raal(dim),
+            ModelConfig::na_lstm(dim),
+            ModelConfig::raac(dim),
+            ModelConfig::raal(dim).without_resources(),
+        ] {
+            let model = CostModel::new(cfg);
+            let s = model.predict_seconds(&plan, &resources());
+            assert!(s.is_finite() && s >= 0.0, "{s}");
+        }
+    }
+
+    #[test]
+    fn normalisation_round_trips() {
+        for s in [0.0, 0.5, 10.0, 100.0, 3600.0] {
+            let y = normalize_seconds(s);
+            assert!((denormalize_seconds(y) - s).abs() < s.max(1.0) * 1e-3);
+        }
+        assert!(normalize_seconds(1e9) <= 1.0);
+    }
+
+    #[test]
+    fn gradients_flow_to_every_parameter() {
+        let dim = 12;
+        let plan = toy_plan(4, dim);
+        let model = CostModel::new(ModelConfig::raal(dim));
+        let mut store = model.store().clone();
+        let mut g = Graph::new();
+        let loss = model.loss(&mut g, &plan, &resources(), 25.0);
+        let grads = g.backward(loss);
+        g.accumulate_grads(&grads, &mut store, 1.0);
+        let dead: Vec<String> = store
+            .ids()
+            .filter(|&id| store.grad(id).norm() == 0.0)
+            .map(|id| store.name(id).to_string())
+            .collect();
+        assert!(dead.is_empty(), "parameters with zero gradient: {dead:?}");
+    }
+
+    #[test]
+    fn gradcheck_full_raal() {
+        // Small dims keep the finite-difference sweep fast.
+        let dim = 6;
+        let plan = toy_plan(3, dim);
+        let cfg = ModelConfig {
+            hidden: 5,
+            latent_k: 4,
+            head_hidden: 6,
+            ..ModelConfig::raal(dim)
+        };
+        let model = CostModel::new(cfg);
+        let mut store = model.store().clone();
+        let res = resources();
+        nn::gradcheck::assert_gradients_close(
+            &mut store,
+            move |g, s| {
+                // Rebind the model's forward against the perturbed store.
+                let mut m = model.clone();
+                *m.store_mut() = s.clone();
+                m.loss(g, &plan, &res, 10.0)
+            },
+            5e-3,
+            3e-2,
+        );
+    }
+
+    #[test]
+    fn resource_blind_model_ignores_resources() {
+        let dim = 10;
+        let plan = toy_plan(4, dim);
+        let model = CostModel::new(ModelConfig::raal(dim).without_resources());
+        let a = model.predict_seconds(&plan, &resources());
+        let b = model.predict_seconds(&plan, &[0.0; 7]);
+        assert_eq!(a, b, "without resource attention, resources are unused");
+    }
+
+    #[test]
+    fn resource_aware_model_reacts_to_resources() {
+        let dim = 10;
+        let plan = toy_plan(4, dim);
+        let model = CostModel::new(ModelConfig::raal(dim));
+        let a = model.predict_seconds(&plan, &resources());
+        let b = model.predict_seconds(&plan, &[0.01; 7]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_predictions() {
+        let dim = 8;
+        let plan = toy_plan(3, dim);
+        let model = CostModel::new(ModelConfig::raal(dim));
+        let json = serde_json::to_string(&model).unwrap();
+        let mut back: CostModel = serde_json::from_str(&json).unwrap();
+        back.restore();
+        assert_eq!(
+            model.predict_seconds(&plan, &resources()),
+            back.predict_seconds(&plan, &resources())
+        );
+    }
+}

@@ -1,0 +1,100 @@
+//! Checkpointing: a trained cost model together with the encoder that
+//! produced its inputs (the word2vec table and encoder configuration) —
+//! everything needed to score plans in a fresh process.
+
+use crate::model::CostModel;
+use encoding::word2vec::Word2Vec;
+use encoding::{EncoderConfig, PlanEncoder};
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// A self-contained, serialisable model checkpoint.
+#[derive(Serialize, Deserialize)]
+pub struct ModelBundle {
+    /// The trained network.
+    pub model: CostModel,
+    /// The word-embedding table used by the encoder.
+    pub word2vec: Word2Vec,
+    /// Encoder dimensions/flags.
+    pub encoder_config: EncoderConfig,
+}
+
+impl ModelBundle {
+    /// Packs a model with its encoder.
+    pub fn new(model: CostModel, encoder: &PlanEncoder) -> Self {
+        Self {
+            model,
+            word2vec: encoder.word2vec().clone(),
+            encoder_config: encoder.config().clone(),
+        }
+    }
+
+    /// Rebuilds the plan encoder.
+    pub fn encoder(&self) -> PlanEncoder {
+        PlanEncoder::new(self.word2vec.clone(), self.encoder_config.clone())
+    }
+
+    /// Writes the bundle as JSON.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let json = serde_json::to_string(self).map_err(std::io::Error::other)?;
+        std::fs::write(path, json)
+    }
+
+    /// Loads a bundle from JSON and restores optimizer buffers.
+    pub fn load(path: &Path) -> std::io::Result<Self> {
+        let json = std::fs::read_to_string(path)?;
+        let mut bundle: ModelBundle =
+            serde_json::from_str(&json).map_err(std::io::Error::other)?;
+        bundle.model.restore();
+        Ok(bundle)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ModelConfig;
+    use encoding::plan_encoder::{EncodedPlan, PLAN_STAT_FEATURES};
+    use encoding::word2vec::{train, W2vConfig};
+
+    fn tiny_encoder() -> PlanEncoder {
+        let corpus = vec![vec!["filescan".to_string(), "title".to_string()]];
+        PlanEncoder::new(
+            train(&corpus, &W2vConfig { dim: 4, epochs: 1, ..Default::default() }),
+            EncoderConfig { max_nodes: 8, structure: true },
+        )
+    }
+
+    #[test]
+    fn save_load_round_trip_preserves_predictions() {
+        let encoder = tiny_encoder();
+        let model = CostModel::new(ModelConfig {
+            hidden: 8,
+            latent_k: 4,
+            head_hidden: 8,
+            ..ModelConfig::raal(encoder.node_dim())
+        });
+        let plan = EncodedPlan {
+            node_features: vec![vec![0.25; encoder.node_dim()]; 3],
+            children: vec![vec![], vec![0], vec![1]],
+            plan_stats: vec![0.3; PLAN_STAT_FEATURES],
+        };
+        let res = vec![0.5f32; 7];
+        let expected = model.predict_seconds(&plan, &res);
+
+        let dir = std::env::temp_dir().join("raal_persist_test");
+        let path = dir.join("bundle.json");
+        ModelBundle::new(model, &encoder).save(&path).unwrap();
+        let loaded = ModelBundle::load(&path).unwrap();
+        assert_eq!(loaded.model.predict_seconds(&plan, &res), expected);
+        assert_eq!(loaded.encoder().node_dim(), encoder.node_dim());
+    }
+
+    #[test]
+    fn load_missing_file_is_io_error() {
+        assert!(ModelBundle::load(Path::new("/nonexistent/raal.json")).is_err());
+    }
+}

@@ -1,0 +1,101 @@
+//! Explicit one-hot operator encoding (the paper's Table II) — kept both
+//! as the baseline the paper argues *against* (sparse, no similarity
+//! structure) and as a cheap feature block that tells the model the exact
+//! operator type of each node.
+
+/// Operator vocabulary, Table II order extended with the remaining
+/// operators our planner emits.
+pub const OPERATORS: [&str; 12] = [
+    "FileScan",
+    "Project",
+    "Sort",
+    "SortMergeJoin",
+    "HashAggregate",
+    "ExchangeSinglePartition",
+    "ExchangeHashPartition",
+    "Filter",
+    "BroadcastHashJoin",
+    "ShuffledHashJoin",
+    "BroadcastExchange",
+    "CollectLimit",
+];
+
+/// Dimension of the one-hot operator block.
+pub const DIM: usize = OPERATORS.len();
+
+/// Index of an operator name, if known.
+pub fn operator_index(name: &str) -> Option<usize> {
+    OPERATORS.iter().position(|&op| op == name)
+}
+
+/// One-hot vector for an operator name (all-zero for unknown names).
+pub fn encode_operator(name: &str) -> Vec<f32> {
+    let mut v = vec![0.0; DIM];
+    if let Some(i) = operator_index(name) {
+        v[i] = 1.0;
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_operator_has_distinct_code() {
+        for (i, op) in OPERATORS.iter().enumerate() {
+            let v = encode_operator(op);
+            assert_eq!(v.iter().filter(|&&x| x == 1.0).count(), 1);
+            assert_eq!(v[i], 1.0);
+        }
+    }
+
+    #[test]
+    fn unknown_operator_is_zero() {
+        assert!(encode_operator("Mystery").iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn covers_all_planner_operators() {
+        // The names must match PhysicalOp::name() exactly.
+        use sparksim::plan::physical::{AggMode, PhysicalOp};
+        use sparksim::plan::spec::AggSpec;
+        use sparksim::schema::ColumnRef;
+        use sparksim::sql::ast::AggFunc;
+        let cr = || ColumnRef::new("t", "c");
+        let ops = vec![
+            PhysicalOp::FileScan {
+                binding: "t".into(),
+                table: "t".into(),
+                output: vec![],
+                pushed_filter: None,
+            },
+            PhysicalOp::Filter {
+                predicate: sparksim::expr::Expr::IsNotNull(Box::new(
+                    sparksim::expr::Expr::Column(cr()),
+                )),
+            },
+            PhysicalOp::Project { columns: vec![] },
+            PhysicalOp::ExchangeHash { keys: vec![], partitions: 4 },
+            PhysicalOp::ExchangeSingle,
+            PhysicalOp::BroadcastExchange,
+            PhysicalOp::Sort { keys: vec![] },
+            PhysicalOp::SortMergeJoin { left_key: cr(), right_key: cr() },
+            PhysicalOp::BroadcastHashJoin { probe_key: cr(), build_key: cr() },
+            PhysicalOp::ShuffledHashJoin { left_key: cr(), right_key: cr() },
+            PhysicalOp::HashAggregate {
+                mode: AggMode::Partial,
+                group_by: vec![],
+                aggs: vec![AggSpec { func: AggFunc::Count, arg: None }],
+            },
+            PhysicalOp::Limit { n: 1 },
+        ];
+        for op in ops {
+            assert!(
+                operator_index(op.name()).is_some(),
+                "missing one-hot slot for {}",
+                op.name()
+            );
+        }
+    }
+}

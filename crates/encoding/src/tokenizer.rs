@@ -1,0 +1,162 @@
+//! Tokenizer for physical-plan execution statements.
+//!
+//! Splits Spark-`explain`-style statements (as produced by
+//! [`sparksim::plan::physical::PhysicalPlan::statement`]) into the word
+//! stream word2vec is trained on. Operators, table/column identifiers and
+//! punctuation all become tokens; numeric literals are bucketed by order
+//! of magnitude so that `< 71692` and `< 83000` share a token (`<num:5>`)
+//! while `< 7` (`<num:1>`) stays distinct — the embedding can then encode
+//! "how selective" rather than memorising every constant.
+
+/// Tokenizes one execution statement.
+pub fn tokenize_statement(statement: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut chars = statement.chars().peekable();
+    let mut word = String::new();
+    let flush = |word: &mut String, tokens: &mut Vec<String>| {
+        if !word.is_empty() {
+            tokens.push(normalize_word(word));
+            word.clear();
+        }
+    };
+    while let Some(c) = chars.next() {
+        match c {
+            c if c.is_alphanumeric() || c == '_' || c == '#' => word.push(c),
+            '.' => {
+                // Keep qualified names split: `t.id` -> `t` `.` `id`;
+                // but keep decimals inside numbers: `8.2`.
+                let numeric_context = word.chars().all(|w| w.is_ascii_digit())
+                    && !word.is_empty()
+                    && chars.peek().is_some_and(|n| n.is_ascii_digit());
+                if numeric_context {
+                    word.push('.');
+                } else {
+                    flush(&mut word, &mut tokens);
+                    tokens.push(".".to_string());
+                }
+            }
+            '<' | '>' | '=' | '!' | '&' | '|' => {
+                flush(&mut word, &mut tokens);
+                // Coalesce two-character operators.
+                let mut op = c.to_string();
+                if let Some(&next) = chars.peek() {
+                    let pair = format!("{c}{next}");
+                    if matches!(pair.as_str(), "<=" | ">=" | "<>" | "!=" | "&&" | "||") {
+                        op = pair;
+                        chars.next();
+                    }
+                }
+                tokens.push(op);
+            }
+            '(' | ')' | '[' | ']' | ',' | ':' | '%' => {
+                flush(&mut word, &mut tokens);
+                tokens.push(c.to_string());
+            }
+            '\'' => {
+                // String literal: collect until the closing quote.
+                flush(&mut word, &mut tokens);
+                let mut s = String::new();
+                for sc in chars.by_ref() {
+                    if sc == '\'' {
+                        break;
+                    }
+                    s.push(sc);
+                }
+                tokens.push(format!("'{s}'"));
+            }
+            '-' => {
+                // Negative literal or hyphenated word; treat as part of word.
+                word.push(c);
+            }
+            c if c.is_whitespace() => flush(&mut word, &mut tokens),
+            _ => flush(&mut word, &mut tokens),
+        }
+    }
+    flush(&mut word, &mut tokens);
+    tokens
+}
+
+/// Buckets numeric words by magnitude; leaves everything else lowercased.
+fn normalize_word(word: &str) -> String {
+    let trimmed = word.strip_prefix('-').unwrap_or(word);
+    if !trimmed.is_empty()
+        && trimmed
+            .chars()
+            .all(|c| c.is_ascii_digit() || c == '.')
+        && trimmed.chars().any(|c| c.is_ascii_digit())
+    {
+        let magnitude = trimmed
+            .split('.')
+            .next()
+            .map(str::len)
+            .unwrap_or(1)
+            .min(12);
+        return format!("<num:{magnitude}>");
+    }
+    word.to_lowercase()
+}
+
+/// Tokenizes every statement of a plan into one corpus sentence per node.
+pub fn plan_sentences(plan: &sparksim::PhysicalPlan) -> Vec<Vec<String>> {
+    (0..plan.len())
+        .map(|i| tokenize_statement(&plan.statement(i)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_filter_statement() {
+        let toks = tokenize_statement("Filter ((isnotnull(t.kind_id) && (t.kind_id < 7)))");
+        assert!(toks.contains(&"filter".to_string()));
+        assert!(toks.contains(&"isnotnull".to_string()));
+        assert!(toks.contains(&"&&".to_string()));
+        assert!(toks.contains(&"<".to_string()));
+        assert!(toks.contains(&"<num:1>".to_string()));
+        assert!(toks.contains(&"kind_id".to_string()));
+    }
+
+    #[test]
+    fn buckets_numbers_by_magnitude() {
+        assert_eq!(normalize_word("71692"), "<num:5>");
+        assert_eq!(normalize_word("83000"), "<num:5>");
+        assert_eq!(normalize_word("7"), "<num:1>");
+        assert_eq!(normalize_word("-42"), "<num:2>");
+        assert_eq!(normalize_word("8.2"), "<num:1>");
+    }
+
+    #[test]
+    fn string_literals_are_single_tokens() {
+        let toks = tokenize_statement("Filter (t.code = 'us')");
+        assert!(toks.contains(&"'us'".to_string()));
+    }
+
+    #[test]
+    fn decimal_inside_number_stays_joined() {
+        let toks = tokenize_statement("Filter (x.r > 8.25)");
+        assert!(toks.contains(&"<num:1>".to_string()), "{toks:?}");
+        // The token stream must not contain a bare '.' from the decimal.
+        let dot_count = toks.iter().filter(|t| t.as_str() == ".").count();
+        assert_eq!(dot_count, 1, "only the qualifier dot: {toks:?}");
+    }
+
+    #[test]
+    fn qualified_names_split_on_dot() {
+        let toks = tokenize_statement("SortMergeJoin [t.id], [mc.movie_id], Inner");
+        let t = toks.iter().position(|x| x == "t").unwrap();
+        assert_eq!(toks[t + 1], ".");
+        assert_eq!(toks[t + 2], "id");
+        assert!(toks.contains(&"sortmergejoin".to_string()));
+        assert!(toks.contains(&"inner".to_string()));
+    }
+
+    #[test]
+    fn operators_coalesce() {
+        let toks = tokenize_statement("a >= 1 && b <= 2");
+        assert!(toks.contains(&">=".to_string()));
+        assert!(toks.contains(&"<=".to_string()));
+        assert!(toks.contains(&"&&".to_string()));
+    }
+}

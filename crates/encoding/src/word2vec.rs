@@ -1,0 +1,305 @@
+//! Skip-gram word2vec with negative sampling (Mikolov et al.), trained on
+//! the corpus of plan-statement tokens — the paper's node-semantic
+//! embedding (Sec. IV-C). Implemented from scratch; no external model.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Training hyperparameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct W2vConfig {
+    /// Embedding dimension.
+    pub dim: usize,
+    /// Context window radius.
+    pub window: usize,
+    /// Negative samples per positive pair.
+    pub negative: usize,
+    /// Training epochs over the corpus.
+    pub epochs: usize,
+    /// Initial learning rate (linearly decayed).
+    pub lr: f32,
+    /// Words rarer than this are dropped from the vocabulary.
+    pub min_count: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for W2vConfig {
+    fn default() -> Self {
+        Self { dim: 32, window: 4, negative: 5, epochs: 4, lr: 0.025, min_count: 1, seed: 42 }
+    }
+}
+
+/// A trained word-embedding table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Word2Vec {
+    vocab: HashMap<String, usize>,
+    vectors: Vec<Vec<f32>>,
+    dim: usize,
+}
+
+impl Word2Vec {
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Vocabulary size.
+    pub fn vocab_size(&self) -> usize {
+        self.vocab.len()
+    }
+
+    /// The vector of a word, if in vocabulary.
+    pub fn vector(&self, word: &str) -> Option<&[f32]> {
+        self.vocab.get(word).map(|&i| self.vectors[i].as_slice())
+    }
+
+    /// Mean vector of a token sequence (zero vector when nothing matches)
+    /// — the statement-level embedding of a plan node.
+    pub fn embed_mean(&self, tokens: &[String]) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.dim];
+        let mut n = 0usize;
+        for t in tokens {
+            if let Some(v) = self.vector(t) {
+                for (o, &x) in out.iter_mut().zip(v) {
+                    *o += x;
+                }
+                n += 1;
+            }
+        }
+        if n > 0 {
+            for o in &mut out {
+                *o /= n as f32;
+            }
+        }
+        out
+    }
+
+    /// Cosine similarity between two in-vocabulary words.
+    pub fn similarity(&self, a: &str, b: &str) -> Option<f32> {
+        let (va, vb) = (self.vector(a)?, self.vector(b)?);
+        let dot: f32 = va.iter().zip(vb).map(|(x, y)| x * y).sum();
+        let na: f32 = va.iter().map(|x| x * x).sum::<f32>().sqrt();
+        let nb: f32 = vb.iter().map(|x| x * x).sum::<f32>().sqrt();
+        if na == 0.0 || nb == 0.0 {
+            return Some(0.0);
+        }
+        Some(dot / (na * nb))
+    }
+}
+
+/// Trains skip-gram embeddings on a corpus of sentences.
+pub fn train(corpus: &[Vec<String>], cfg: &W2vConfig) -> Word2Vec {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    // Vocabulary.
+    let mut counts: HashMap<&str, usize> = HashMap::new();
+    for sentence in corpus {
+        for w in sentence {
+            *counts.entry(w).or_insert(0) += 1;
+        }
+    }
+    let mut words: Vec<(&str, usize)> = counts
+        .into_iter()
+        .filter(|(_, c)| *c >= cfg.min_count)
+        .collect();
+    words.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+    let vocab: HashMap<String, usize> = words
+        .iter()
+        .enumerate()
+        .map(|(i, (w, _))| (w.to_string(), i))
+        .collect();
+    let v = vocab.len();
+    if v == 0 {
+        return Word2Vec { vocab, vectors: vec![], dim: cfg.dim };
+    }
+
+    // Unigram^0.75 negative-sampling table.
+    let mut neg_table = Vec::with_capacity(v * 8);
+    for (i, (_, c)) in words.iter().enumerate() {
+        let reps = ((*c as f64).powf(0.75).ceil() as usize).max(1);
+        neg_table.extend(std::iter::repeat_n(i, reps));
+    }
+
+    // Input and output matrices.
+    let bound = 0.5 / cfg.dim as f32;
+    let mut w_in: Vec<Vec<f32>> = (0..v)
+        .map(|_| (0..cfg.dim).map(|_| rng.gen_range(-bound..bound)).collect())
+        .collect();
+    let mut w_out: Vec<Vec<f32>> = vec![vec![0.0; cfg.dim]; v];
+
+    // Pre-index the corpus.
+    let indexed: Vec<Vec<usize>> = corpus
+        .iter()
+        .map(|s| s.iter().filter_map(|w| vocab.get(w).copied()).collect())
+        .collect();
+    let total_tokens: usize = indexed.iter().map(Vec::len).sum();
+    let total_steps = (total_tokens * cfg.epochs).max(1);
+    let mut step = 0usize;
+
+    for _epoch in 0..cfg.epochs {
+        for sentence in &indexed {
+            for (pos, &center) in sentence.iter().enumerate() {
+                step += 1;
+                let lr = cfg.lr * (1.0 - step as f32 / total_steps as f32).max(0.05);
+                let win = rng.gen_range(1..=cfg.window);
+                let lo = pos.saturating_sub(win);
+                let hi = (pos + win).min(sentence.len() - 1);
+                for (ctx_pos, &context) in
+                    sentence.iter().enumerate().take(hi + 1).skip(lo)
+                {
+                    if ctx_pos == pos {
+                        continue;
+                    }
+                    train_pair(
+                        &mut w_in,
+                        &mut w_out,
+                        center,
+                        context,
+                        &neg_table,
+                        cfg.negative,
+                        lr,
+                        &mut rng,
+                    );
+                }
+            }
+        }
+    }
+
+    Word2Vec { vocab, vectors: w_in, dim: cfg.dim }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn train_pair(
+    w_in: &mut [Vec<f32>],
+    w_out: &mut [Vec<f32>],
+    center: usize,
+    context: usize,
+    neg_table: &[usize],
+    negatives: usize,
+    lr: f32,
+    rng: &mut StdRng,
+) {
+    let dim = w_in[center].len();
+    let mut grad_center = vec![0.0f32; dim];
+    // One positive + k negative updates.
+    for k in 0..=negatives {
+        let (target, label) = if k == 0 {
+            (context, 1.0f32)
+        } else {
+            (neg_table[rng.gen_range(0..neg_table.len())], 0.0)
+        };
+        if k > 0 && target == context {
+            continue;
+        }
+        let dot: f32 = w_in[center]
+            .iter()
+            .zip(&w_out[target])
+            .map(|(a, b)| a * b)
+            .sum();
+        let pred = 1.0 / (1.0 + (-dot).exp());
+        let g = (pred - label) * lr;
+        for d in 0..dim {
+            grad_center[d] += g * w_out[target][d];
+            w_out[target][d] -= g * w_in[center][d];
+        }
+    }
+    for d in 0..dim {
+        w_in[center][d] -= grad_center[d];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny corpus where `cat`/`dog` share contexts but `stone` doesn't.
+    fn corpus() -> Vec<Vec<String>> {
+        let mut c = Vec::new();
+        for _ in 0..200 {
+            c.push(
+                ["the", "cat", "eats", "food", "daily"]
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect(),
+            );
+            c.push(
+                ["the", "dog", "eats", "food", "daily"]
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect(),
+            );
+            c.push(
+                ["a", "stone", "sits", "still", "forever"]
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect(),
+            );
+        }
+        c
+    }
+
+    #[test]
+    fn similar_contexts_give_similar_vectors() {
+        let model = train(&corpus(), &W2vConfig { dim: 16, epochs: 6, ..Default::default() });
+        let cat_dog = model.similarity("cat", "dog").unwrap();
+        let cat_stone = model.similarity("cat", "stone").unwrap();
+        assert!(
+            cat_dog > cat_stone,
+            "cat~dog ({cat_dog}) must beat cat~stone ({cat_stone})"
+        );
+    }
+
+    #[test]
+    fn vocabulary_and_dimensions() {
+        let model = train(&corpus(), &W2vConfig::default());
+        assert_eq!(model.dim(), 32);
+        assert!(model.vocab_size() >= 9);
+        assert!(model.vector("cat").is_some());
+        assert!(model.vector("unknown-word").is_none());
+    }
+
+    #[test]
+    fn embed_mean_handles_unknowns() {
+        let model = train(&corpus(), &W2vConfig::default());
+        let zero = model.embed_mean(&["nope".to_string()]);
+        assert!(zero.iter().all(|&x| x == 0.0));
+        let some = model.embed_mean(&["cat".to_string(), "nope".to_string()]);
+        assert_eq!(some, model.vector("cat").unwrap().to_vec());
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let a = train(&corpus(), &W2vConfig::default());
+        let b = train(&corpus(), &W2vConfig::default());
+        assert_eq!(a.vector("cat"), b.vector("cat"));
+    }
+
+    #[test]
+    fn empty_corpus_is_safe() {
+        let model = train(&[], &W2vConfig::default());
+        assert_eq!(model.vocab_size(), 0);
+        assert!(model.embed_mean(&["x".to_string()]).iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn min_count_prunes_rare_words() {
+        let corpus = vec![
+            vec!["common".to_string(), "common".to_string(), "rare".to_string()],
+            vec!["common".to_string()],
+        ];
+        let model = train(&corpus, &W2vConfig { min_count: 2, ..Default::default() });
+        assert!(model.vector("common").is_some());
+        assert!(model.vector("rare").is_none());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let model = train(&corpus(), &W2vConfig { dim: 8, ..Default::default() });
+        let json = serde_json::to_string(&model).unwrap();
+        let back: Word2Vec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.vector("cat"), model.vector("cat"));
+    }
+}

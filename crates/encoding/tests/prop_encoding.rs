@@ -1,0 +1,78 @@
+//! Property tests for the encoding crate: tokenizer totality, word2vec
+//! determinism and shape guarantees, encoder dimensional invariants.
+
+use encoding::tokenizer::tokenize_statement;
+use encoding::word2vec::{train, W2vConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    /// The tokenizer must be total: any string (including garbage) yields
+    /// a token list without panicking, and never yields empty tokens.
+    #[test]
+    fn tokenizer_is_total_and_produces_nonempty_tokens(s in ".{0,120}") {
+        let tokens = tokenize_statement(&s);
+        for t in &tokens {
+            prop_assert!(!t.is_empty(), "empty token from {s:?}");
+        }
+    }
+
+    /// Tokenizing a statement twice gives identical results.
+    #[test]
+    fn tokenizer_is_deterministic(s in ".{0,120}") {
+        prop_assert_eq!(tokenize_statement(&s), tokenize_statement(&s));
+    }
+
+    /// Numbers with the same digit count collapse to the same bucket.
+    #[test]
+    fn numeric_bucketing_by_magnitude(a in 10u64..99, b in 10u64..99) {
+        let ta = tokenize_statement(&format!("x < {a}"));
+        let tb = tokenize_statement(&format!("x < {b}"));
+        prop_assert_eq!(ta.last(), tb.last());
+    }
+
+    /// Every trained word vector has the configured dimension and is
+    /// finite; embed_mean preserves the dimension.
+    #[test]
+    fn word2vec_shapes_and_finiteness(
+        sentences in prop::collection::vec(
+            prop::collection::vec("[a-e]{1,4}", 1..8),
+            1..12,
+        ),
+        dim in 2usize..16,
+    ) {
+        let model = train(&sentences, &W2vConfig {
+            dim,
+            epochs: 1,
+            ..W2vConfig::default()
+        });
+        for sentence in &sentences {
+            for word in sentence {
+                let v = model.vector(word).expect("trained word in vocab");
+                prop_assert_eq!(v.len(), dim);
+                prop_assert!(v.iter().all(|x| x.is_finite()));
+            }
+        }
+        let mean = model.embed_mean(&sentences[0]);
+        prop_assert_eq!(mean.len(), dim);
+        prop_assert!(mean.iter().all(|x| x.is_finite()));
+    }
+
+    /// Similarity is symmetric and bounded.
+    #[test]
+    fn word2vec_similarity_symmetric(
+        sentences in prop::collection::vec(
+            prop::collection::vec("[a-c]{1,3}", 2..6),
+            2..8,
+        ),
+    ) {
+        let model = train(&sentences, &W2vConfig { dim: 8, epochs: 1, ..Default::default() });
+        let words: Vec<&String> = sentences.iter().flatten().collect();
+        let (a, b) = (words[0], words[words.len() - 1]);
+        let ab = model.similarity(a, b).unwrap();
+        let ba = model.similarity(b, a).unwrap();
+        prop_assert!((ab - ba).abs() < 1e-5);
+        prop_assert!((-1.0 - 1e-5..=1.0 + 1e-5).contains(&ab));
+    }
+}

@@ -1,0 +1,611 @@
+//! Define-by-run reverse-mode automatic differentiation.
+//!
+//! A [`Graph`] is a tape of operations built freshly for every training
+//! sample (plan sequences have variable length, so static graphs would not
+//! help). [`Graph::backward`] walks the tape in reverse and produces a
+//! gradient for every node; [`Graph::accumulate_grads`] then adds the
+//! gradients of parameter leaves into a [`ParamStore`].
+//!
+//! Every operation's backward rule is validated against central finite
+//! differences in `gradcheck` tests, which is the property that makes the
+//! hand-written LSTM/attention layers trustworthy.
+
+use crate::params::{ParamId, ParamStore};
+use crate::tensor::Tensor;
+
+/// Handle to a node in a [`Graph`] tape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Var(usize);
+
+impl Var {
+    /// Tape index of this variable (stable for the graph's lifetime).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Constant leaf (inputs, targets); receives no gradient of interest.
+    Input,
+    /// Trainable leaf; gradient flows into the parameter store.
+    Param(ParamId),
+    MatMul(usize, usize),
+    Add(usize, usize),
+    /// `matrix + row`: broadcasts a `1 x c` row over every row of a `r x c` matrix.
+    AddRow(usize, usize),
+    Sub(usize, usize),
+    Mul(usize, usize),
+    Scale(usize, f32),
+    Sigmoid(usize),
+    Tanh(usize),
+    Relu(usize),
+    SoftmaxRows(usize),
+    /// Softmax over an `n x 1` column vector.
+    SoftmaxCol(usize),
+    Transpose(usize),
+    ConcatRows(Vec<usize>),
+    ConcatCols(Vec<usize>),
+    SliceRows(usize, usize, usize),
+    SliceCols(usize, usize, usize),
+    Sum(usize),
+    Mean(usize),
+    /// Mean over rows: `r x c -> 1 x c`.
+    MeanRows(usize),
+    /// Squared-error loss against a constant target, averaged over elements.
+    MseLoss(usize, Tensor),
+}
+
+struct Node {
+    value: Tensor,
+    op: Op,
+}
+
+/// A tape of tensor operations supporting reverse-mode differentiation.
+#[derive(Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+}
+
+/// Per-node gradients produced by [`Graph::backward`].
+pub struct Gradients {
+    grads: Vec<Option<Tensor>>,
+}
+
+impl Gradients {
+    /// Gradient of the loss with respect to `v`, if any gradient reached it.
+    pub fn get(&self, v: Var) -> Option<&Tensor> {
+        self.grads.get(v.0).and_then(|g| g.as_ref())
+    }
+}
+
+impl Graph {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Self { nodes: Vec::with_capacity(64) }
+    }
+
+    /// Number of nodes recorded on the tape.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when no operations have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Current value of a variable.
+    pub fn value(&self, v: Var) -> &Tensor {
+        &self.nodes[v.0].value
+    }
+
+    fn push(&mut self, value: Tensor, op: Op) -> Var {
+        debug_assert!(value.all_finite(), "non-finite value produced by {op:?}");
+        self.nodes.push(Node { value, op });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// Registers a constant leaf.
+    pub fn input(&mut self, t: Tensor) -> Var {
+        self.push(t, Op::Input)
+    }
+
+    /// Registers a trainable parameter leaf, copying its current value from
+    /// the store. After `backward`, use [`Graph::accumulate_grads`] to flow
+    /// gradients back into the same store.
+    pub fn param(&mut self, store: &ParamStore, id: ParamId) -> Var {
+        self.push(store.value(id).clone(), Op::Param(id))
+    }
+
+    /// Matrix product.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.nodes[a.0].value.matmul(&self.nodes[b.0].value);
+        self.push(v, Op::MatMul(a.0, b.0))
+    }
+
+    /// Element-wise sum of two same-shape tensors.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let v = self.nodes[a.0].value.add(&self.nodes[b.0].value);
+        self.push(v, Op::Add(a.0, b.0))
+    }
+
+    /// Adds a `1 x c` row vector to every row of an `r x c` matrix.
+    pub fn add_row(&mut self, m: Var, row: Var) -> Var {
+        let mv = &self.nodes[m.0].value;
+        let rv = &self.nodes[row.0].value;
+        assert_eq!(rv.rows(), 1, "add_row expects a 1 x c row vector");
+        assert_eq!(rv.cols(), mv.cols(), "add_row column mismatch");
+        let mut out = mv.clone();
+        for r in 0..out.rows() {
+            for c in 0..out.cols() {
+                let v = out.get(r, c) + rv.get(0, c);
+                out.set(r, c, v);
+            }
+        }
+        self.push(out, Op::AddRow(m.0, row.0))
+    }
+
+    /// Element-wise difference.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let v = self.nodes[a.0].value.sub(&self.nodes[b.0].value);
+        self.push(v, Op::Sub(a.0, b.0))
+    }
+
+    /// Element-wise (Hadamard) product.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.nodes[a.0].value.hadamard(&self.nodes[b.0].value);
+        self.push(v, Op::Mul(a.0, b.0))
+    }
+
+    /// Scalar multiple.
+    pub fn scale(&mut self, a: Var, alpha: f32) -> Var {
+        let v = self.nodes[a.0].value.scale(alpha);
+        self.push(v, Op::Scale(a.0, alpha))
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.map(|x| 1.0 / (1.0 + (-x).exp()));
+        self.push(v, Op::Sigmoid(a.0))
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.map(f32::tanh);
+        self.push(v, Op::Tanh(a.0))
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.map(|x| x.max(0.0));
+        self.push(v, Op::Relu(a.0))
+    }
+
+    /// Row-wise softmax.
+    pub fn softmax_rows(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.softmax_rows();
+        self.push(v, Op::SoftmaxRows(a.0))
+    }
+
+    /// Softmax over an `n x 1` column vector.
+    pub fn softmax_col(&mut self, a: Var) -> Var {
+        let av = &self.nodes[a.0].value;
+        assert_eq!(av.cols(), 1, "softmax_col expects an n x 1 column");
+        let v = av.transpose().softmax_rows().transpose();
+        self.push(v, Op::SoftmaxCol(a.0))
+    }
+
+    /// Transpose.
+    pub fn transpose(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.transpose();
+        self.push(v, Op::Transpose(a.0))
+    }
+
+    /// Stacks parts vertically.
+    pub fn concat_rows(&mut self, parts: &[Var]) -> Var {
+        let tensors: Vec<&Tensor> = parts.iter().map(|p| &self.nodes[p.0].value).collect();
+        let v = Tensor::concat_rows(&tensors);
+        self.push(v, Op::ConcatRows(parts.iter().map(|p| p.0).collect()))
+    }
+
+    /// Stacks parts horizontally.
+    pub fn concat_cols(&mut self, parts: &[Var]) -> Var {
+        let tensors: Vec<&Tensor> = parts.iter().map(|p| &self.nodes[p.0].value).collect();
+        let v = Tensor::concat_cols(&tensors);
+        self.push(v, Op::ConcatCols(parts.iter().map(|p| p.0).collect()))
+    }
+
+    /// Rows `[start, start + len)`.
+    pub fn slice_rows(&mut self, a: Var, start: usize, len: usize) -> Var {
+        let v = self.nodes[a.0].value.slice_rows(start, len);
+        self.push(v, Op::SliceRows(a.0, start, len))
+    }
+
+    /// Columns `[start, start + len)`.
+    pub fn slice_cols(&mut self, a: Var, start: usize, len: usize) -> Var {
+        let v = self.nodes[a.0].value.slice_cols(start, len);
+        self.push(v, Op::SliceCols(a.0, start, len))
+    }
+
+    /// Sum of all elements, as a `1 x 1` tensor.
+    pub fn sum(&mut self, a: Var) -> Var {
+        let v = Tensor::scalar(self.nodes[a.0].value.sum());
+        self.push(v, Op::Sum(a.0))
+    }
+
+    /// Mean of all elements, as a `1 x 1` tensor.
+    pub fn mean(&mut self, a: Var) -> Var {
+        let t = &self.nodes[a.0].value;
+        let v = Tensor::scalar(t.sum() / t.len() as f32);
+        self.push(v, Op::Mean(a.0))
+    }
+
+    /// Column-wise mean over rows: `r x c -> 1 x c`.
+    pub fn mean_rows(&mut self, a: Var) -> Var {
+        let t = &self.nodes[a.0].value;
+        let (r, c) = t.shape();
+        let mut out = Tensor::zeros(1, c);
+        for i in 0..r {
+            for j in 0..c {
+                out.set(0, j, out.get(0, j) + t.get(i, j) / r as f32);
+            }
+        }
+        self.push(out, Op::MeanRows(a.0))
+    }
+
+    /// Mean-squared-error loss against a constant target, as `1 x 1`.
+    pub fn mse_loss(&mut self, pred: Var, target: &Tensor) -> Var {
+        let p = &self.nodes[pred.0].value;
+        assert_eq!(p.shape(), target.shape(), "mse_loss shape mismatch");
+        let n = p.len() as f32;
+        let loss = p
+            .data()
+            .iter()
+            .zip(target.data().iter())
+            .map(|(&a, &b)| (a - b) * (a - b))
+            .sum::<f32>()
+            / n;
+        self.push(Tensor::scalar(loss), Op::MseLoss(pred.0, target.clone()))
+    }
+
+    /// Runs the backward pass from a scalar loss node and returns the
+    /// per-node gradients.
+    ///
+    /// # Panics
+    /// Panics if `loss` is not `1 x 1`.
+    pub fn backward(&self, loss: Var) -> Gradients {
+        assert_eq!(
+            self.nodes[loss.0].value.shape(),
+            (1, 1),
+            "backward requires a scalar loss"
+        );
+        let mut grads: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
+        grads[loss.0] = Some(Tensor::scalar(1.0));
+
+        for idx in (0..=loss.0).rev() {
+            let Some(g) = grads[idx].take() else { continue };
+            self.backprop_node(idx, &g, &mut grads);
+            grads[idx] = Some(g);
+        }
+        Gradients { grads }
+    }
+
+    fn accum(&self, grads: &mut [Option<Tensor>], idx: usize, delta: Tensor) {
+        debug_assert_eq!(
+            self.nodes[idx].value.shape(),
+            delta.shape(),
+            "gradient shape mismatch at node {idx}"
+        );
+        match &mut grads[idx] {
+            Some(g) => g.axpy(1.0, &delta),
+            slot @ None => *slot = Some(delta),
+        }
+    }
+
+    fn backprop_node(&self, idx: usize, g: &Tensor, grads: &mut [Option<Tensor>]) {
+        match &self.nodes[idx].op {
+            Op::Input | Op::Param(_) => {}
+            Op::MatMul(a, b) => {
+                let av = &self.nodes[*a].value;
+                let bv = &self.nodes[*b].value;
+                self.accum(grads, *a, g.matmul(&bv.transpose()));
+                self.accum(grads, *b, av.transpose().matmul(g));
+            }
+            Op::Add(a, b) => {
+                self.accum(grads, *a, g.clone());
+                self.accum(grads, *b, g.clone());
+            }
+            Op::AddRow(m, row) => {
+                self.accum(grads, *m, g.clone());
+                let mut rg = Tensor::zeros(1, g.cols());
+                for r in 0..g.rows() {
+                    for c in 0..g.cols() {
+                        rg.set(0, c, rg.get(0, c) + g.get(r, c));
+                    }
+                }
+                self.accum(grads, *row, rg);
+            }
+            Op::Sub(a, b) => {
+                self.accum(grads, *a, g.clone());
+                self.accum(grads, *b, g.scale(-1.0));
+            }
+            Op::Mul(a, b) => {
+                let av = &self.nodes[*a].value;
+                let bv = &self.nodes[*b].value;
+                self.accum(grads, *a, g.hadamard(bv));
+                self.accum(grads, *b, g.hadamard(av));
+            }
+            Op::Scale(a, alpha) => self.accum(grads, *a, g.scale(*alpha)),
+            Op::Sigmoid(a) => {
+                let y = &self.nodes[idx].value;
+                let d = y.zip(g, |y, g| g * y * (1.0 - y));
+                self.accum(grads, *a, d);
+            }
+            Op::Tanh(a) => {
+                let y = &self.nodes[idx].value;
+                let d = y.zip(g, |y, g| g * (1.0 - y * y));
+                self.accum(grads, *a, d);
+            }
+            Op::Relu(a) => {
+                let x = &self.nodes[*a].value;
+                let d = x.zip(g, |x, g| if x > 0.0 { g } else { 0.0 });
+                self.accum(grads, *a, d);
+            }
+            Op::SoftmaxRows(a) => {
+                let y = &self.nodes[idx].value;
+                self.accum(grads, *a, softmax_backward_rows(y, g));
+            }
+            Op::SoftmaxCol(a) => {
+                let y = self.nodes[idx].value.transpose();
+                let gt = g.transpose();
+                self.accum(grads, *a, softmax_backward_rows(&y, &gt).transpose());
+            }
+            Op::Transpose(a) => self.accum(grads, *a, g.transpose()),
+            Op::ConcatRows(parts) => {
+                let mut start = 0;
+                for &p in parts {
+                    let rows = self.nodes[p].value.rows();
+                    self.accum(grads, p, g.slice_rows(start, rows));
+                    start += rows;
+                }
+            }
+            Op::ConcatCols(parts) => {
+                let mut start = 0;
+                for &p in parts {
+                    let cols = self.nodes[p].value.cols();
+                    self.accum(grads, p, g.slice_cols(start, cols));
+                    start += cols;
+                }
+            }
+            Op::SliceRows(a, start, len) => {
+                let src = &self.nodes[*a].value;
+                let mut d = Tensor::zeros(src.rows(), src.cols());
+                for r in 0..*len {
+                    for c in 0..src.cols() {
+                        d.set(start + r, c, g.get(r, c));
+                    }
+                }
+                self.accum(grads, *a, d);
+            }
+            Op::SliceCols(a, start, len) => {
+                let src = &self.nodes[*a].value;
+                let mut d = Tensor::zeros(src.rows(), src.cols());
+                for r in 0..src.rows() {
+                    for c in 0..*len {
+                        d.set(r, start + c, g.get(r, c));
+                    }
+                }
+                self.accum(grads, *a, d);
+            }
+            Op::Sum(a) => {
+                let src = &self.nodes[*a].value;
+                self.accum(grads, *a, Tensor::full(src.rows(), src.cols(), g.item()));
+            }
+            Op::Mean(a) => {
+                let src = &self.nodes[*a].value;
+                let d = g.item() / src.len() as f32;
+                self.accum(grads, *a, Tensor::full(src.rows(), src.cols(), d));
+            }
+            Op::MeanRows(a) => {
+                let src = &self.nodes[*a].value;
+                let (r, c) = src.shape();
+                let mut d = Tensor::zeros(r, c);
+                for i in 0..r {
+                    for j in 0..c {
+                        d.set(i, j, g.get(0, j) / r as f32);
+                    }
+                }
+                self.accum(grads, *a, d);
+            }
+            Op::MseLoss(a, target) => {
+                let pred = &self.nodes[*a].value;
+                let n = pred.len() as f32;
+                let scale = 2.0 * g.item() / n;
+                let d = pred.zip(target, |p, t| scale * (p - t));
+                self.accum(grads, *a, d);
+            }
+        }
+    }
+
+    /// Adds the gradients of all parameter leaves on this tape into the
+    /// store's gradient accumulators (scaled by `weight`, typically
+    /// `1 / batch_size`).
+    pub fn accumulate_grads(&self, grads: &Gradients, store: &mut ParamStore, weight: f32) {
+        for (idx, node) in self.nodes.iter().enumerate() {
+            if let Op::Param(id) = node.op {
+                if let Some(g) = &grads.grads[idx] {
+                    store.grad_mut(id).axpy(weight, g);
+                }
+            }
+        }
+    }
+}
+
+/// Row-wise softmax Jacobian-vector product: for each row,
+/// `dx = y ⊙ (dy − <dy, y>)`.
+fn softmax_backward_rows(y: &Tensor, g: &Tensor) -> Tensor {
+    let mut out = Tensor::zeros(y.rows(), y.cols());
+    for r in 0..y.rows() {
+        let dot: f32 = y
+            .row_slice(r)
+            .iter()
+            .zip(g.row_slice(r).iter())
+            .map(|(&a, &b)| a * b)
+            .sum();
+        for c in 0..y.cols() {
+            out.set(r, c, y.get(r, c) * (g.get(r, c) - dot));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::ParamStore;
+
+    #[test]
+    fn forward_values_are_recorded() {
+        let mut g = Graph::new();
+        let a = g.input(Tensor::row(&[1.0, 2.0]));
+        let b = g.input(Tensor::col(&[3.0, 4.0]));
+        let c = g.matmul(a, b);
+        assert_eq!(g.value(c).item(), 11.0);
+    }
+
+    #[test]
+    fn backward_through_matmul_chain() {
+        // loss = sum(a @ b) with a = [1 2], b = [[3],[4]] => dloss/da = b^T, dloss/db = a^T
+        let mut g = Graph::new();
+        let mut store = ParamStore::new();
+        let pa = store.register("a", Tensor::row(&[1.0, 2.0]));
+        let pb = store.register("b", Tensor::col(&[3.0, 4.0]));
+        let a = g.param(&store, pa);
+        let b = g.param(&store, pb);
+        let c = g.matmul(a, b);
+        let loss = g.sum(c);
+        let grads = g.backward(loss);
+        assert_eq!(grads.get(a).unwrap().data(), &[3.0, 4.0]);
+        assert_eq!(grads.get(b).unwrap().data(), &[1.0, 2.0]);
+        g.accumulate_grads(&grads, &mut store, 1.0);
+        assert_eq!(store.grad(pa).data(), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn gradient_accumulates_when_var_reused() {
+        // loss = sum(x + x) => dloss/dx = 2 everywhere
+        let mut g = Graph::new();
+        let mut store = ParamStore::new();
+        let px = store.register("x", Tensor::row(&[1.0, -1.0]));
+        let x = g.param(&store, px);
+        let y = g.add(x, x);
+        let loss = g.sum(y);
+        let grads = g.backward(loss);
+        assert_eq!(grads.get(x).unwrap().data(), &[2.0, 2.0]);
+        g.accumulate_grads(&grads, &mut store, 0.5);
+        assert_eq!(store.grad(px).data(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn relu_gates_gradient() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::row(&[-1.0, 2.0]));
+        let y = g.relu(x);
+        let loss = g.sum(y);
+        let grads = g.backward(loss);
+        assert_eq!(grads.get(x).unwrap().data(), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn mse_loss_value_and_gradient() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::row(&[1.0, 3.0]));
+        let target = Tensor::row(&[0.0, 1.0]);
+        let loss = g.mse_loss(x, &target);
+        // ((1-0)^2 + (3-1)^2)/2 = 2.5
+        assert!((g.value(loss).item() - 2.5).abs() < 1e-6);
+        let grads = g.backward(loss);
+        // d/dx = 2*(x-t)/n = [1, 2]
+        assert_eq!(grads.get(x).unwrap().data(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "scalar loss")]
+    fn backward_requires_scalar() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::row(&[1.0, 2.0]));
+        let _ = g.backward(x);
+    }
+
+    #[test]
+    fn concat_slice_round_trip_gradient() {
+        let mut g = Graph::new();
+        let a = g.input(Tensor::row(&[1.0, 2.0]));
+        let b = g.input(Tensor::row(&[3.0, 4.0]));
+        let cat = g.concat_rows(&[a, b]);
+        let top = g.slice_rows(cat, 0, 1);
+        let loss = g.sum(top);
+        let grads = g.backward(loss);
+        assert_eq!(grads.get(a).unwrap().data(), &[1.0, 1.0]);
+        // The bottom slice contributes nothing to the loss: its gradient,
+        // scattered back through the concat, is identically zero.
+        assert_eq!(grads.get(b).unwrap().data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn sub_and_scale_gradients() {
+        // loss = sum(2*(a - b)) => da = 2, db = -2
+        let mut g = Graph::new();
+        let a = g.input(Tensor::row(&[1.0, 2.0]));
+        let b = g.input(Tensor::row(&[3.0, 5.0]));
+        let d = g.sub(a, b);
+        let d2 = g.scale(d, 2.0);
+        let loss = g.sum(d2);
+        assert_eq!(g.value(loss).item(), -10.0);
+        let grads = g.backward(loss);
+        assert_eq!(grads.get(a).unwrap().data(), &[2.0, 2.0]);
+        assert_eq!(grads.get(b).unwrap().data(), &[-2.0, -2.0]);
+    }
+
+    #[test]
+    fn softmax_rows_gradient_sums_to_zero_per_row() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::from_vec(2, 3, vec![0.1, 0.2, 0.3, 1.0, -1.0, 0.0]));
+        let s = g.softmax_rows(x);
+        let first_col = g.slice_cols(s, 0, 1);
+        let loss = g.sum(first_col);
+        let grads = g.backward(loss);
+        let gx = grads.get(x).unwrap();
+        for r in 0..2 {
+            let row_sum: f32 = gx.row_slice(r).iter().sum();
+            assert!(row_sum.abs() < 1e-6, "row {r} grad sum {row_sum}");
+        }
+    }
+
+    #[test]
+    fn transpose_gradient_round_trips() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]));
+        let t = g.transpose(x);
+        assert_eq!(g.value(t).shape(), (3, 2));
+        let loss = g.sum(t);
+        let grads = g.backward(loss);
+        assert_eq!(grads.get(x).unwrap(), &Tensor::full(2, 3, 1.0));
+    }
+
+    #[test]
+    fn softmax_col_is_distribution_and_differentiable() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::col(&[0.0, 1.0, 2.0]));
+        let s = g.softmax_col(x);
+        let sum: f32 = g.value(s).data().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-5);
+        let first = g.slice_rows(s, 0, 1);
+        let loss = g.sum(first);
+        let grads = g.backward(loss);
+        // Gradient of one softmax output w.r.t. logits sums to ~0.
+        let gsum: f32 = grads.get(x).unwrap().data().iter().sum();
+        assert!(gsum.abs() < 1e-5);
+    }
+}

@@ -1,0 +1,80 @@
+//! Weight initialisation schemes.
+
+use crate::tensor::Tensor;
+use rand::Rng;
+
+/// Xavier/Glorot uniform initialisation: `U(-a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))`. Suits tanh/sigmoid layers (LSTM).
+pub fn xavier_uniform(rng: &mut impl Rng, rows: usize, cols: usize) -> Tensor {
+    let a = (6.0 / (rows + cols) as f32).sqrt();
+    Tensor::from_vec(rows, cols, (0..rows * cols).map(|_| rng.gen_range(-a..a)).collect())
+}
+
+/// He/Kaiming uniform initialisation: `U(-a, a)` with `a = sqrt(6 / fan_in)`.
+/// Suits ReLU layers (dense prediction head, CNN).
+pub fn he_uniform(rng: &mut impl Rng, rows: usize, cols: usize) -> Tensor {
+    let a = (6.0 / rows as f32).sqrt();
+    Tensor::from_vec(rows, cols, (0..rows * cols).map(|_| rng.gen_range(-a..a)).collect())
+}
+
+/// Uniform initialisation in `(-a, a)`.
+pub fn uniform(rng: &mut impl Rng, rows: usize, cols: usize, a: f32) -> Tensor {
+    Tensor::from_vec(rows, cols, (0..rows * cols).map(|_| rng.gen_range(-a..a)).collect())
+}
+
+/// All-zeros tensor (biases).
+pub fn zeros(rows: usize, cols: usize) -> Tensor {
+    Tensor::zeros(rows, cols)
+}
+
+/// LSTM forget-gate-friendly bias: zeros except the forget-gate block,
+/// which is set to 1 so early training does not forget aggressively.
+///
+/// Expects the `1 x 4h` gate layout `[input, forget, cell, output]` used by
+/// [`crate::layers::LstmCell`].
+pub fn lstm_bias(hidden: usize) -> Tensor {
+    let mut b = Tensor::zeros(1, 4 * hidden);
+    for i in hidden..2 * hidden {
+        b.set(0, i, 1.0);
+    }
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_respects_bound() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = xavier_uniform(&mut rng, 10, 20);
+        let a = (6.0f32 / 30.0).sqrt();
+        assert!(t.data().iter().all(|&x| x.abs() <= a));
+        // Not degenerate: values vary.
+        assert!(t.data().iter().any(|&x| x.abs() > 1e-4));
+    }
+
+    #[test]
+    fn he_respects_bound() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = he_uniform(&mut rng, 24, 8);
+        let a = (6.0f32 / 24.0).sqrt();
+        assert!(t.data().iter().all(|&x| x.abs() <= a));
+    }
+
+    #[test]
+    fn initialisation_is_deterministic_under_seed() {
+        let a = xavier_uniform(&mut StdRng::seed_from_u64(42), 4, 4);
+        let b = xavier_uniform(&mut StdRng::seed_from_u64(42), 4, 4);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn lstm_bias_sets_forget_gate_block() {
+        let b = lstm_bias(3);
+        assert_eq!(b.shape(), (1, 12));
+        assert_eq!(b.row_slice(0), &[0., 0., 0., 1., 1., 1., 0., 0., 0., 0., 0., 0.]);
+    }
+}

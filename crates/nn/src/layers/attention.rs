@@ -1,0 +1,101 @@
+//! Dot-product attention primitives used by RAAL's node-aware and
+//! resource-aware attention layers (paper Eq. 8–11).
+
+use crate::graph::{Graph, Var};
+
+/// Scaled dot-product attention of a single query over a set of keys and
+/// values.
+///
+/// * `query` — `1 x k`
+/// * `keys` — `m x k`
+/// * `values` — `m x h`
+///
+/// Returns the `1 x h` context `softmax(keys @ queryᵀ / sqrt(k))ᵀ @ values`.
+pub fn dot_attention(g: &mut Graph, query: Var, keys: Var, values: Var) -> Var {
+    let k = g.value(query).cols();
+    assert_eq!(g.value(keys).cols(), k, "attention key width mismatch");
+    assert_eq!(
+        g.value(keys).rows(),
+        g.value(values).rows(),
+        "attention keys/values row mismatch"
+    );
+    let q_t = g.transpose(query); // k x 1
+    let scores = g.matmul(keys, q_t); // m x 1
+    let scores = g.scale(scores, 1.0 / (k as f32).sqrt());
+    let weights = g.softmax_col(scores); // m x 1
+    let w_t = g.transpose(weights); // 1 x m
+    g.matmul(w_t, values) // 1 x h
+}
+
+/// Attention weights (without applying them), for models that need the
+/// raw distribution — e.g. to expose which plan nodes a resource vector
+/// attends to.
+pub fn attention_weights(g: &mut Graph, query: Var, keys: Var) -> Var {
+    let k = g.value(query).cols();
+    assert_eq!(g.value(keys).cols(), k, "attention key width mismatch");
+    let q_t = g.transpose(query);
+    let scores = g.matmul(keys, q_t);
+    let scores = g.scale(scores, 1.0 / (k as f32).sqrt());
+    g.softmax_col(scores)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::Tensor;
+
+    #[test]
+    fn attention_focuses_on_matching_key() {
+        let mut g = Graph::new();
+        // Query matches the second key almost exactly.
+        let q = g.input(Tensor::row(&[0.0, 10.0]));
+        let keys = g.input(Tensor::from_vec(2, 2, vec![10.0, 0.0, 0.0, 10.0]));
+        let values = g.input(Tensor::from_vec(2, 3, vec![1., 1., 1., 9., 9., 9.]));
+        let ctx = dot_attention(&mut g, q, keys, values);
+        let out = g.value(ctx);
+        assert_eq!(out.shape(), (1, 3));
+        // Should be dominated by the second value row.
+        assert!(out.get(0, 0) > 8.5, "context = {:?}", out);
+    }
+
+    #[test]
+    fn uniform_keys_give_uniform_weights() {
+        let mut g = Graph::new();
+        let q = g.input(Tensor::row(&[1.0, 1.0]));
+        let keys = g.input(Tensor::from_vec(3, 2, vec![0.5; 6]));
+        let w = attention_weights(&mut g, q, keys);
+        for i in 0..3 {
+            assert!((g.value(w).get(i, 0) - 1.0 / 3.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn weights_sum_to_one() {
+        let mut g = Graph::new();
+        let q = g.input(Tensor::row(&[0.3, -0.7, 0.1]));
+        let keys = g.input(Tensor::from_vec(
+            4,
+            3,
+            vec![0.1, 0.2, 0.3, -0.4, 0.5, -0.6, 0.7, 0.8, 0.9, 0.0, -0.1, 0.2],
+        ));
+        let w = attention_weights(&mut g, q, keys);
+        let sum: f32 = g.value(w).data().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_flows_through_attention() {
+        use crate::params::ParamStore;
+        let mut store = ParamStore::new();
+        let qid = store.register("q", Tensor::row(&[0.5, -0.5]));
+        let mut g = Graph::new();
+        let q = g.param(&store, qid);
+        let keys = g.input(Tensor::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]));
+        let values = g.input(Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+        let ctx = dot_attention(&mut g, q, keys, values);
+        let loss = g.sum(ctx);
+        let grads = g.backward(loss);
+        g.accumulate_grads(&grads, &mut store, 1.0);
+        assert!(store.grad(qid).norm() > 0.0);
+    }
+}

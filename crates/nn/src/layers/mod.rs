@@ -1,0 +1,11 @@
+//! Neural-network layers built on top of the autograd [`crate::graph::Graph`].
+
+mod attention;
+mod conv1d;
+mod dense;
+mod lstm;
+
+pub use attention::{attention_weights, dot_attention};
+pub use conv1d::Conv1d;
+pub use dense::{Activation, Dense};
+pub use lstm::{BoundLstm, LstmCell};

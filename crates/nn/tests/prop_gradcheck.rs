@@ -1,0 +1,131 @@
+//! Property-based gradient checks: random shapes and random values for
+//! every composite structure the cost models rely on.
+
+use nn::gradcheck::check_gradients;
+use nn::layers::{Activation, Conv1d, Dense, LstmCell};
+use nn::{ParamStore, Tensor};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const EPS: f32 = 5e-3;
+const TOL: f32 = 3e-2;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn dense_stack_gradients(seed in 0u64..1000, in_dim in 1usize..6, hidden in 1usize..6) {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let d1 = Dense::new(&mut store, &mut rng, "d1", in_dim, hidden, Activation::Tanh);
+        let d2 = Dense::new(&mut store, &mut rng, "d2", hidden, 1, Activation::Identity);
+        let x: Vec<f32> = (0..in_dim).map(|i| ((seed as usize + i) % 7) as f32 / 7.0 - 0.4).collect();
+        let report = check_gradients(
+            &mut store,
+            move |g, s| {
+                let xv = g.input(Tensor::row(&x));
+                let h = d1.forward(g, s, xv);
+                let y = d2.forward(g, s, h);
+                g.mse_loss(y, &Tensor::scalar(0.25))
+            },
+            EPS,
+        );
+        prop_assert!(
+            report.max_rel_error <= TOL,
+            "rel error {} at {}[{}]",
+            report.max_rel_error, report.worst_param, report.worst_index
+        );
+    }
+
+    #[test]
+    fn lstm_gradients(seed in 0u64..1000, steps in 1usize..4, in_dim in 1usize..4) {
+        let hidden = 3;
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cell = LstmCell::new(&mut store, &mut rng, "lstm", in_dim, hidden);
+        let data: Vec<f32> = (0..steps * in_dim)
+            .map(|i| ((seed as usize * 3 + i) % 11) as f32 / 11.0 - 0.5)
+            .collect();
+        let target = Tensor::row(&vec![0.1; hidden]);
+        let report = check_gradients(
+            &mut store,
+            move |g, s| {
+                let xs = g.input(Tensor::from_vec(steps, in_dim, data.clone()));
+                let hs = cell.forward_seq(g, s, xs);
+                let pooled = g.mean_rows(hs);
+                g.mse_loss(pooled, &target)
+            },
+            EPS,
+        );
+        prop_assert!(
+            report.max_rel_error <= TOL,
+            "rel error {} at {}[{}]",
+            report.max_rel_error, report.worst_param, report.worst_index
+        );
+    }
+
+    #[test]
+    fn conv_gradients(seed in 0u64..1000, len in 1usize..5) {
+        let (in_dim, out_dim) = (2, 2);
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let conv = Conv1d::new(&mut store, &mut rng, "c", in_dim, out_dim, 3);
+        // Push pre-activations well away from the ReLU kink: central
+        // differences are invalid within eps of the kink, and that is a
+        // property of finite differencing, not of the backward rule.
+        {
+            let (_, b) = {
+                // bias is the second registered parameter of the conv
+                let ids: Vec<_> = store.ids().collect();
+                (ids[0], ids[1])
+            };
+            *store.value_mut(b) = Tensor::row(&vec![1.0; out_dim]);
+        }
+        let data: Vec<f32> = (0..len * in_dim)
+            .map(|i| ((seed as usize + 2 * i) % 9) as f32 / 9.0 - 0.3)
+            .collect();
+        let target = Tensor::row(&[0.05, -0.05]);
+        let report = check_gradients(
+            &mut store,
+            move |g, s| {
+                let xs = g.input(Tensor::from_vec(len, in_dim, data.clone()));
+                let ys = conv.forward_seq(g, s, xs);
+                let pooled = g.mean_rows(ys);
+                g.mse_loss(pooled, &target)
+            },
+            EPS,
+        );
+        prop_assert!(
+            report.max_rel_error <= TOL,
+            "rel error {} at {}[{}]",
+            report.max_rel_error, report.worst_param, report.worst_index
+        );
+    }
+
+    #[test]
+    fn attention_gradients(seed in 0u64..1000, m in 2usize..6, k in 1usize..5) {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let q = store.register("q", nn::init::xavier_uniform(&mut rng, 1, k));
+        let keys = store.register("keys", nn::init::xavier_uniform(&mut rng, m, k));
+        let values = store.register("vals", nn::init::xavier_uniform(&mut rng, m, 2));
+        let target = Tensor::row(&[0.0, 0.1]);
+        let report = check_gradients(
+            &mut store,
+            move |g, s| {
+                let qv = g.param(s, q);
+                let kv = g.param(s, keys);
+                let vv = g.param(s, values);
+                let ctx = nn::layers::dot_attention(g, qv, kv, vv);
+                g.mse_loss(ctx, &target)
+            },
+            EPS,
+        );
+        prop_assert!(
+            report.max_rel_error <= TOL,
+            "rel error {} at {}[{}]",
+            report.max_rel_error, report.worst_param, report.worst_index
+        );
+    }
+}

@@ -1,0 +1,156 @@
+//! Intermediate result representation flowing between operators.
+
+use crate::schema::ColumnRef;
+use crate::storage::Column;
+
+/// A set of named columns of equal length — the unit of data exchanged
+/// between executor operators. Columns are qualified so joins of tables
+/// with overlapping column names stay unambiguous.
+#[derive(Debug, Clone, Default)]
+pub struct Batch {
+    columns: Vec<(ColumnRef, Column)>,
+}
+
+impl Batch {
+    /// Creates an empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a batch from qualified columns.
+    ///
+    /// # Panics
+    /// Panics if the columns have differing lengths.
+    pub fn from_columns(columns: Vec<(ColumnRef, Column)>) -> Self {
+        if let Some((_, first)) = columns.first() {
+            let n = first.len();
+            assert!(
+                columns.iter().all(|(_, c)| c.len() == n),
+                "batch columns must have equal length"
+            );
+        }
+        Self { columns }
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.columns.first().map_or(0, |(_, c)| c.len())
+    }
+
+    /// Number of columns.
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Looks up a column by qualified reference.
+    pub fn column(&self, re: &ColumnRef) -> Option<&Column> {
+        self.columns.iter().find(|(r, _)| r == re).map(|(_, c)| c)
+    }
+
+    /// All qualified references, in order.
+    pub fn refs(&self) -> impl Iterator<Item = &ColumnRef> {
+        self.columns.iter().map(|(r, _)| r)
+    }
+
+    /// All `(ref, column)` pairs.
+    pub fn entries(&self) -> &[(ColumnRef, Column)] {
+        &self.columns
+    }
+
+    /// Appends a column.
+    ///
+    /// # Panics
+    /// Panics if the new column's length disagrees with existing columns.
+    pub fn push(&mut self, re: ColumnRef, col: Column) {
+        if !self.columns.is_empty() {
+            assert_eq!(col.len(), self.num_rows(), "pushed column length mismatch");
+        }
+        self.columns.push((re, col));
+    }
+
+    /// Materialises the rows selected by `indices` into a new batch.
+    pub fn take(&self, indices: &[usize]) -> Batch {
+        Batch {
+            columns: self
+                .columns
+                .iter()
+                .map(|(r, c)| (r.clone(), c.take(indices)))
+                .collect(),
+        }
+    }
+
+    /// Keeps only the listed columns (in the given order). Missing
+    /// references are skipped.
+    pub fn project(&self, refs: &[ColumnRef]) -> Batch {
+        Batch {
+            columns: refs
+                .iter()
+                .filter_map(|r| self.column(r).map(|c| (r.clone(), c.clone())))
+                .collect(),
+        }
+    }
+
+    /// Approximate width of one row in bytes.
+    pub fn row_width(&self) -> usize {
+        self.columns.iter().map(|(_, c)| c.data.row_width()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::ColumnData;
+
+    fn batch() -> Batch {
+        Batch::from_columns(vec![
+            (
+                ColumnRef::new("t", "id"),
+                Column::non_null(ColumnData::Int(vec![1, 2, 3])),
+            ),
+            (
+                ColumnRef::new("t", "x"),
+                Column::non_null(ColumnData::Float(vec![0.1, 0.2, 0.3])),
+            ),
+        ])
+    }
+
+    #[test]
+    fn lookup_and_shape() {
+        let b = batch();
+        assert_eq!(b.num_rows(), 3);
+        assert_eq!(b.num_columns(), 2);
+        assert!(b.column(&ColumnRef::new("t", "id")).is_some());
+        assert!(b.column(&ColumnRef::new("u", "id")).is_none());
+    }
+
+    #[test]
+    fn take_filters_rows() {
+        let b = batch().take(&[2, 0]);
+        assert_eq!(b.num_rows(), 2);
+        let c = b.column(&ColumnRef::new("t", "id")).unwrap();
+        assert_eq!(c.value(0).as_i64(), Some(3));
+        assert_eq!(c.value(1).as_i64(), Some(1));
+    }
+
+    #[test]
+    fn project_reorders_and_drops() {
+        let b = batch().project(&[ColumnRef::new("t", "x")]);
+        assert_eq!(b.num_columns(), 1);
+        assert_eq!(b.refs().next().unwrap().column, "x");
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn ragged_batch_rejected() {
+        let _ = Batch::from_columns(vec![
+            (
+                ColumnRef::new("t", "a"),
+                Column::non_null(ColumnData::Int(vec![1])),
+            ),
+            (
+                ColumnRef::new("t", "b"),
+                Column::non_null(ColumnData::Int(vec![1, 2])),
+            ),
+        ]);
+    }
+}

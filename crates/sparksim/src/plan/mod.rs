@@ -1,0 +1,8 @@
+//! Query planning: binding, cardinality estimation, logical
+//! simplification, physical plans and plan enumeration.
+
+pub mod cardinality;
+pub mod physical;
+pub mod planner;
+pub mod simplify;
+pub mod spec;

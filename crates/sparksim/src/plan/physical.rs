@@ -1,0 +1,443 @@
+//! Physical query plans.
+//!
+//! A plan is an arena of nodes built bottom-up, so node indices are a
+//! topological order (children precede parents) — exactly the execution
+//! order the paper feeds to the LSTM. Every node renders the
+//! Spark-`explain`-style *execution statement* that the word2vec encoder
+//! tokenizes, and exposes the signed-degree structure rows used by the
+//! structure embedding (children = +1, parent = −1).
+
+use crate::expr::Expr;
+use crate::plan::spec::AggSpec;
+use crate::schema::ColumnRef;
+use crate::sql::ast::AggFunc;
+use std::fmt::Write as _;
+
+/// Index of a node within a [`PhysicalPlan`].
+pub type NodeId = usize;
+
+/// Aggregation mode (Spark splits aggregates around an exchange).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggMode {
+    /// Pre-shuffle partial aggregation.
+    Partial,
+    /// Post-shuffle final aggregation.
+    Final,
+}
+
+/// Physical operator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PhysicalOp {
+    /// Columnar scan of a base table with optional pushed-down filter.
+    FileScan {
+        /// Query binding (alias) this scan feeds.
+        binding: String,
+        /// Base table name in the catalog.
+        table: String,
+        /// Output columns (binding-qualified).
+        output: Vec<ColumnRef>,
+        /// Filter pushed into the scan, if any.
+        pushed_filter: Option<Expr>,
+    },
+    /// Row filter.
+    Filter {
+        /// Predicate (rows failing or NULL are dropped).
+        predicate: Expr,
+    },
+    /// Column pruning / reordering.
+    Project {
+        /// Output columns.
+        columns: Vec<ColumnRef>,
+    },
+    /// Hash-partitioned shuffle.
+    ExchangeHash {
+        /// Partitioning keys.
+        keys: Vec<ColumnRef>,
+        /// Number of shuffle partitions.
+        partitions: usize,
+    },
+    /// Shuffle of everything to a single partition.
+    ExchangeSingle,
+    /// Broadcast of the build side to every executor.
+    BroadcastExchange,
+    /// Sort by keys (bool = ascending).
+    Sort {
+        /// Sort keys with ascending flags.
+        keys: Vec<(ColumnRef, bool)>,
+    },
+    /// Sort-merge join (children: `[left, right]`, both sorted).
+    SortMergeJoin {
+        /// Left key.
+        left_key: ColumnRef,
+        /// Right key.
+        right_key: ColumnRef,
+    },
+    /// Broadcast-hash join (children: `[probe, broadcast build]`).
+    BroadcastHashJoin {
+        /// Probe-side key.
+        probe_key: ColumnRef,
+        /// Build-side key.
+        build_key: ColumnRef,
+    },
+    /// Shuffled hash join (children: `[left, right]`, both exchanged).
+    ShuffledHashJoin {
+        /// Left key.
+        left_key: ColumnRef,
+        /// Right key (build side).
+        right_key: ColumnRef,
+    },
+    /// Hash aggregation.
+    HashAggregate {
+        /// Partial (map-side) or final (reduce-side).
+        mode: AggMode,
+        /// Grouping keys.
+        group_by: Vec<ColumnRef>,
+        /// Aggregates.
+        aggs: Vec<AggSpec>,
+    },
+    /// Row-count limit.
+    Limit {
+        /// Maximum rows.
+        n: usize,
+    },
+}
+
+impl PhysicalOp {
+    /// Short operator name, matching Spark SQL's operator vocabulary
+    /// (Table II of the paper).
+    pub fn name(&self) -> &'static str {
+        match self {
+            PhysicalOp::FileScan { .. } => "FileScan",
+            PhysicalOp::Filter { .. } => "Filter",
+            PhysicalOp::Project { .. } => "Project",
+            PhysicalOp::ExchangeHash { .. } => "ExchangeHashPartition",
+            PhysicalOp::ExchangeSingle => "ExchangeSinglePartition",
+            PhysicalOp::BroadcastExchange => "BroadcastExchange",
+            PhysicalOp::Sort { .. } => "Sort",
+            PhysicalOp::SortMergeJoin { .. } => "SortMergeJoin",
+            PhysicalOp::BroadcastHashJoin { .. } => "BroadcastHashJoin",
+            PhysicalOp::ShuffledHashJoin { .. } => "ShuffledHashJoin",
+            PhysicalOp::HashAggregate { .. } => "HashAggregate",
+            PhysicalOp::Limit { .. } => "CollectLimit",
+        }
+    }
+
+    /// True for the three join operators.
+    pub fn is_join(&self) -> bool {
+        matches!(
+            self,
+            PhysicalOp::SortMergeJoin { .. }
+                | PhysicalOp::BroadcastHashJoin { .. }
+                | PhysicalOp::ShuffledHashJoin { .. }
+        )
+    }
+
+    /// True for exchanges (stage boundaries).
+    pub fn is_exchange(&self) -> bool {
+        matches!(
+            self,
+            PhysicalOp::ExchangeHash { .. }
+                | PhysicalOp::ExchangeSingle
+                | PhysicalOp::BroadcastExchange
+        )
+    }
+}
+
+/// One node of a physical plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhysicalNode {
+    /// Operator.
+    pub op: PhysicalOp,
+    /// Child node ids (all smaller than this node's id).
+    pub children: Vec<NodeId>,
+    /// Optimizer-estimated output rows.
+    pub est_rows: f64,
+    /// Optimizer-estimated output bytes.
+    pub est_bytes: f64,
+}
+
+/// A physical plan: an arena in bottom-up (topological) order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PhysicalPlan {
+    nodes: Vec<PhysicalNode>,
+}
+
+impl PhysicalPlan {
+    /// Creates an empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a node; children must already exist (bottom-up build).
+    ///
+    /// # Panics
+    /// Panics if any child id is out of range.
+    pub fn add(
+        &mut self,
+        op: PhysicalOp,
+        children: Vec<NodeId>,
+        est_rows: f64,
+        est_bytes: f64,
+    ) -> NodeId {
+        let id = self.nodes.len();
+        assert!(
+            children.iter().all(|&c| c < id),
+            "plan must be built bottom-up"
+        );
+        self.nodes.push(PhysicalNode { op, children, est_rows, est_bytes });
+        id
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the plan has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Root node id (the last node added).
+    ///
+    /// # Panics
+    /// Panics on an empty plan.
+    pub fn root(&self) -> NodeId {
+        assert!(!self.nodes.is_empty(), "empty plan has no root");
+        self.nodes.len() - 1
+    }
+
+    /// Node accessor.
+    pub fn node(&self, id: NodeId) -> &PhysicalNode {
+        &self.nodes[id]
+    }
+
+    /// All nodes in topological (execution) order.
+    pub fn nodes(&self) -> &[PhysicalNode] {
+        &self.nodes
+    }
+
+    /// Parent of each node (`None` for the root).
+    pub fn parents(&self) -> Vec<Option<NodeId>> {
+        let mut parents = vec![None; self.nodes.len()];
+        for (id, node) in self.nodes.iter().enumerate() {
+            for &c in &node.children {
+                parents[c] = Some(id);
+            }
+        }
+        parents
+    }
+
+    /// The signed structure row of a node for the paper's structure
+    /// embedding: children are +1, the parent is −1, everything else 0.
+    pub fn structure_row(&self, id: NodeId, parents: &[Option<NodeId>]) -> Vec<f32> {
+        let mut row = vec![0.0f32; self.nodes.len()];
+        for &c in &self.nodes[id].children {
+            row[c] = 1.0;
+        }
+        if let Some(p) = parents[id] {
+            row[p] = -1.0;
+        }
+        row
+    }
+
+    /// The Spark-`explain`-style execution statement of a node.
+    pub fn statement(&self, id: NodeId) -> String {
+        let node = &self.nodes[id];
+        match &node.op {
+            PhysicalOp::FileScan { table, output, pushed_filter, .. } => {
+                let cols: Vec<String> = output.iter().map(|c| c.column.clone()).collect();
+                let mut s = format!("FileScan {table}[{}]", cols.join(","));
+                if let Some(f) = pushed_filter {
+                    let parts: Vec<String> =
+                        f.split_conjunction().iter().map(|p| p.to_string()).collect();
+                    let _ = write!(s, " PushedFilters: [{}]", parts.join(", "));
+                }
+                s
+            }
+            PhysicalOp::Filter { predicate } => format!("Filter {predicate}"),
+            PhysicalOp::Project { columns } => {
+                let cols: Vec<String> = columns.iter().map(ToString::to_string).collect();
+                format!("Project [{}]", cols.join(", "))
+            }
+            PhysicalOp::ExchangeHash { keys, partitions } => {
+                let cols: Vec<String> = keys.iter().map(ToString::to_string).collect();
+                format!("Exchange hashpartitioning({}, {partitions})", cols.join(", "))
+            }
+            PhysicalOp::ExchangeSingle => "Exchange SinglePartition".to_string(),
+            PhysicalOp::BroadcastExchange => {
+                "BroadcastExchange HashedRelationBroadcastMode".to_string()
+            }
+            PhysicalOp::Sort { keys } => {
+                let cols: Vec<String> = keys
+                    .iter()
+                    .map(|(c, asc)| format!("{c} {}", if *asc { "ASC" } else { "DESC" }))
+                    .collect();
+                format!("Sort [{}]", cols.join(", "))
+            }
+            PhysicalOp::SortMergeJoin { left_key, right_key } => {
+                format!("SortMergeJoin [{left_key}], [{right_key}], Inner")
+            }
+            PhysicalOp::BroadcastHashJoin { probe_key, build_key } => {
+                format!("BroadcastHashJoin [{probe_key}], [{build_key}], Inner, BuildRight")
+            }
+            PhysicalOp::ShuffledHashJoin { left_key, right_key } => {
+                format!("ShuffledHashJoin [{left_key}], [{right_key}], Inner, BuildRight")
+            }
+            PhysicalOp::HashAggregate { mode, group_by, aggs } => {
+                let keys: Vec<String> = group_by.iter().map(ToString::to_string).collect();
+                let fns: Vec<String> = aggs
+                    .iter()
+                    .map(|a| {
+                        let prefix = match mode {
+                            AggMode::Partial => "partial_",
+                            AggMode::Final => "",
+                        };
+                        match (&a.func, &a.arg) {
+                            (AggFunc::Count, None) => format!("{prefix}count(1)"),
+                            (f, Some(c)) => format!("{prefix}{f}({c})"),
+                            (f, None) => format!("{prefix}{f}(1)"),
+                        }
+                    })
+                    .collect();
+                format!(
+                    "HashAggregate(keys=[{}], functions=[{}])",
+                    keys.join(", "),
+                    fns.join(", ")
+                )
+            }
+            PhysicalOp::Limit { n } => format!("CollectLimit {n}"),
+        }
+    }
+
+    /// Multi-line, indented `EXPLAIN`-style rendering, root first.
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        self.explain_rec(self.root(), 0, &mut out);
+        out
+    }
+
+    fn explain_rec(&self, id: NodeId, depth: usize, out: &mut String) {
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        let _ = writeln!(out, "{}", self.statement(id));
+        for &c in &self.nodes[id].children {
+            self.explain_rec(c, depth + 1, out);
+        }
+    }
+
+    /// A canonical fingerprint for plan deduplication.
+    pub fn fingerprint(&self) -> String {
+        let mut s = String::new();
+        for (i, n) in self.nodes.iter().enumerate() {
+            let _ = write!(s, "{i}:{}{:?};", self.statement(i), n.children);
+        }
+        s
+    }
+
+    /// Ids of join nodes, in execution order.
+    pub fn join_nodes(&self) -> Vec<NodeId> {
+        (0..self.nodes.len())
+            .filter(|&i| self.nodes[i].op.is_join())
+            .collect()
+    }
+
+    /// Total estimated bytes scanned from base tables.
+    pub fn scan_bytes(&self) -> f64 {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n.op, PhysicalOp::FileScan { .. }))
+            .map(|n| n.est_bytes)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::CmpOp;
+    use crate::types::Value;
+
+    fn two_node_plan() -> PhysicalPlan {
+        let mut p = PhysicalPlan::new();
+        let scan = p.add(
+            PhysicalOp::FileScan {
+                binding: "t".into(),
+                table: "title".into(),
+                output: vec![ColumnRef::new("t", "id")],
+                pushed_filter: Some(Expr::cmp(
+                    ColumnRef::new("t", "id"),
+                    CmpOp::Lt,
+                    Value::Int(7),
+                )),
+            },
+            vec![],
+            100.0,
+            800.0,
+        );
+        p.add(
+            PhysicalOp::HashAggregate {
+                mode: AggMode::Partial,
+                group_by: vec![],
+                aggs: vec![AggSpec { func: AggFunc::Count, arg: None }],
+            },
+            vec![scan],
+            1.0,
+            8.0,
+        );
+        p
+    }
+
+    #[test]
+    fn bottom_up_invariant_enforced() {
+        let p = two_node_plan();
+        assert_eq!(p.root(), 1);
+        assert_eq!(p.node(1).children, vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bottom-up")]
+    fn forward_reference_rejected() {
+        let mut p = PhysicalPlan::new();
+        p.add(PhysicalOp::ExchangeSingle, vec![3], 0.0, 0.0);
+    }
+
+    #[test]
+    fn statements_render_spark_style() {
+        let p = two_node_plan();
+        assert_eq!(
+            p.statement(0),
+            "FileScan title[id] PushedFilters: [(t.id < 7)]"
+        );
+        assert_eq!(
+            p.statement(1),
+            "HashAggregate(keys=[], functions=[partial_count(1)])"
+        );
+    }
+
+    #[test]
+    fn structure_rows_are_signed_degrees() {
+        let p = two_node_plan();
+        let parents = p.parents();
+        assert_eq!(p.structure_row(0, &parents), vec![0.0, -1.0]);
+        assert_eq!(p.structure_row(1, &parents), vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn explain_is_root_first() {
+        let p = two_node_plan();
+        let text = p.explain();
+        let first = text.lines().next().unwrap();
+        assert!(first.starts_with("HashAggregate"));
+        assert!(text.lines().nth(1).unwrap().trim_start().starts_with("FileScan"));
+    }
+
+    #[test]
+    fn fingerprints_distinguish_plans() {
+        let a = two_node_plan();
+        let mut b = two_node_plan();
+        b.add(PhysicalOp::ExchangeSingle, vec![1], 1.0, 8.0);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+}

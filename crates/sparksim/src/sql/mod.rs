@@ -1,0 +1,5 @@
+//! SQL front end: tokenizer, AST and parser.
+
+pub mod ast;
+pub mod parser;
+pub mod token;

@@ -1,0 +1,262 @@
+//! SQL tokenizer.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword or identifier (keywords are matched case-insensitively by
+    /// the parser; the original spelling is preserved here).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string literal (quotes stripped, `''` unescaped).
+    Str(String),
+    /// A punctuation or operator symbol: `( ) , . * = <> < <= > >=`.
+    Symbol(&'static str),
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Int(i) => write!(f, "{i}"),
+            Token::Float(x) => write!(f, "{x}"),
+            Token::Str(s) => write!(f, "'{s}'"),
+            Token::Symbol(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// Tokenizer error with byte offset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TokenizeError {
+    /// Human-readable message.
+    pub message: String,
+    /// Byte offset in the input.
+    pub offset: usize,
+}
+
+impl fmt::Display for TokenizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tokenize error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for TokenizeError {}
+
+/// Splits a SQL string into tokens.
+pub fn tokenize(sql: &str) -> Result<Vec<Token>, TokenizeError> {
+    let bytes = sql.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '(' => {
+                tokens.push(Token::Symbol("("));
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::Symbol(")"));
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Symbol(","));
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token::Symbol("."));
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Symbol("*"));
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Symbol("="));
+                i += 1;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Symbol("<="));
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'>') {
+                    tokens.push(Token::Symbol("<>"));
+                    i += 2;
+                } else {
+                    tokens.push(Token::Symbol("<"));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Symbol(">="));
+                    i += 2;
+                } else {
+                    tokens.push(Token::Symbol(">"));
+                    i += 1;
+                }
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Symbol("<>"));
+                    i += 2;
+                } else {
+                    return Err(TokenizeError { message: "unexpected '!'".into(), offset: i });
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                let mut j = i + 1;
+                loop {
+                    match bytes.get(j) {
+                        None => {
+                            return Err(TokenizeError {
+                                message: "unterminated string literal".into(),
+                                offset: i,
+                            })
+                        }
+                        Some(b'\'') => {
+                            if bytes.get(j + 1) == Some(&b'\'') {
+                                s.push('\'');
+                                j += 2;
+                            } else {
+                                j += 1;
+                                break;
+                            }
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            j += 1;
+                        }
+                    }
+                }
+                tokens.push(Token::Str(s));
+                i = j;
+            }
+            c if c.is_ascii_digit()
+                || (c == '-'
+                    && bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit())
+                    && starts_operand_position(&tokens)) =>
+            {
+                let start = i;
+                if c == '-' {
+                    i += 1;
+                }
+                let mut is_float = false;
+                while i < bytes.len() {
+                    let d = bytes[i] as char;
+                    if d.is_ascii_digit() {
+                        i += 1;
+                    } else if d == '.' && !is_float && bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit()) {
+                        is_float = true;
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let text = &sql[start..i];
+                if is_float {
+                    tokens.push(Token::Float(text.parse().map_err(|_| TokenizeError {
+                        message: format!("bad float literal '{text}'"),
+                        offset: start,
+                    })?));
+                } else {
+                    tokens.push(Token::Int(text.parse().map_err(|_| TokenizeError {
+                        message: format!("bad int literal '{text}'"),
+                        offset: start,
+                    })?));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() {
+                    let d = bytes[i] as char;
+                    if d.is_ascii_alphanumeric() || d == '_' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token::Ident(sql[start..i].to_string()));
+            }
+            other => {
+                return Err(TokenizeError {
+                    message: format!("unexpected character '{other}'"),
+                    offset: i,
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+/// Heuristic: a `-` begins a negative literal only where an operand is
+/// expected (start, after a symbol other than `)`), never after an
+/// identifier or literal.
+fn starts_operand_position(tokens: &[Token]) -> bool {
+    match tokens.last() {
+        None => true,
+        Some(Token::Symbol(s)) => *s != ")",
+        Some(Token::Ident(_)) => true, // e.g. after a keyword like WHERE/AND
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_simple_select() {
+        let toks = tokenize("SELECT COUNT(*) FROM t WHERE t.id < 7").unwrap();
+        assert_eq!(toks.len(), 13);
+        assert_eq!(toks[0], Token::Ident("SELECT".into()));
+        assert_eq!(toks[2], Token::Symbol("("));
+        assert_eq!(toks[3], Token::Symbol("*"));
+        assert_eq!(toks[9], Token::Symbol("."));
+        assert_eq!(toks[12], Token::Int(7));
+    }
+
+    #[test]
+    fn tokenizes_operators() {
+        let toks = tokenize("a <= 1 AND b >= 2 AND c <> 3 AND d != 4").unwrap();
+        let syms: Vec<_> = toks
+            .iter()
+            .filter_map(|t| match t {
+                Token::Symbol(s) => Some(*s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(syms, vec!["<=", ">=", "<>", "<>"]);
+    }
+
+    #[test]
+    fn string_literal_with_escape() {
+        let toks = tokenize("name = 'O''Brien'").unwrap();
+        assert_eq!(toks[2], Token::Str("O'Brien".into()));
+    }
+
+    #[test]
+    fn negative_and_float_literals() {
+        let toks = tokenize("x > -5 AND y < 2.75").unwrap();
+        assert!(toks.contains(&Token::Int(-5)));
+        assert!(toks.contains(&Token::Float(2.75)));
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        assert!(tokenize("name = 'oops").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_character() {
+        let err = tokenize("a # b").unwrap_err();
+        assert!(err.message.contains('#'));
+        assert_eq!(err.offset, 2);
+    }
+}

@@ -1,0 +1,317 @@
+//! In-memory columnar storage.
+//!
+//! Tables are stored column-wise: integers and floats as plain vectors,
+//! strings dictionary-encoded. NULLs are tracked in a validity mask per
+//! column. This mirrors the layout Spark SQL scans out of Parquet closely
+//! enough that per-row/per-byte work metrics transfer to the simulator.
+
+use crate::schema::TableSchema;
+use crate::types::{DataType, Value};
+use std::sync::Arc;
+
+/// Physical data of one column.
+#[derive(Debug, Clone)]
+pub enum ColumnData {
+    /// 64-bit integers.
+    Int(Vec<i64>),
+    /// 64-bit floats.
+    Float(Vec<f64>),
+    /// Dictionary-encoded strings: per-row code into the shared dictionary.
+    Str {
+        /// Per-row dictionary codes.
+        codes: Vec<u32>,
+        /// Sorted-insertion dictionary (not necessarily sorted).
+        dict: Arc<Vec<String>>,
+    },
+}
+
+impl ColumnData {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnData::Int(v) => v.len(),
+            ColumnData::Float(v) => v.len(),
+            ColumnData::Str { codes, .. } => codes.len(),
+        }
+    }
+
+    /// True when the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Logical type of the column.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            ColumnData::Int(_) => DataType::Int,
+            ColumnData::Float(_) => DataType::Float,
+            ColumnData::Str { .. } => DataType::Str,
+        }
+    }
+
+    /// Approximate in-memory width of one row of this column, in bytes.
+    /// Used by the cost simulator to convert row counts to byte volumes.
+    pub fn row_width(&self) -> usize {
+        match self {
+            ColumnData::Int(_) => 8,
+            ColumnData::Float(_) => 8,
+            // Dictionary code + amortised share of the string payload.
+            ColumnData::Str { dict, codes } => {
+                let payload: usize = dict.iter().map(String::len).sum();
+                4 + if codes.is_empty() { 0 } else { payload / codes.len().max(1) }
+            }
+        }
+    }
+}
+
+/// One column: data plus validity.
+#[derive(Debug, Clone)]
+pub struct Column {
+    /// Values (payload at invalid positions is arbitrary).
+    pub data: ColumnData,
+    /// `validity[i] == false` means row `i` is NULL. `None` = all valid.
+    pub validity: Option<Vec<bool>>,
+}
+
+impl Column {
+    /// A column with no NULLs.
+    pub fn non_null(data: ColumnData) -> Self {
+        Self { data, validity: None }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Whether row `i` holds a non-NULL value.
+    #[inline]
+    pub fn is_valid(&self, i: usize) -> bool {
+        self.validity.as_ref().is_none_or(|v| v[i])
+    }
+
+    /// Number of NULL rows.
+    pub fn null_count(&self) -> usize {
+        self.validity
+            .as_ref()
+            .map_or(0, |v| v.iter().filter(|&&x| !x).count())
+    }
+
+    /// Scalar value at row `i` (NULL-aware).
+    pub fn value(&self, i: usize) -> Value {
+        if !self.is_valid(i) {
+            return Value::Null;
+        }
+        match &self.data {
+            ColumnData::Int(v) => Value::Int(v[i]),
+            ColumnData::Float(v) => Value::Float(v[i]),
+            ColumnData::Str { codes, dict } => Value::Str(dict[codes[i] as usize].clone()),
+        }
+    }
+
+    /// Copies the rows selected by `indices` into a new column.
+    pub fn take(&self, indices: &[usize]) -> Column {
+        let data = match &self.data {
+            ColumnData::Int(v) => ColumnData::Int(indices.iter().map(|&i| v[i]).collect()),
+            ColumnData::Float(v) => ColumnData::Float(indices.iter().map(|&i| v[i]).collect()),
+            ColumnData::Str { codes, dict } => ColumnData::Str {
+                codes: indices.iter().map(|&i| codes[i]).collect(),
+                dict: Arc::clone(dict),
+            },
+        };
+        let validity = self
+            .validity
+            .as_ref()
+            .map(|v| indices.iter().map(|&i| v[i]).collect());
+        Column { data, validity }
+    }
+}
+
+/// Builder that assembles a string column and its dictionary.
+#[derive(Debug, Default)]
+pub struct StrColumnBuilder {
+    codes: Vec<u32>,
+    validity: Vec<bool>,
+    dict: Vec<String>,
+    index: std::collections::HashMap<String, u32>,
+    any_null: bool,
+}
+
+impl StrColumnBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a string value.
+    pub fn push(&mut self, value: &str) {
+        let code = match self.index.get(value) {
+            Some(&c) => c,
+            None => {
+                let c = self.dict.len() as u32;
+                self.dict.push(value.to_string());
+                self.index.insert(value.to_string(), c);
+                c
+            }
+        };
+        self.codes.push(code);
+        self.validity.push(true);
+    }
+
+    /// Appends a NULL.
+    pub fn push_null(&mut self) {
+        self.codes.push(0);
+        self.validity.push(false);
+        self.any_null = true;
+    }
+
+    /// Finishes the column.
+    pub fn finish(self) -> Column {
+        Column {
+            data: ColumnData::Str { codes: self.codes, dict: Arc::new(self.dict) },
+            validity: if self.any_null { Some(self.validity) } else { None },
+        }
+    }
+}
+
+/// A fully materialised table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Schema (column order matches `columns`).
+    pub schema: TableSchema,
+    /// Column data, one per schema column.
+    pub columns: Vec<Column>,
+}
+
+impl Table {
+    /// Creates a table after validating column/scheme consistency.
+    ///
+    /// # Panics
+    /// Panics if widths or row counts are inconsistent.
+    pub fn new(schema: TableSchema, columns: Vec<Column>) -> Self {
+        assert_eq!(schema.width(), columns.len(), "schema/column count mismatch");
+        if let Some(first) = columns.first() {
+            for (i, c) in columns.iter().enumerate() {
+                assert_eq!(c.len(), first.len(), "column {i} row count mismatch");
+                assert_eq!(
+                    c.data.data_type(),
+                    schema.columns[i].data_type,
+                    "column {i} type mismatch"
+                );
+            }
+        }
+        Self { schema, columns }
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.columns.first().map_or(0, Column::len)
+    }
+
+    /// Column by unqualified name.
+    pub fn column(&self, name: &str) -> Option<&Column> {
+        self.schema.column_index(name).map(|i| &self.columns[i])
+    }
+
+    /// Approximate total size in bytes (payload only).
+    pub fn approx_bytes(&self) -> usize {
+        let rows = self.num_rows();
+        self.columns.iter().map(|c| c.data.row_width() * rows).sum()
+    }
+
+    /// Approximate width of one full row in bytes.
+    pub fn row_width(&self) -> usize {
+        self.columns.iter().map(|c| c.data.row_width()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnDef;
+
+    fn table() -> Table {
+        let schema = TableSchema::new(
+            "t",
+            vec![
+                ColumnDef::new("id", DataType::Int, false),
+                ColumnDef::new("name", DataType::Str, true),
+            ],
+        );
+        let mut b = StrColumnBuilder::new();
+        b.push("alpha");
+        b.push_null();
+        b.push("alpha");
+        Table::new(
+            schema,
+            vec![Column::non_null(ColumnData::Int(vec![1, 2, 3])), b.finish()],
+        )
+    }
+
+    #[test]
+    fn basic_shape() {
+        let t = table();
+        assert_eq!(t.num_rows(), 3);
+        assert_eq!(t.column("name").unwrap().null_count(), 1);
+        assert!(t.column("missing").is_none());
+    }
+
+    #[test]
+    fn dictionary_deduplicates() {
+        let t = table();
+        if let ColumnData::Str { dict, codes } = &t.column("name").unwrap().data {
+            assert_eq!(dict.len(), 1, "'alpha' should be stored once");
+            assert_eq!(codes, &vec![0, 0, 0]);
+        } else {
+            panic!("expected string column");
+        }
+    }
+
+    #[test]
+    fn value_accessor_is_null_aware() {
+        let t = table();
+        let c = t.column("name").unwrap();
+        assert_eq!(c.value(0), Value::Str("alpha".into()));
+        assert_eq!(c.value(1), Value::Null);
+    }
+
+    #[test]
+    fn take_preserves_validity() {
+        let t = table();
+        let taken = t.column("name").unwrap().take(&[1, 2]);
+        assert_eq!(taken.len(), 2);
+        assert_eq!(taken.value(0), Value::Null);
+        assert_eq!(taken.value(1), Value::Str("alpha".into()));
+    }
+
+    #[test]
+    #[should_panic(expected = "row count mismatch")]
+    fn new_rejects_ragged_columns() {
+        let schema = TableSchema::new(
+            "t",
+            vec![
+                ColumnDef::new("a", DataType::Int, false),
+                ColumnDef::new("b", DataType::Int, false),
+            ],
+        );
+        let _ = Table::new(
+            schema,
+            vec![
+                Column::non_null(ColumnData::Int(vec![1])),
+                Column::non_null(ColumnData::Int(vec![1, 2])),
+            ],
+        );
+    }
+
+    #[test]
+    fn approx_bytes_scales_with_rows() {
+        let t = table();
+        assert!(t.approx_bytes() >= 3 * 8);
+        assert!(t.row_width() >= 12);
+    }
+}

@@ -1,0 +1,788 @@
+//! Synthetic IMDB-like dataset: the stand-in for the paper's 7.2 GB JOB
+//! extension (22-table IMDB snapshot).
+//!
+//! What makes JOB hard — and what this generator reproduces — is *skew*
+//! (Zipf-distributed foreign keys and categorical values) and *cross-column
+//! correlation* (production year depends on title kind; ratings depend on
+//! popularity). Row counts keep IMDB's relative table-size ratios and the
+//! whole dataset is scaled down by `title_rows`, with
+//! [`ImdbDataset::simulated_scale`] reporting the factor that maps it back
+//! to the paper's 7.2 GB for the time simulator.
+
+use crate::querygen::{Fk, FkGraph, NumericPredCol, StringPredCol, TableMeta};
+use crate::util::Zipf;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use sparksim::catalog::Catalog;
+use sparksim::schema::{ColumnDef, TableSchema};
+use sparksim::storage::{Column, ColumnData, StrColumnBuilder, Table};
+use sparksim::types::DataType;
+
+/// Bytes of the real dataset this generator stands in for (7.2 GB).
+pub const REAL_DATASET_BYTES: f64 = 7.2 * 1024.0 * 1024.0 * 1024.0;
+
+/// Generator parameters.
+#[derive(Debug, Clone)]
+pub struct ImdbConfig {
+    /// Rows in `title`; all other tables scale off it with IMDB-like
+    /// ratios.
+    pub title_rows: usize,
+    /// RNG seed (data is fully deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for ImdbConfig {
+    fn default() -> Self {
+        Self { title_rows: 20_000, seed: 0xD1B2 }
+    }
+}
+
+/// The generated dataset: a populated catalog plus the FK graph the query
+/// generator walks.
+#[derive(Debug)]
+pub struct ImdbDataset {
+    /// Catalog with all tables registered and analyzed.
+    pub catalog: Catalog,
+    /// FK graph for query generation.
+    pub graph: FkGraph,
+}
+
+impl ImdbDataset {
+    /// The `data_scale` for [`sparksim::SimulatorConfig`] that makes this
+    /// scaled-down dataset behave like the paper's full 7.2 GB one.
+    pub fn simulated_scale(&self) -> f64 {
+        let actual = self.catalog.total_bytes() as f64;
+        (REAL_DATASET_BYTES / actual.max(1.0)).max(1.0)
+    }
+}
+
+const KINDS: [&str; 7] = [
+    "movie",
+    "tv series",
+    "tv movie",
+    "video movie",
+    "tv episode",
+    "video game",
+    "short",
+];
+
+const COUNTRIES: [&str; 12] = [
+    "us", "gb", "fr", "de", "jp", "it", "ca", "es", "in", "au", "br", "se",
+];
+
+/// Generates the dataset.
+pub fn generate(cfg: &ImdbConfig) -> ImdbDataset {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let n = cfg.title_rows.max(100);
+    let n_keywords = (n / 20).max(20);
+    let n_companies = (n / 10).max(20);
+    let n_names = (n / 2).max(50);
+
+    let mut catalog = Catalog::new();
+
+    // -- kind_type -----------------------------------------------------
+    {
+        let mut kind = StrColumnBuilder::new();
+        for k in KINDS {
+            kind.push(k);
+        }
+        catalog.register(Table::new(
+            TableSchema::new(
+                "kind_type",
+                vec![
+                    ColumnDef::new("id", DataType::Int, false),
+                    ColumnDef::new("kind", DataType::Str, false),
+                ],
+            ),
+            vec![
+                Column::non_null(ColumnData::Int((1..=7).collect())),
+                kind.finish(),
+            ],
+        ));
+    }
+
+    // -- info_type ------------------------------------------------------
+    {
+        let ids: Vec<i64> = (1..=113).collect();
+        let mut info = StrColumnBuilder::new();
+        for i in &ids {
+            info.push(&format!("info_type_{i}"));
+        }
+        catalog.register(Table::new(
+            TableSchema::new(
+                "info_type",
+                vec![
+                    ColumnDef::new("id", DataType::Int, false),
+                    ColumnDef::new("info", DataType::Str, false),
+                ],
+            ),
+            vec![Column::non_null(ColumnData::Int(ids)), info.finish()],
+        ));
+    }
+
+    // -- keyword ---------------------------------------------------------
+    {
+        let mut kw = StrColumnBuilder::new();
+        for i in 0..n_keywords {
+            kw.push(&format!("keyword-{i:05}"));
+        }
+        catalog.register(Table::new(
+            TableSchema::new(
+                "keyword",
+                vec![
+                    ColumnDef::new("id", DataType::Int, false),
+                    ColumnDef::new("keyword", DataType::Str, false),
+                ],
+            ),
+            vec![
+                Column::non_null(ColumnData::Int((0..n_keywords as i64).collect())),
+                kw.finish(),
+            ],
+        ));
+    }
+
+    // -- company_name ------------------------------------------------------
+    {
+        let country_zipf = Zipf::new(COUNTRIES.len(), 1.1);
+        let mut name = StrColumnBuilder::new();
+        let mut code = StrColumnBuilder::new();
+        for i in 0..n_companies {
+            name.push(&format!("company {i:05} productions"));
+            if rng.gen::<f64>() < 0.04 {
+                code.push_null();
+            } else {
+                code.push(COUNTRIES[country_zipf.sample(&mut rng)]);
+            }
+        }
+        catalog.register(Table::new(
+            TableSchema::new(
+                "company_name",
+                vec![
+                    ColumnDef::new("id", DataType::Int, false),
+                    ColumnDef::new("name", DataType::Str, false),
+                    ColumnDef::new("country_code", DataType::Str, true),
+                ],
+            ),
+            vec![
+                Column::non_null(ColumnData::Int((0..n_companies as i64).collect())),
+                name.finish(),
+                code.finish(),
+            ],
+        ));
+    }
+
+    // -- name --------------------------------------------------------------
+    {
+        let mut pname = StrColumnBuilder::new();
+        let mut gender = StrColumnBuilder::new();
+        for i in 0..n_names {
+            pname.push(&format!("person {i:06}"));
+            match rng.gen_range(0..10) {
+                0..=4 => gender.push("m"),
+                5..=8 => gender.push("f"),
+                _ => gender.push_null(),
+            }
+        }
+        catalog.register(Table::new(
+            TableSchema::new(
+                "name",
+                vec![
+                    ColumnDef::new("id", DataType::Int, false),
+                    ColumnDef::new("name", DataType::Str, false),
+                    ColumnDef::new("gender", DataType::Str, true),
+                ],
+            ),
+            vec![
+                Column::non_null(ColumnData::Int((0..n_names as i64).collect())),
+                pname.finish(),
+                gender.finish(),
+            ],
+        ));
+    }
+
+    // -- title: kind correlates with production year ------------------------
+    let kind_zipf = Zipf::new(7, 0.9);
+    let mut kind_ids = Vec::with_capacity(n);
+    let mut years = Vec::with_capacity(n);
+    let mut year_valid = Vec::with_capacity(n);
+    {
+        let mut titles = StrColumnBuilder::new();
+        let mut phonetic = StrColumnBuilder::new();
+        for i in 0..n {
+            let kind = kind_zipf.sample(&mut rng) as i64 + 1;
+            kind_ids.push(kind);
+            // Correlation: tv episodes (kind 5) and video games (kind 6)
+            // skew recent; movies span the whole range with recent bias.
+            let year = match kind {
+                5 | 6 => 1990 + sample_recent(&mut rng, 30),
+                _ => 1880 + sample_recent(&mut rng, 140),
+            };
+            if rng.gen::<f64>() < 0.04 {
+                years.push(0);
+                year_valid.push(false);
+            } else {
+                years.push(year);
+                year_valid.push(true);
+            }
+            titles.push(&format!("title {i:06}"));
+            if rng.gen::<f64>() < 0.3 {
+                phonetic.push_null();
+            } else {
+                phonetic.push(&format!("P{:04}", rng.gen_range(0..2000)));
+            }
+        }
+        catalog.register(Table::new(
+            TableSchema::new(
+                "title",
+                vec![
+                    ColumnDef::new("id", DataType::Int, false),
+                    ColumnDef::new("kind_id", DataType::Int, false),
+                    ColumnDef::new("production_year", DataType::Int, true),
+                    ColumnDef::new("title", DataType::Str, false),
+                    ColumnDef::new("phonetic_code", DataType::Str, true),
+                ],
+            ),
+            vec![
+                Column::non_null(ColumnData::Int((0..n as i64).collect())),
+                Column::non_null(ColumnData::Int(kind_ids.clone())),
+                Column {
+                    data: ColumnData::Int(years.clone()),
+                    validity: Some(year_valid.clone()),
+                },
+                titles.finish(),
+                phonetic.finish(),
+            ],
+        ));
+    }
+
+    // Popularity permutation: popular Zipf ranks map to scattered ids.
+    let mut popularity: Vec<i64> = (0..n as i64).collect();
+    popularity.shuffle(&mut rng);
+    let movie_zipf = Zipf::new(n, 0.8);
+    let movie_fk = |rng: &mut StdRng| popularity[movie_zipf.sample(rng)];
+
+    // -- movie_companies -----------------------------------------------------
+    {
+        let rows = (n as f64 * 2.6) as usize;
+        let company_zipf = Zipf::new(n_companies, 1.1);
+        let mut movie_id = Vec::with_capacity(rows);
+        let mut company_id = Vec::with_capacity(rows);
+        let mut type_id = Vec::with_capacity(rows);
+        for _ in 0..rows {
+            movie_id.push(movie_fk(&mut rng));
+            company_id.push(company_zipf.sample(&mut rng) as i64);
+            type_id.push(if rng.gen::<f64>() < 0.7 { 1 } else { 2 });
+        }
+        catalog.register(Table::new(
+            TableSchema::new(
+                "movie_companies",
+                vec![
+                    ColumnDef::new("id", DataType::Int, false),
+                    ColumnDef::new("movie_id", DataType::Int, false),
+                    ColumnDef::new("company_id", DataType::Int, false),
+                    ColumnDef::new("company_type_id", DataType::Int, false),
+                ],
+            ),
+            vec![
+                Column::non_null(ColumnData::Int((0..rows as i64).collect())),
+                Column::non_null(ColumnData::Int(movie_id)),
+                Column::non_null(ColumnData::Int(company_id)),
+                Column::non_null(ColumnData::Int(type_id)),
+            ],
+        ));
+    }
+
+    // -- movie_keyword -------------------------------------------------------
+    {
+        let rows = (n as f64 * 4.5) as usize;
+        let kw_zipf = Zipf::new(n_keywords, 1.3);
+        let mut movie_id = Vec::with_capacity(rows);
+        let mut keyword_id = Vec::with_capacity(rows);
+        for _ in 0..rows {
+            movie_id.push(movie_fk(&mut rng));
+            keyword_id.push(kw_zipf.sample(&mut rng) as i64);
+        }
+        catalog.register(Table::new(
+            TableSchema::new(
+                "movie_keyword",
+                vec![
+                    ColumnDef::new("id", DataType::Int, false),
+                    ColumnDef::new("movie_id", DataType::Int, false),
+                    ColumnDef::new("keyword_id", DataType::Int, false),
+                ],
+            ),
+            vec![
+                Column::non_null(ColumnData::Int((0..rows as i64).collect())),
+                Column::non_null(ColumnData::Int(movie_id)),
+                Column::non_null(ColumnData::Int(keyword_id)),
+            ],
+        ));
+    }
+
+    // -- movie_info_idx: rating correlates with popularity rank ---------------
+    {
+        let rows = (n as f64 * 1.3) as usize;
+        let mut movie_id = Vec::with_capacity(rows);
+        let mut info_type_id = Vec::with_capacity(rows);
+        let mut info = StrColumnBuilder::new();
+        for _ in 0..rows {
+            let rank = movie_zipf.sample(&mut rng);
+            movie_id.push(popularity[rank]);
+            info_type_id.push(99 + rng.gen_range(0..14) as i64);
+            // Popular titles rate higher on average.
+            let base = 8.5 - 4.0 * (rank as f64 / n as f64);
+            let rating = (base + rng.gen_range(-1.0..1.0)).clamp(1.0, 9.9);
+            info.push(&format!("{rating:.1}"));
+        }
+        catalog.register(Table::new(
+            TableSchema::new(
+                "movie_info_idx",
+                vec![
+                    ColumnDef::new("id", DataType::Int, false),
+                    ColumnDef::new("movie_id", DataType::Int, false),
+                    ColumnDef::new("info_type_id", DataType::Int, false),
+                    ColumnDef::new("info", DataType::Str, false),
+                ],
+            ),
+            vec![
+                Column::non_null(ColumnData::Int((0..rows as i64).collect())),
+                Column::non_null(ColumnData::Int(movie_id)),
+                Column::non_null(ColumnData::Int(info_type_id)),
+                info.finish(),
+            ],
+        ));
+    }
+
+    // -- movie_info ------------------------------------------------------------
+    {
+        let rows = (n as f64 * 3.0) as usize;
+        let mut movie_id = Vec::with_capacity(rows);
+        let mut info_type_id = Vec::with_capacity(rows);
+        let mut info = StrColumnBuilder::new();
+        for _ in 0..rows {
+            movie_id.push(movie_fk(&mut rng));
+            let it = 1 + rng.gen_range(0..98) as i64;
+            info_type_id.push(it);
+            if rng.gen::<f64>() < 0.05 {
+                info.push_null();
+            } else {
+                info.push(&format!("value-{}", rng.gen_range(0..500)));
+            }
+        }
+        catalog.register(Table::new(
+            TableSchema::new(
+                "movie_info",
+                vec![
+                    ColumnDef::new("id", DataType::Int, false),
+                    ColumnDef::new("movie_id", DataType::Int, false),
+                    ColumnDef::new("info_type_id", DataType::Int, false),
+                    ColumnDef::new("info", DataType::Str, true),
+                ],
+            ),
+            vec![
+                Column::non_null(ColumnData::Int((0..rows as i64).collect())),
+                Column::non_null(ColumnData::Int(movie_id)),
+                Column::non_null(ColumnData::Int(info_type_id)),
+                info.finish(),
+            ],
+        ));
+    }
+
+    // -- cast_info -----------------------------------------------------------
+    {
+        let rows = (n as f64 * 5.0) as usize;
+        let person_zipf = Zipf::new(n_names, 1.0);
+        let mut movie_id = Vec::with_capacity(rows);
+        let mut person_id = Vec::with_capacity(rows);
+        let mut role_id = Vec::with_capacity(rows);
+        for _ in 0..rows {
+            movie_id.push(movie_fk(&mut rng));
+            person_id.push(person_zipf.sample(&mut rng) as i64);
+            role_id.push(1 + rng.gen_range(0..11) as i64);
+        }
+        catalog.register(Table::new(
+            TableSchema::new(
+                "cast_info",
+                vec![
+                    ColumnDef::new("id", DataType::Int, false),
+                    ColumnDef::new("movie_id", DataType::Int, false),
+                    ColumnDef::new("person_id", DataType::Int, false),
+                    ColumnDef::new("role_id", DataType::Int, false),
+                ],
+            ),
+            vec![
+                Column::non_null(ColumnData::Int((0..rows as i64).collect())),
+                Column::non_null(ColumnData::Int(movie_id)),
+                Column::non_null(ColumnData::Int(person_id)),
+                Column::non_null(ColumnData::Int(role_id)),
+            ],
+        ));
+    }
+
+    let graph = fk_graph(n, n_keywords, n_companies, n_names);
+    ImdbDataset { catalog, graph }
+}
+
+/// Recency-skewed year offset in `0..span` (quadratic bias to the top).
+fn sample_recent(rng: &mut impl Rng, span: i64) -> i64 {
+    let u: f64 = rng.gen();
+    (u.sqrt() * span as f64) as i64
+}
+
+fn fk_graph(n: usize, n_keywords: usize, n_companies: usize, n_names: usize) -> FkGraph {
+    let movie_fk = |col: &str| Fk {
+        column: col.to_string(),
+        ref_table: "title".into(),
+        ref_column: "id".into(),
+    };
+    FkGraph {
+        tables: vec![
+            TableMeta {
+                name: "title".into(),
+                alias: "t".into(),
+                fks: vec![Fk {
+                    column: "kind_id".into(),
+                    ref_table: "kind_type".into(),
+                    ref_column: "id".into(),
+                }],
+                numeric_preds: vec![
+                    NumericPredCol { column: "kind_id".into(), min: 1, max: 7 },
+                    NumericPredCol { column: "production_year".into(), min: 1880, max: 2020 },
+                    NumericPredCol { column: "id".into(), min: 0, max: n as i64 - 1 },
+                ],
+                string_preds: vec![StringPredCol {
+                    column: "phonetic_code".into(),
+                    values: (0..8).map(|i| format!("P{:04}", i * 250)).collect(),
+                }],
+                group_cols: vec!["kind_id".into()],
+            },
+            TableMeta {
+                name: "movie_companies".into(),
+                alias: "mc".into(),
+                fks: vec![
+                    movie_fk("movie_id"),
+                    Fk {
+                        column: "company_id".into(),
+                        ref_table: "company_name".into(),
+                        ref_column: "id".into(),
+                    },
+                ],
+                numeric_preds: vec![
+                    NumericPredCol {
+                        column: "company_id".into(),
+                        min: 0,
+                        max: n_companies as i64 - 1,
+                    },
+                    NumericPredCol { column: "company_type_id".into(), min: 1, max: 2 },
+                ],
+                string_preds: vec![],
+                group_cols: vec!["company_type_id".into()],
+            },
+            TableMeta {
+                name: "movie_keyword".into(),
+                alias: "mk".into(),
+                fks: vec![
+                    movie_fk("movie_id"),
+                    Fk {
+                        column: "keyword_id".into(),
+                        ref_table: "keyword".into(),
+                        ref_column: "id".into(),
+                    },
+                ],
+                numeric_preds: vec![NumericPredCol {
+                    column: "keyword_id".into(),
+                    min: 0,
+                    max: n_keywords as i64 - 1,
+                }],
+                string_preds: vec![],
+                group_cols: vec![],
+            },
+            TableMeta {
+                name: "movie_info_idx".into(),
+                alias: "mi_idx".into(),
+                fks: vec![
+                    movie_fk("movie_id"),
+                    Fk {
+                        column: "info_type_id".into(),
+                        ref_table: "info_type".into(),
+                        ref_column: "id".into(),
+                    },
+                ],
+                numeric_preds: vec![NumericPredCol {
+                    column: "info_type_id".into(),
+                    min: 99,
+                    max: 112,
+                }],
+                string_preds: vec![StringPredCol {
+                    column: "info".into(),
+                    values: vec!["6.0".into(), "7.5".into(), "8.2".into()],
+                }],
+                group_cols: vec!["info_type_id".into()],
+            },
+            TableMeta {
+                name: "movie_info".into(),
+                alias: "mi".into(),
+                fks: vec![
+                    movie_fk("movie_id"),
+                    Fk {
+                        column: "info_type_id".into(),
+                        ref_table: "info_type".into(),
+                        ref_column: "id".into(),
+                    },
+                ],
+                numeric_preds: vec![NumericPredCol {
+                    column: "info_type_id".into(),
+                    min: 1,
+                    max: 98,
+                }],
+                string_preds: vec![StringPredCol {
+                    column: "info".into(),
+                    values: (0..6).map(|i| format!("value-{}", i * 80)).collect(),
+                }],
+                group_cols: vec![],
+            },
+            TableMeta {
+                name: "cast_info".into(),
+                alias: "ci".into(),
+                fks: vec![
+                    movie_fk("movie_id"),
+                    Fk {
+                        column: "person_id".into(),
+                        ref_table: "name".into(),
+                        ref_column: "id".into(),
+                    },
+                ],
+                numeric_preds: vec![
+                    NumericPredCol { column: "role_id".into(), min: 1, max: 11 },
+                    NumericPredCol {
+                        column: "person_id".into(),
+                        min: 0,
+                        max: n_names as i64 - 1,
+                    },
+                ],
+                string_preds: vec![],
+                group_cols: vec!["role_id".into()],
+            },
+            TableMeta {
+                name: "company_name".into(),
+                alias: "cn".into(),
+                fks: vec![],
+                numeric_preds: vec![NumericPredCol {
+                    column: "id".into(),
+                    min: 0,
+                    max: n_companies as i64 - 1,
+                }],
+                string_preds: vec![StringPredCol {
+                    column: "country_code".into(),
+                    values: COUNTRIES.iter().map(|s| s.to_string()).collect(),
+                }],
+                group_cols: vec![],
+            },
+            TableMeta {
+                name: "keyword".into(),
+                alias: "k".into(),
+                fks: vec![],
+                numeric_preds: vec![NumericPredCol {
+                    column: "id".into(),
+                    min: 0,
+                    max: n_keywords as i64 - 1,
+                }],
+                string_preds: vec![StringPredCol {
+                    column: "keyword".into(),
+                    values: (0..6).map(|i| format!("keyword-{:05}", i * 3)).collect(),
+                }],
+                group_cols: vec![],
+            },
+            TableMeta {
+                name: "name".into(),
+                alias: "n".into(),
+                fks: vec![],
+                numeric_preds: vec![NumericPredCol {
+                    column: "id".into(),
+                    min: 0,
+                    max: n_names as i64 - 1,
+                }],
+                string_preds: vec![StringPredCol {
+                    column: "gender".into(),
+                    values: vec!["m".into(), "f".into()],
+                }],
+                group_cols: vec![],
+            },
+        ],
+    }
+}
+
+/// The four representative queries of the paper's Sec. III, adapted to the
+/// synthetic value ranges: single-table, SMJ-leaning two-table,
+/// BHJ-leaning two-table, and a three-table mix.
+pub fn paper_section3_queries(data: &ImdbDataset) -> Vec<(&'static str, String)> {
+    let n_keywords = data
+        .catalog
+        .stats("keyword")
+        .map(|s| s.row_count as i64)
+        .unwrap_or(1000);
+    let n_companies = data
+        .catalog
+        .stats("company_name")
+        .map(|s| s.row_count as i64)
+        .unwrap_or(2000);
+    vec![
+        (
+            "single-table",
+            format!(
+                "SELECT COUNT(*) FROM movie_keyword mk WHERE mk.keyword_id < {}",
+                n_keywords * 7 / 10
+            ),
+        ),
+        (
+            "two-table-smj",
+            format!(
+                "SELECT COUNT(*) FROM title t, movie_companies mc \
+                 WHERE t.id = mc.movie_id AND mc.company_id < {} AND mc.company_type_id > 1",
+                n_companies * 9 / 10
+            ),
+        ),
+        (
+            "two-table-bhj",
+            // info_type_id < 110 keeps ~80% of movie_info_idx: at full
+            // scale the broadcast relation is a few hundred MB, so whether
+            // it fits the broadcast memory cap flips with executor memory
+            // — the paper's Fig. 2(c) crossover.
+            "SELECT COUNT(*) FROM title t, movie_info_idx mi_idx \
+             WHERE t.id = mi_idx.movie_id AND t.kind_id < 7 \
+             AND t.production_year > 1961 AND mi_idx.info_type_id < 110"
+                .to_string(),
+        ),
+        (
+            "three-table",
+            format!(
+                "SELECT COUNT(*) FROM title t, movie_companies mc, movie_keyword mk \
+                 WHERE t.id = mc.movie_id AND t.id = mk.movie_id \
+                 AND mc.company_id = {} AND mk.keyword_id < {}",
+                n_companies / 3,
+                n_keywords / 25
+            ),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::querygen::{generate_queries, QueryGenConfig};
+    use sparksim::engine::Engine;
+
+    fn small() -> ImdbDataset {
+        generate(&ImdbConfig { title_rows: 1000, seed: 7 })
+    }
+
+    #[test]
+    fn all_tables_registered_with_ratios() {
+        let d = small();
+        assert_eq!(d.catalog.len(), 11);
+        let title = d.catalog.stats("title").unwrap().row_count;
+        let mk = d.catalog.stats("movie_keyword").unwrap().row_count;
+        let ci = d.catalog.stats("cast_info").unwrap().row_count;
+        assert_eq!(title, 1000);
+        assert_eq!(mk, 4500);
+        assert_eq!(ci, 5000);
+    }
+
+    #[test]
+    fn foreign_keys_are_valid() {
+        let d = small();
+        let title_rows = d.catalog.stats("title").unwrap().row_count as i64;
+        let mc = d.catalog.table("movie_companies").unwrap();
+        if let ColumnData::Int(v) = &mc.column("movie_id").unwrap().data {
+            assert!(v.iter().all(|&id| id >= 0 && id < title_rows));
+        } else {
+            panic!("movie_id should be Int");
+        }
+    }
+
+    #[test]
+    fn keyword_skew_is_present() {
+        let d = small();
+        let mk = d.catalog.table("movie_keyword").unwrap();
+        if let ColumnData::Int(v) = &mk.column("keyword_id").unwrap().data {
+            let mut counts = std::collections::HashMap::new();
+            for &k in v {
+                *counts.entry(k).or_insert(0usize) += 1;
+            }
+            let max = *counts.values().max().unwrap();
+            let avg = v.len() / counts.len();
+            assert!(max > 5 * avg, "head keyword should dominate: max={max} avg={avg}");
+        }
+    }
+
+    #[test]
+    fn kind_year_correlation_exists() {
+        let d = small();
+        let t = d.catalog.table("title").unwrap();
+        let (ColumnData::Int(kinds), ColumnData::Int(years)) = (
+            &t.column("kind_id").unwrap().data,
+            &t.column("production_year").unwrap().data,
+        ) else {
+            panic!("unexpected column types")
+        };
+        let validity = t.column("production_year").unwrap().validity.clone();
+        let mean = |kind: i64| -> f64 {
+            let vals: Vec<f64> = kinds
+                .iter()
+                .zip(years)
+                .enumerate()
+                .filter(|(i, (k, _))| {
+                    **k == kind && validity.as_ref().is_none_or(|v| v[*i])
+                })
+                .map(|(_, (_, y))| *y as f64)
+                .collect();
+            vals.iter().sum::<f64>() / vals.len().max(1) as f64
+        };
+        assert!(mean(5) > mean(1) + 20.0, "tv episodes must skew recent");
+    }
+
+    #[test]
+    fn generated_queries_resolve_and_run() {
+        let d = small();
+        let mut rng = StdRng::seed_from_u64(3);
+        let queries = generate_queries(&d.graph, &QueryGenConfig::default(), 40, &mut rng);
+        let engine = Engine::new(d.catalog);
+        for q in &queries {
+            let plans = engine.plan_candidates(q).unwrap_or_else(|e| panic!("{q}: {e}"));
+            assert!(!plans.is_empty());
+            engine
+                .execute_plan(&plans[0])
+                .unwrap_or_else(|e| panic!("{q}: {e}"));
+        }
+    }
+
+    #[test]
+    fn paper_queries_run_with_multiple_plans() {
+        let d = small();
+        let queries = paper_section3_queries(&d);
+        let engine = Engine::new(d.catalog);
+        for (name, q) in &queries {
+            let plans = engine.plan_candidates(q).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(plans.len() >= 2, "{name} should have at least 2 plans");
+        }
+    }
+
+    #[test]
+    fn simulated_scale_targets_7gb() {
+        let d = small();
+        let scale = d.simulated_scale();
+        let actual = d.catalog.total_bytes() as f64;
+        assert!((scale * actual - REAL_DATASET_BYTES).abs() / REAL_DATASET_BYTES < 0.01);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(&ImdbConfig { title_rows: 500, seed: 1 });
+        let b = generate(&ImdbConfig { title_rows: 500, seed: 1 });
+        assert_eq!(
+            a.catalog.stats("movie_keyword"),
+            b.catalog.stats("movie_keyword")
+        );
+    }
+}

@@ -1,0 +1,209 @@
+//! JOB-style template queries over the synthetic IMDB schema.
+//!
+//! The paper's IMDB workload is "the Join Order Benchmark extension":
+//! hand-written multi-join query *families* instantiated with different
+//! constants. These templates mirror the JOB families that fit our schema
+//! subset — star joins around `title` with selective dimension predicates
+//! — and complement the FK-random-walk generator with realistic,
+//! named query shapes.
+
+use rand::Rng;
+
+/// One instantiable query family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobTemplate {
+    /// JOB-flavoured family name (e.g. "1a-like").
+    pub name: &'static str,
+    /// Number of joins.
+    pub joins: usize,
+}
+
+/// All template families, in increasing join count.
+pub const TEMPLATES: [JobTemplate; 12] = [
+    JobTemplate { name: "0a-scan", joins: 0 },
+    JobTemplate { name: "0b-scan-str", joins: 0 },
+    JobTemplate { name: "1a-kind", joins: 1 },
+    JobTemplate { name: "1b-company", joins: 1 },
+    JobTemplate { name: "2a-keyword", joins: 1 },
+    JobTemplate { name: "3a-info", joins: 2 },
+    JobTemplate { name: "3b-cast", joins: 2 },
+    JobTemplate { name: "4a-company-keyword", joins: 2 },
+    JobTemplate { name: "5a-rating", joins: 3 },
+    JobTemplate { name: "5b-person", joins: 3 },
+    JobTemplate { name: "6a-wide", joins: 4 },
+    JobTemplate { name: "7a-widest", joins: 5 },
+];
+
+/// Sizing knobs the instantiator samples constants from (must match the
+/// generated dataset — take them from [`crate::imdb::ImdbDataset`] stats).
+#[derive(Debug, Clone)]
+pub struct JobScales {
+    /// `title` row count.
+    pub titles: i64,
+    /// `keyword` row count.
+    pub keywords: i64,
+    /// `company_name` row count.
+    pub companies: i64,
+    /// `name` row count.
+    pub names: i64,
+}
+
+impl JobScales {
+    /// Reads the scales off a generated dataset.
+    pub fn from_dataset(data: &crate::ImdbDataset) -> Self {
+        let rows = |t: &str| data.catalog.stats(t).map(|s| s.row_count as i64).unwrap_or(1);
+        Self {
+            titles: rows("title"),
+            keywords: rows("keyword"),
+            companies: rows("company_name"),
+            names: rows("name"),
+        }
+    }
+}
+
+/// Instantiates one template with random constants.
+pub fn instantiate(t: &JobTemplate, scales: &JobScales, rng: &mut impl Rng) -> String {
+    let year = 1950 + rng.gen_range(0..60);
+    let kind = rng.gen_range(2..=7);
+    let kw = rng.gen_range(1..scales.keywords.max(2));
+    let comp = rng.gen_range(1..scales.companies.max(2));
+    let person = rng.gen_range(1..scales.names.max(2));
+    let info_t = 99 + rng.gen_range(0..14);
+    match t.name {
+        "0a-scan" => format!(
+            "SELECT COUNT(*) FROM title t WHERE t.production_year > {year} AND t.kind_id < {kind}"
+        ),
+        "0b-scan-str" => format!(
+            "SELECT COUNT(*) FROM title t \
+             WHERE t.phonetic_code IS NOT NULL AND t.production_year BETWEEN {year} AND {}",
+            year + 25
+        ),
+        "1a-kind" => format!(
+            "SELECT COUNT(*) FROM title t, kind_type kt \
+             WHERE t.kind_id = kt.id AND t.production_year > {year}"
+        ),
+        "1b-company" => format!(
+            "SELECT COUNT(*) FROM title t, movie_companies mc \
+             WHERE t.id = mc.movie_id AND mc.company_id < {comp} AND mc.company_type_id = 1"
+        ),
+        "2a-keyword" => format!(
+            "SELECT COUNT(*) FROM title t, movie_keyword mk \
+             WHERE t.id = mk.movie_id AND mk.keyword_id < {kw} AND t.kind_id < {kind}"
+        ),
+        "3a-info" => format!(
+            "SELECT COUNT(*) FROM title t, movie_info_idx mi_idx, info_type it \
+             WHERE t.id = mi_idx.movie_id AND mi_idx.info_type_id = it.id \
+             AND mi_idx.info_type_id < {info_t} AND t.production_year > {year}"
+        ),
+        "3b-cast" => format!(
+            "SELECT COUNT(*) FROM title t, cast_info ci, name n \
+             WHERE t.id = ci.movie_id AND ci.person_id = n.id \
+             AND ci.role_id BETWEEN 1 AND 4 AND n.id < {person}"
+        ),
+        "4a-company-keyword" => format!(
+            "SELECT COUNT(*) FROM title t, movie_companies mc, movie_keyword mk \
+             WHERE t.id = mc.movie_id AND t.id = mk.movie_id \
+             AND mc.company_id < {comp} AND mk.keyword_id < {kw}"
+        ),
+        "5a-rating" => format!(
+            "SELECT COUNT(*) FROM title t, movie_info_idx mi_idx, movie_keyword mk, keyword k \
+             WHERE t.id = mi_idx.movie_id AND t.id = mk.movie_id AND mk.keyword_id = k.id \
+             AND mi_idx.info_type_id < {info_t} AND k.id < {kw} AND t.production_year > {year}"
+        ),
+        "5b-person" => format!(
+            "SELECT COUNT(*) FROM title t, cast_info ci, name n, movie_companies mc \
+             WHERE t.id = ci.movie_id AND ci.person_id = n.id AND t.id = mc.movie_id \
+             AND n.gender = 'f' AND mc.company_id < {comp} AND ci.role_id < 6"
+        ),
+        "6a-wide" => format!(
+            "SELECT COUNT(*) FROM title t, movie_companies mc, movie_keyword mk, \
+             movie_info_idx mi_idx, kind_type kt \
+             WHERE t.id = mc.movie_id AND t.id = mk.movie_id AND t.id = mi_idx.movie_id \
+             AND t.kind_id = kt.id AND mc.company_id < {comp} AND mk.keyword_id < {kw} \
+             AND mi_idx.info_type_id < {info_t}"
+        ),
+        "7a-widest" => format!(
+            "SELECT COUNT(*) FROM title t, movie_companies mc, movie_keyword mk, \
+             movie_info_idx mi_idx, cast_info ci, kind_type kt \
+             WHERE t.id = mc.movie_id AND t.id = mk.movie_id AND t.id = mi_idx.movie_id \
+             AND t.id = ci.movie_id AND t.kind_id = kt.id \
+             AND mc.company_id < {comp} AND mk.keyword_id < {kw} \
+             AND mi_idx.info_type_id < {info_t} AND ci.role_id < 4 \
+             AND t.production_year > {year}"
+        ),
+        other => unreachable!("unknown template {other}"),
+    }
+}
+
+/// Instantiates `per_template` queries of every family.
+pub fn generate_job_workload(
+    scales: &JobScales,
+    per_template: usize,
+    rng: &mut impl Rng,
+) -> Vec<(JobTemplate, String)> {
+    let mut out = Vec::with_capacity(TEMPLATES.len() * per_template);
+    for t in TEMPLATES {
+        for _ in 0..per_template {
+            out.push((t, instantiate(&t, scales, rng)));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::imdb::{generate, ImdbConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sparksim::engine::Engine;
+
+    #[test]
+    fn all_templates_plan_and_run() {
+        let data = generate(&ImdbConfig { title_rows: 500, seed: 9 });
+        let scales = JobScales::from_dataset(&data);
+        let mut rng = StdRng::seed_from_u64(4);
+        let workload = generate_job_workload(&scales, 2, &mut rng);
+        assert_eq!(workload.len(), TEMPLATES.len() * 2);
+        let engine = Engine::new(data.catalog);
+        for (t, sql) in &workload {
+            let plans = engine
+                .plan_candidates(sql)
+                .unwrap_or_else(|e| panic!("{}: {sql}: {e}", t.name));
+            assert!(!plans.is_empty(), "{}", t.name);
+            // Join count must match the family's declared joins.
+            assert_eq!(
+                plans[0].join_nodes().len(),
+                t.joins,
+                "{}: {sql}\n{}",
+                t.name,
+                plans[0].explain()
+            );
+            engine
+                .execute_plan(&plans[0])
+                .unwrap_or_else(|e| panic!("{}: {sql}: {e}", t.name));
+        }
+    }
+
+    #[test]
+    fn instantiation_varies_constants() {
+        let data = generate(&ImdbConfig { title_rows: 300, seed: 9 });
+        let scales = JobScales::from_dataset(&data);
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = instantiate(&TEMPLATES[2], &scales, &mut rng);
+        let b = instantiate(&TEMPLATES[2], &scales, &mut rng);
+        assert_ne!(a, b, "constants should vary between instantiations");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let data = generate(&ImdbConfig { title_rows: 300, seed: 9 });
+        let scales = JobScales::from_dataset(&data);
+        let a = generate_job_workload(&scales, 1, &mut StdRng::seed_from_u64(6));
+        let b = generate_job_workload(&scales, 1, &mut StdRng::seed_from_u64(6));
+        assert_eq!(a.len(), b.len());
+        for ((_, qa), (_, qb)) in a.iter().zip(&b) {
+            assert_eq!(qa, qb);
+        }
+    }
+}

@@ -1,0 +1,580 @@
+//! Synthetic TPC-H-like dataset: the stand-in for the paper's TPC-H
+//! scale-factor-100 benchmark.
+//!
+//! In contrast to the IMDB generator, distributions here are near-uniform
+//! (TPC-H's character), which preserves the paper's IMDB-vs-TPC-H contrast:
+//! simpler correlations, larger scan volumes, higher cost variance.
+
+use crate::querygen::{Fk, FkGraph, NumericPredCol, StringPredCol, TableMeta};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sparksim::catalog::Catalog;
+use sparksim::schema::{ColumnDef, TableSchema};
+use sparksim::storage::{Column, ColumnData, StrColumnBuilder, Table};
+use sparksim::types::DataType;
+
+/// Bytes of the dataset this generator stands in for (TPC-H SF100,
+/// ~100 GB raw).
+pub const REAL_DATASET_BYTES: f64 = 100.0 * 1024.0 * 1024.0 * 1024.0;
+
+/// Generator parameters.
+#[derive(Debug, Clone)]
+pub struct TpchConfig {
+    /// Rows in `customer`; the other tables follow TPC-H ratios
+    /// (orders 10x, lineitem 40x, part 1.33x, supplier 1/15, partsupp 5.3x).
+    pub customer_rows: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TpchConfig {
+    fn default() -> Self {
+        Self { customer_rows: 1500, seed: 0x7C48 }
+    }
+}
+
+/// The generated dataset.
+#[derive(Debug)]
+pub struct TpchDataset {
+    /// Catalog with all tables registered and analyzed.
+    pub catalog: Catalog,
+    /// FK graph for query generation.
+    pub graph: FkGraph,
+}
+
+impl TpchDataset {
+    /// `data_scale` mapping this dataset to SF100 for the simulator.
+    pub fn simulated_scale(&self) -> f64 {
+        let actual = self.catalog.total_bytes() as f64;
+        (REAL_DATASET_BYTES / actual.max(1.0)).max(1.0)
+    }
+}
+
+const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"];
+const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+const TYPES: [&str; 6] = [
+    "ECONOMY ANODIZED STEEL",
+    "ECONOMY BURNISHED COPPER",
+    "STANDARD PLATED BRASS",
+    "STANDARD POLISHED TIN",
+    "PROMO BRUSHED NICKEL",
+    "PROMO PLATED STEEL",
+];
+const RETURN_FLAGS: [&str; 3] = ["A", "N", "R"];
+
+/// Generates the dataset.
+pub fn generate(cfg: &TpchConfig) -> TpchDataset {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let customers = cfg.customer_rows.max(100);
+    let suppliers = (customers / 15).max(10);
+    let parts = customers * 4 / 3;
+    let partsupps = parts * 4;
+    let orders = customers * 10;
+    let lineitems = orders * 4;
+
+    let mut catalog = Catalog::new();
+
+    // -- region ----------------------------------------------------------
+    {
+        let mut name = StrColumnBuilder::new();
+        for r in REGIONS {
+            name.push(r);
+        }
+        catalog.register(Table::new(
+            TableSchema::new(
+                "region",
+                vec![
+                    ColumnDef::new("r_regionkey", DataType::Int, false),
+                    ColumnDef::new("r_name", DataType::Str, false),
+                ],
+            ),
+            vec![
+                Column::non_null(ColumnData::Int((0..5).collect())),
+                name.finish(),
+            ],
+        ));
+    }
+
+    // -- nation ------------------------------------------------------------
+    {
+        let mut name = StrColumnBuilder::new();
+        let mut regionkey = Vec::with_capacity(25);
+        for i in 0..25 {
+            name.push(&format!("NATION-{i:02}"));
+            regionkey.push((i % 5) as i64);
+        }
+        catalog.register(Table::new(
+            TableSchema::new(
+                "nation",
+                vec![
+                    ColumnDef::new("n_nationkey", DataType::Int, false),
+                    ColumnDef::new("n_regionkey", DataType::Int, false),
+                    ColumnDef::new("n_name", DataType::Str, false),
+                ],
+            ),
+            vec![
+                Column::non_null(ColumnData::Int((0..25).collect())),
+                Column::non_null(ColumnData::Int(regionkey)),
+                name.finish(),
+            ],
+        ));
+    }
+
+    // -- supplier -------------------------------------------------------------
+    {
+        let mut nationkey = Vec::with_capacity(suppliers);
+        let mut acctbal = Vec::with_capacity(suppliers);
+        for _ in 0..suppliers {
+            nationkey.push(rng.gen_range(0..25) as i64);
+            acctbal.push(rng.gen_range(-999.0..10_000.0));
+        }
+        catalog.register(Table::new(
+            TableSchema::new(
+                "supplier",
+                vec![
+                    ColumnDef::new("s_suppkey", DataType::Int, false),
+                    ColumnDef::new("s_nationkey", DataType::Int, false),
+                    ColumnDef::new("s_acctbal", DataType::Float, false),
+                ],
+            ),
+            vec![
+                Column::non_null(ColumnData::Int((0..suppliers as i64).collect())),
+                Column::non_null(ColumnData::Int(nationkey)),
+                Column::non_null(ColumnData::Float(acctbal)),
+            ],
+        ));
+    }
+
+    // -- customer ---------------------------------------------------------------
+    {
+        let mut nationkey = Vec::with_capacity(customers);
+        let mut acctbal = Vec::with_capacity(customers);
+        let mut segment = StrColumnBuilder::new();
+        for _ in 0..customers {
+            nationkey.push(rng.gen_range(0..25) as i64);
+            acctbal.push(rng.gen_range(-999.0..10_000.0));
+            segment.push(SEGMENTS[rng.gen_range(0..SEGMENTS.len())]);
+        }
+        catalog.register(Table::new(
+            TableSchema::new(
+                "customer",
+                vec![
+                    ColumnDef::new("c_custkey", DataType::Int, false),
+                    ColumnDef::new("c_nationkey", DataType::Int, false),
+                    ColumnDef::new("c_acctbal", DataType::Float, false),
+                    ColumnDef::new("c_mktsegment", DataType::Str, false),
+                ],
+            ),
+            vec![
+                Column::non_null(ColumnData::Int((0..customers as i64).collect())),
+                Column::non_null(ColumnData::Int(nationkey)),
+                Column::non_null(ColumnData::Float(acctbal)),
+                segment.finish(),
+            ],
+        ));
+    }
+
+    // -- part -----------------------------------------------------------------
+    {
+        let mut size = Vec::with_capacity(parts);
+        let mut price = Vec::with_capacity(parts);
+        let mut ptype = StrColumnBuilder::new();
+        let mut brand = StrColumnBuilder::new();
+        for i in 0..parts {
+            size.push(rng.gen_range(1..=50) as i64);
+            price.push(900.0 + (i % 200) as f64 * 10.0 + rng.gen_range(0.0..10.0));
+            ptype.push(TYPES[rng.gen_range(0..TYPES.len())]);
+            brand.push(&format!("Brand#{}{}", rng.gen_range(1..=5), rng.gen_range(1..=5)));
+        }
+        catalog.register(Table::new(
+            TableSchema::new(
+                "part",
+                vec![
+                    ColumnDef::new("p_partkey", DataType::Int, false),
+                    ColumnDef::new("p_size", DataType::Int, false),
+                    ColumnDef::new("p_retailprice", DataType::Float, false),
+                    ColumnDef::new("p_type", DataType::Str, false),
+                    ColumnDef::new("p_brand", DataType::Str, false),
+                ],
+            ),
+            vec![
+                Column::non_null(ColumnData::Int((0..parts as i64).collect())),
+                Column::non_null(ColumnData::Int(size)),
+                Column::non_null(ColumnData::Float(price)),
+                ptype.finish(),
+                brand.finish(),
+            ],
+        ));
+    }
+
+    // -- partsupp ----------------------------------------------------------------
+    {
+        let mut partkey = Vec::with_capacity(partsupps);
+        let mut suppkey = Vec::with_capacity(partsupps);
+        let mut availqty = Vec::with_capacity(partsupps);
+        let mut cost = Vec::with_capacity(partsupps);
+        for i in 0..partsupps {
+            partkey.push((i / 4) as i64);
+            suppkey.push(rng.gen_range(0..suppliers) as i64);
+            availqty.push(rng.gen_range(1..10_000) as i64);
+            cost.push(rng.gen_range(1.0..1000.0));
+        }
+        catalog.register(Table::new(
+            TableSchema::new(
+                "partsupp",
+                vec![
+                    ColumnDef::new("ps_partkey", DataType::Int, false),
+                    ColumnDef::new("ps_suppkey", DataType::Int, false),
+                    ColumnDef::new("ps_availqty", DataType::Int, false),
+                    ColumnDef::new("ps_supplycost", DataType::Float, false),
+                ],
+            ),
+            vec![
+                Column::non_null(ColumnData::Int((0..partsupps as i64).collect())),
+                Column::non_null(ColumnData::Int(partkey)),
+                Column::non_null(ColumnData::Int(suppkey)),
+                Column::non_null(ColumnData::Float(cost)),
+            ],
+        ));
+    }
+
+    // -- orders --------------------------------------------------------------------
+    let mut order_dates = Vec::with_capacity(orders);
+    {
+        let mut custkey = Vec::with_capacity(orders);
+        let mut totalprice = Vec::with_capacity(orders);
+        let mut status = StrColumnBuilder::new();
+        let mut priority = StrColumnBuilder::new();
+        for _ in 0..orders {
+            custkey.push(rng.gen_range(0..customers) as i64);
+            let date = rng.gen_range(0..2557) as i64; // 7 years of days
+            order_dates.push(date);
+            totalprice.push(rng.gen_range(850.0..500_000.0));
+            status.push(if rng.gen::<f64>() < 0.48 {
+                "O"
+            } else if rng.gen::<f64>() < 0.95 {
+                "F"
+            } else {
+                "P"
+            });
+            priority.push(PRIORITIES[rng.gen_range(0..PRIORITIES.len())]);
+        }
+        catalog.register(Table::new(
+            TableSchema::new(
+                "orders",
+                vec![
+                    ColumnDef::new("o_orderkey", DataType::Int, false),
+                    ColumnDef::new("o_custkey", DataType::Int, false),
+                    ColumnDef::new("o_orderdate", DataType::Int, false),
+                    ColumnDef::new("o_totalprice", DataType::Float, false),
+                    ColumnDef::new("o_orderstatus", DataType::Str, false),
+                    ColumnDef::new("o_orderpriority", DataType::Str, false),
+                ],
+            ),
+            vec![
+                Column::non_null(ColumnData::Int((0..orders as i64).collect())),
+                Column::non_null(ColumnData::Int(custkey)),
+                Column::non_null(ColumnData::Int(order_dates.clone())),
+                Column::non_null(ColumnData::Float(totalprice)),
+                status.finish(),
+                priority.finish(),
+            ],
+        ));
+    }
+
+    // -- lineitem -------------------------------------------------------------------
+    {
+        let mut orderkey = Vec::with_capacity(lineitems);
+        let mut partkey = Vec::with_capacity(lineitems);
+        let mut suppkey = Vec::with_capacity(lineitems);
+        let mut quantity = Vec::with_capacity(lineitems);
+        let mut extprice = Vec::with_capacity(lineitems);
+        let mut discount = Vec::with_capacity(lineitems);
+        let mut shipdate = Vec::with_capacity(lineitems);
+        let mut returnflag = StrColumnBuilder::new();
+        for i in 0..lineitems {
+            let ok = i / 4;
+            orderkey.push(ok as i64);
+            partkey.push(rng.gen_range(0..parts) as i64);
+            suppkey.push(rng.gen_range(0..suppliers) as i64);
+            let q = rng.gen_range(1..=50) as i64;
+            quantity.push(q);
+            extprice.push(q as f64 * rng.gen_range(900.0..2100.0));
+            discount.push((rng.gen_range(0..=10) as f64) / 100.0);
+            // Ship 1–120 days after the order date (correlated).
+            shipdate.push(order_dates[ok] + rng.gen_range(1..=120) as i64);
+            returnflag.push(RETURN_FLAGS[rng.gen_range(0..RETURN_FLAGS.len())]);
+        }
+        catalog.register(Table::new(
+            TableSchema::new(
+                "lineitem",
+                vec![
+                    ColumnDef::new("l_orderkey", DataType::Int, false),
+                    ColumnDef::new("l_partkey", DataType::Int, false),
+                    ColumnDef::new("l_suppkey", DataType::Int, false),
+                    ColumnDef::new("l_quantity", DataType::Int, false),
+                    ColumnDef::new("l_extendedprice", DataType::Float, false),
+                    ColumnDef::new("l_discount", DataType::Float, false),
+                    ColumnDef::new("l_shipdate", DataType::Int, false),
+                    ColumnDef::new("l_returnflag", DataType::Str, false),
+                ],
+            ),
+            vec![
+                Column::non_null(ColumnData::Int(orderkey)),
+                Column::non_null(ColumnData::Int(partkey)),
+                Column::non_null(ColumnData::Int(suppkey)),
+                Column::non_null(ColumnData::Int(quantity)),
+                Column::non_null(ColumnData::Float(extprice)),
+                Column::non_null(ColumnData::Float(discount)),
+                Column::non_null(ColumnData::Int(shipdate)),
+                returnflag.finish(),
+            ],
+        ));
+    }
+
+    let graph = fk_graph(customers, suppliers, parts, orders);
+    TpchDataset { catalog, graph }
+}
+
+fn fk_graph(customers: usize, suppliers: usize, parts: usize, orders: usize) -> FkGraph {
+    FkGraph {
+        tables: vec![
+            TableMeta {
+                name: "lineitem".into(),
+                alias: "l".into(),
+                fks: vec![
+                    Fk {
+                        column: "l_orderkey".into(),
+                        ref_table: "orders".into(),
+                        ref_column: "o_orderkey".into(),
+                    },
+                    Fk {
+                        column: "l_partkey".into(),
+                        ref_table: "part".into(),
+                        ref_column: "p_partkey".into(),
+                    },
+                    Fk {
+                        column: "l_suppkey".into(),
+                        ref_table: "supplier".into(),
+                        ref_column: "s_suppkey".into(),
+                    },
+                ],
+                numeric_preds: vec![
+                    NumericPredCol { column: "l_quantity".into(), min: 1, max: 50 },
+                    NumericPredCol { column: "l_shipdate".into(), min: 0, max: 2677 },
+                ],
+                string_preds: vec![StringPredCol {
+                    column: "l_returnflag".into(),
+                    values: RETURN_FLAGS.iter().map(|s| s.to_string()).collect(),
+                }],
+                group_cols: vec!["l_quantity".into()],
+            },
+            TableMeta {
+                name: "orders".into(),
+                alias: "o".into(),
+                fks: vec![Fk {
+                    column: "o_custkey".into(),
+                    ref_table: "customer".into(),
+                    ref_column: "c_custkey".into(),
+                }],
+                numeric_preds: vec![
+                    NumericPredCol { column: "o_orderdate".into(), min: 0, max: 2556 },
+                    NumericPredCol {
+                        column: "o_orderkey".into(),
+                        min: 0,
+                        max: orders as i64 - 1,
+                    },
+                ],
+                string_preds: vec![
+                    StringPredCol {
+                        column: "o_orderpriority".into(),
+                        values: PRIORITIES.iter().map(|s| s.to_string()).collect(),
+                    },
+                    StringPredCol {
+                        column: "o_orderstatus".into(),
+                        values: vec!["O".into(), "F".into(), "P".into()],
+                    },
+                ],
+                group_cols: vec![],
+            },
+            TableMeta {
+                name: "customer".into(),
+                alias: "c".into(),
+                fks: vec![Fk {
+                    column: "c_nationkey".into(),
+                    ref_table: "nation".into(),
+                    ref_column: "n_nationkey".into(),
+                }],
+                numeric_preds: vec![NumericPredCol {
+                    column: "c_custkey".into(),
+                    min: 0,
+                    max: customers as i64 - 1,
+                }],
+                string_preds: vec![StringPredCol {
+                    column: "c_mktsegment".into(),
+                    values: SEGMENTS.iter().map(|s| s.to_string()).collect(),
+                }],
+                group_cols: vec!["c_nationkey".into()],
+            },
+            TableMeta {
+                name: "part".into(),
+                alias: "p".into(),
+                fks: vec![],
+                numeric_preds: vec![
+                    NumericPredCol { column: "p_size".into(), min: 1, max: 50 },
+                    NumericPredCol {
+                        column: "p_partkey".into(),
+                        min: 0,
+                        max: parts as i64 - 1,
+                    },
+                ],
+                string_preds: vec![
+                    StringPredCol {
+                        column: "p_type".into(),
+                        values: TYPES.iter().map(|s| s.to_string()).collect(),
+                    },
+                    StringPredCol {
+                        column: "p_brand".into(),
+                        values: vec!["Brand#11".into(), "Brand#23".into(), "Brand#55".into()],
+                    },
+                ],
+                group_cols: vec!["p_size".into()],
+            },
+            TableMeta {
+                name: "supplier".into(),
+                alias: "s".into(),
+                fks: vec![Fk {
+                    column: "s_nationkey".into(),
+                    ref_table: "nation".into(),
+                    ref_column: "n_nationkey".into(),
+                }],
+                numeric_preds: vec![NumericPredCol {
+                    column: "s_suppkey".into(),
+                    min: 0,
+                    max: suppliers as i64 - 1,
+                }],
+                string_preds: vec![],
+                group_cols: vec!["s_nationkey".into()],
+            },
+            TableMeta {
+                name: "partsupp".into(),
+                alias: "ps".into(),
+                fks: vec![
+                    Fk {
+                        column: "ps_partkey".into(),
+                        ref_table: "part".into(),
+                        ref_column: "p_partkey".into(),
+                    },
+                    Fk {
+                        column: "ps_suppkey".into(),
+                        ref_table: "supplier".into(),
+                        ref_column: "s_suppkey".into(),
+                    },
+                ],
+                numeric_preds: vec![NumericPredCol {
+                    column: "ps_availqty".into(),
+                    min: 1,
+                    max: 9999,
+                }],
+                string_preds: vec![],
+                group_cols: vec![],
+            },
+            TableMeta {
+                name: "nation".into(),
+                alias: "na".into(),
+                fks: vec![Fk {
+                    column: "n_regionkey".into(),
+                    ref_table: "region".into(),
+                    ref_column: "r_regionkey".into(),
+                }],
+                numeric_preds: vec![NumericPredCol {
+                    column: "n_nationkey".into(),
+                    min: 0,
+                    max: 24,
+                }],
+                string_preds: vec![],
+                group_cols: vec!["n_regionkey".into()],
+            },
+            TableMeta {
+                name: "region".into(),
+                alias: "r".into(),
+                fks: vec![],
+                numeric_preds: vec![NumericPredCol {
+                    column: "r_regionkey".into(),
+                    min: 0,
+                    max: 4,
+                }],
+                string_preds: vec![StringPredCol {
+                    column: "r_name".into(),
+                    values: REGIONS.iter().map(|s| s.to_string()).collect(),
+                }],
+                group_cols: vec![],
+            },
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::querygen::{generate_queries, QueryGenConfig};
+    use sparksim::engine::Engine;
+
+    fn small() -> TpchDataset {
+        generate(&TpchConfig { customer_rows: 300, seed: 11 })
+    }
+
+    #[test]
+    fn ratios_follow_tpch() {
+        let d = small();
+        assert_eq!(d.catalog.len(), 8);
+        let c = d.catalog.stats("customer").unwrap().row_count;
+        let o = d.catalog.stats("orders").unwrap().row_count;
+        let l = d.catalog.stats("lineitem").unwrap().row_count;
+        assert_eq!(o, c * 10);
+        assert_eq!(l, o * 4);
+        assert_eq!(d.catalog.stats("region").unwrap().row_count, 5);
+        assert_eq!(d.catalog.stats("nation").unwrap().row_count, 25);
+    }
+
+    #[test]
+    fn lineitem_dates_follow_orders() {
+        let d = small();
+        let l = d.catalog.table("lineitem").unwrap();
+        let o = d.catalog.table("orders").unwrap();
+        let (ColumnData::Int(lok), ColumnData::Int(lsd)) = (
+            &l.column("l_orderkey").unwrap().data,
+            &l.column("l_shipdate").unwrap().data,
+        ) else {
+            panic!()
+        };
+        let ColumnData::Int(odate) = &o.column("o_orderdate").unwrap().data else {
+            panic!()
+        };
+        for i in (0..lok.len()).step_by(997) {
+            let ok = lok[i] as usize;
+            assert!(lsd[i] > odate[ok] && lsd[i] <= odate[ok] + 120);
+        }
+    }
+
+    #[test]
+    fn generated_queries_run() {
+        let d = small();
+        let mut rng = StdRng::seed_from_u64(5);
+        let queries = generate_queries(&d.graph, &QueryGenConfig::default(), 30, &mut rng);
+        let engine = Engine::new(d.catalog);
+        for q in &queries {
+            let plans = engine.plan_candidates(q).unwrap_or_else(|e| panic!("{q}: {e}"));
+            engine
+                .execute_plan(&plans[0])
+                .unwrap_or_else(|e| panic!("{q}: {e}"));
+        }
+    }
+
+    #[test]
+    fn scale_targets_sf100() {
+        let d = small();
+        assert!(d.simulated_scale() > 1000.0, "small data stands in for 100 GB");
+    }
+}

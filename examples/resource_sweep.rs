@@ -1,0 +1,98 @@
+//! Resource-impact analysis (the paper's Sec. III, interactively).
+//!
+//! Takes the four representative IMDB queries, sweeps executor memory and
+//! executor count, and prints how each candidate plan's simulated time
+//! responds — demonstrating that more resources are not monotonically
+//! better and that the optimal plan depends on the allocation.
+//!
+//! Run with: `cargo run --release --example resource_sweep`
+
+use sparksim::plan::planner::PlannerOptions;
+use sparksim::{ClusterConfig, Engine, ResourceConfig, SimulatorConfig};
+use workloads::imdb::{generate, paper_section3_queries, ImdbConfig};
+
+fn main() {
+    let data = generate(&ImdbConfig { title_rows: 2000, seed: 3 });
+    let scale = data.simulated_scale();
+    let queries = paper_section3_queries(&data);
+    let engine = Engine::with_options(
+        data.catalog,
+        PlannerOptions { max_plans: 3, ..PlannerOptions::scaled_to(scale) },
+        ClusterConfig::default(),
+        SimulatorConfig { data_scale: scale, ..SimulatorConfig::default() },
+    );
+
+    // Memory sweep at fixed parallelism.
+    let (name, sql) = &queries[3];
+    println!("query ({name}): {sql}\n");
+    let plans = engine.plan_candidates(sql).expect("plans");
+    let execs: Vec<_> = plans
+        .iter()
+        .map(|p| engine.execute_plan(p).expect("runs"))
+        .collect();
+
+    println!("memory sweep (2 executors x 2 cores):");
+    print!("{:>8}", "mem(GB)");
+    for i in 0..plans.len() {
+        print!("{:>11}", format!("plan{}", i + 1));
+    }
+    println!();
+    for mem in 1..=8 {
+        let res = ResourceConfig {
+            executors: 2,
+            cores_per_executor: 2,
+            memory_per_executor_gb: mem as f64,
+            network_throughput_mbps: 120.0,
+            disk_throughput_mbps: 200.0,
+        };
+        print!("{mem:>8}");
+        for (i, plan) in plans.iter().enumerate() {
+            let t = engine.simulator().simulate(plan, &execs[i].metrics, &res, 5);
+            print!("{t:>11.2}");
+        }
+        println!();
+    }
+
+    println!("\nexecutor sweep (2 cores x 4 GB each):");
+    print!("{:>8}", "execs");
+    for i in 0..plans.len() {
+        print!("{:>11}", format!("plan{}", i + 1));
+    }
+    println!();
+    for executors in [1usize, 2, 3, 4, 6, 8] {
+        let res = ResourceConfig {
+            executors,
+            cores_per_executor: 2,
+            memory_per_executor_gb: 4.0,
+            network_throughput_mbps: 120.0,
+            disk_throughput_mbps: 200.0,
+        };
+        print!("{executors:>8}");
+        for (i, plan) in plans.iter().enumerate() {
+            let t = engine.simulator().simulate(plan, &execs[i].metrics, &res, 5);
+            print!("{t:>11.2}");
+        }
+        println!();
+    }
+
+    println!(
+        "\nDetailed breakdown for plan 1 at 2 executors x 2 cores x 1 GB \
+         (note spill/GC/cache contributions):"
+    );
+    let res = ResourceConfig {
+        executors: 2,
+        cores_per_executor: 2,
+        memory_per_executor_gb: 1.0,
+        network_throughput_mbps: 120.0,
+        disk_throughput_mbps: 200.0,
+    };
+    let report = engine
+        .simulator()
+        .simulate_report(&plans[0], &execs[0].metrics, &res, 5);
+    println!("  total            {:.2}s", report.seconds);
+    println!("  stages           {:?}", report.stage_seconds.iter().map(|s| (s * 100.0).round() / 100.0).collect::<Vec<_>>());
+    println!("  spilled          {:.1} MB", report.spill_bytes / 1e6);
+    println!("  gc time          {:.2}s", report.gc_seconds);
+    println!("  page-cache hit   {:.0}%", report.cache_hit * 100.0);
+    println!("  executors placed {}", report.effective_executors);
+}

@@ -1,0 +1,110 @@
+//! What-if resource tuning with the learned cost model.
+//!
+//! The paper's motivation runs both ways: given resources, pick the plan —
+//! but a trained resource-aware model can also answer "which allocation
+//! would make this query fastest?" This example trains RAAL and then scans
+//! the resource grid for a query, reporting the predicted and actual best
+//! (plan, resources) combinations.
+//!
+//! Run with: `cargo run --release --example whatif_tuning`
+
+use raal::dataset::{collect, CollectionConfig};
+use raal::{CostModel, ModelConfig, TrainConfig};
+use sparksim::plan::planner::PlannerOptions;
+use sparksim::{ClusterConfig, Engine, ResourceGrid, SimulatorConfig};
+use workloads::imdb::{generate, ImdbConfig};
+
+fn main() {
+    let data = generate(&ImdbConfig { title_rows: 1000, seed: 13 });
+    let scale = data.simulated_scale();
+    let graph = data.graph.clone();
+    let engine = Engine::with_options(
+        data.catalog,
+        PlannerOptions::scaled_to(scale),
+        ClusterConfig::default(),
+        SimulatorConfig { data_scale: scale, ..SimulatorConfig::default() },
+    );
+
+    // Train a model on a broad resource grid.
+    let collection = collect(
+        &engine,
+        &graph,
+        &CollectionConfig {
+            num_queries: 60,
+            resource_states_per_plan: 4,
+            ..CollectionConfig::default()
+        },
+    );
+    let encoder = collection.build_encoder(
+        &encoding::W2vConfig::default(),
+        encoding::EncoderConfig::default(),
+    );
+    let samples = collection.encode(&encoder, &engine);
+    println!("trained on {} records", samples.len());
+    let mut model = CostModel::new(ModelConfig::raal(encoder.node_dim()));
+    raal::train(
+        &mut model,
+        &samples,
+        &TrainConfig { epochs: 25, ..TrainConfig::default() },
+    );
+
+    // What-if scan for one query.
+    let sql = "SELECT COUNT(*) FROM title t, movie_companies mc, movie_keyword mk \
+               WHERE t.id = mc.movie_id AND t.id = mk.movie_id AND mk.keyword_id < 10";
+    println!("\nquery: {sql}");
+    let plans = engine.plan_candidates(sql).expect("plans");
+    let execs: Vec<_> = plans
+        .iter()
+        .map(|p| engine.execute_plan(p).expect("runs"))
+        .collect();
+    let encoded: Vec<_> = plans.iter().map(|p| encoder.encode(p)).collect();
+
+    let cluster = engine.simulator().cluster().clone();
+    let grid = ResourceGrid::default().enumerate(&cluster);
+    println!("scanning {} resource states x {} plans ...", grid.len(), plans.len());
+
+    let mut best_pred: Option<(f64, usize, usize)> = None;
+    let mut best_true: Option<(f64, usize, usize)> = None;
+    for (ri, res) in grid.iter().enumerate() {
+        let features = res.feature_vector(&cluster);
+        for (pi, plan) in plans.iter().enumerate() {
+            let pred = model.predict_seconds(&encoded[pi], &features);
+            if best_pred.is_none() || pred < best_pred.unwrap().0 {
+                best_pred = Some((pred, pi, ri));
+            }
+            let actual = engine.simulator().simulate(plan, &execs[pi].metrics, res, 11);
+            if best_true.is_none() || actual < best_true.unwrap().0 {
+                best_true = Some((actual, pi, ri));
+            }
+        }
+    }
+    let describe = |ri: usize| {
+        let r = &grid[ri];
+        format!(
+            "{} executors x {} cores x {} GB",
+            r.executors, r.cores_per_executor, r.memory_per_executor_gb
+        )
+    };
+    let (pred_s, pred_plan, pred_res) = best_pred.expect("grid non-empty");
+    let (true_s, true_plan, true_res) = best_true.expect("grid non-empty");
+    println!(
+        "\nmodel recommends : plan {} on {} (predicted {:.2}s)",
+        pred_plan,
+        describe(pred_res),
+        pred_s
+    );
+    let rec_actual = engine
+        .simulator()
+        .simulate(&plans[pred_plan], &execs[pred_plan].metrics, &grid[pred_res], 11);
+    println!("               -> actually {rec_actual:.2}s on the simulator");
+    println!(
+        "true optimum     : plan {} on {} ({:.2}s)",
+        true_plan,
+        describe(true_res),
+        true_s
+    );
+    println!(
+        "regret           : {:.1}% above the optimum",
+        (rec_actual / true_s - 1.0) * 100.0
+    );
+}

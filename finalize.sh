@@ -1,0 +1,14 @@
+#!/bin/bash
+set -u
+# Wait for the experiment suite.
+until grep -q "ALL_EXPERIMENTS_DONE" results/logs/driver.log 2>/dev/null; do sleep 15; done
+echo "[finalize] suite done; rerunning stale tables with final code"
+for b in tab5_vs_tlstm tab6_vs_gpsj; do
+  cargo run --release -p bench --bin "$b" 2>&1 | tee "results/logs/$b.log" | tail -3
+done
+python3 scripts/fill_experiments.py
+echo "[finalize] running workspace tests"
+cargo test --workspace 2>&1 | tee /root/repo/test_output.txt | tail -5
+echo "[finalize] running benches"
+cargo bench --workspace 2>&1 | tee /root/repo/bench_output.txt | tail -5
+echo "FINALIZE_DONE"

@@ -1,0 +1,7 @@
+#!/bin/bash
+for b in tab4_fig6_ablation fig1_plan_selection fig7_scatter; do
+  echo "=== rerun $b ==="
+  cargo run --release -p bench --bin "$b" 2>&1 | tee "results/logs/$b.log" | tail -3
+done
+python3 scripts/fill_experiments.py
+echo RERUN_DONE

@@ -1,0 +1,20 @@
+//! # raal-repro — workspace façade
+//!
+//! Umbrella crate for the reproduction of *"A Resource-Aware Deep Cost
+//! Model for Big Data Query Processing"* (ICDE 2022). It re-exports the
+//! member crates so examples and integration tests can reach everything
+//! through one dependency; the substance lives in:
+//!
+//! * [`nn`] — autograd + layers,
+//! * [`sparksim`] — the Spark-SQL-like engine and time simulator,
+//! * [`workloads`] — IMDB/TPC-H-like datasets and query generation,
+//! * [`encoding`] — plan/resource feature encoders,
+//! * [`raal`] — the deep cost model itself,
+//! * [`baselines`] — TLSTM, GPSJ and the micro-model.
+
+pub use baselines;
+pub use encoding;
+pub use nn;
+pub use raal;
+pub use sparksim;
+pub use workloads;
