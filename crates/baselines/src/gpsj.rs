@@ -10,9 +10,9 @@
 //! attributes its large errors to exactly that: over-reliance on
 //! statistics and rigid hand-built formulas.
 
+use serde::{Deserialize, Serialize};
 use sparksim::plan::physical::{PhysicalOp, PhysicalPlan};
 use sparksim::resource::ResourceConfig;
-use serde::{Deserialize, Serialize};
 
 const MB: f64 = 1024.0 * 1024.0;
 
@@ -166,7 +166,11 @@ mod tests {
         );
         let aggs = vec![AggSpec { func: AggFunc::Count, arg: None }];
         let partial = p.add(
-            PhysicalOp::HashAggregate { mode: AggMode::Partial, group_by: vec![], aggs: aggs.clone() },
+            PhysicalOp::HashAggregate {
+                mode: AggMode::Partial,
+                group_by: vec![],
+                aggs: aggs.clone(),
+            },
             vec![scan],
             1.0,
             8.0,
@@ -210,8 +214,8 @@ mod tests {
     fn data_scale_scales_cost() {
         let params = GpsjParams { data_scale: 10.0, ..GpsjParams::default() };
         let scaled = GpsjModel::new(params).estimate_seconds(&scan_agg_plan(1e7), &res(2, 2));
-        let base = GpsjModel::new(GpsjParams::default())
-            .estimate_seconds(&scan_agg_plan(1e7), &res(2, 2));
+        let base =
+            GpsjModel::new(GpsjParams::default()).estimate_seconds(&scan_agg_plan(1e7), &res(2, 2));
         assert!(scaled > base);
     }
 }

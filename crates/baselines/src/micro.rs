@@ -35,6 +35,13 @@ const OPS: [&str; 12] = [
 /// Feature width: 2 per operator type + resources + bias.
 pub const NUM_FEATURES: usize = 2 * OPS.len() + ResourceConfig::NUM_FEATURES + 1;
 
+/// Ridge strength that generalises well for this featurisation. The
+/// features are unstandardised log-scale sums of O(1) magnitude over a few
+/// hundred training rows, so an O(1) penalty is the right scale; weaker
+/// penalties (1e-4 and below) overfit the operator columns and lose to the
+/// hand-tuned GPSJ formulas on held-out queries.
+pub const DEFAULT_RIDGE: f64 = 1.0;
+
 /// A fitted micro-model.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct MicroModel {
@@ -166,7 +173,11 @@ mod tests {
         );
         let aggs = vec![AggSpec { func: AggFunc::Count, arg: None }];
         let pa = p.add(
-            PhysicalOp::HashAggregate { mode: AggMode::Partial, group_by: vec![], aggs: aggs.clone() },
+            PhysicalOp::HashAggregate {
+                mode: AggMode::Partial,
+                group_by: vec![],
+                aggs: aggs.clone(),
+            },
             vec![scan],
             1.0,
             8.0,

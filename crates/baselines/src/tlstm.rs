@@ -72,8 +72,17 @@ impl TlstmModel {
             cfg.head_hidden,
             Activation::Relu,
         );
-        let out = Dense::new(&mut store, &mut rng, "tlstm.out", cfg.head_hidden, 1, Activation::Identity);
-        Self { cfg, store, cell, head1, out, label_mean: 0.0, label_std: 1.0 }
+        let out =
+            Dense::new(&mut store, &mut rng, "tlstm.out", cfg.head_hidden, 1, Activation::Identity);
+        Self {
+            cfg,
+            store,
+            cell,
+            head1,
+            out,
+            label_mean: 0.0,
+            label_std: 1.0,
+        }
     }
 
     /// Sets label standardisation constants (normalised-log space).
@@ -210,7 +219,10 @@ pub fn train_tlstm(
         }
         epoch_losses.push(epoch_loss / samples.len() as f64);
     }
-    raal::TrainHistory { epoch_losses, train_seconds: start.elapsed().as_secs_f64() }
+    raal::TrainHistory {
+        epoch_losses,
+        train_seconds: start.elapsed().as_secs_f64(),
+    }
 }
 
 /// Evaluates a TLSTM model against actual costs.
@@ -278,7 +290,12 @@ mod tests {
         let history = train_tlstm(
             &mut model,
             &samples,
-            &raal::TrainConfig { epochs: 40, lr: 3e-3, batch_size: 16, ..Default::default() },
+            &raal::TrainConfig {
+                epochs: 40,
+                lr: 3e-3,
+                batch_size: 16,
+                ..Default::default()
+            },
         );
         assert!(
             history.final_loss() < history.epoch_losses[0] * 0.5,

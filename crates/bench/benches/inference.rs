@@ -64,6 +64,13 @@ fn bench_inference(c: &mut Criterion) {
     group.bench_function("raal_predict", |b| {
         b.iter(|| black_box(s.raal.predict_seconds(black_box(&s.encoded), &s.features)))
     });
+    group.bench_function("raal_predict_tape", |b| {
+        b.iter(|| black_box(s.raal.predict_seconds_tape(black_box(&s.encoded), &s.features)))
+    });
+    group.bench_function("raal_predict_cached_context", |b| {
+        let ctx = s.raal.plan_context(&s.encoded);
+        b.iter(|| black_box(s.raal.predict_with_context(black_box(&ctx), &s.features)))
+    });
     group.bench_function("tlstm_predict", |b| {
         b.iter(|| black_box(s.tlstm.predict_seconds(black_box(&s.encoded))))
     });

@@ -8,7 +8,10 @@
 //!   (b) fine-tune on a small TPC-H sample and re-evaluate,
 //!   (c) compare with training on TPC-H from scratch.
 
-use bench::{build_model, collection_config, fmt, section, train_config, w2v_config, write_tsv, HarnessOpts, Workload};
+use bench::{
+    build_model, collection_config, fmt, section, train_config, w2v_config, write_tsv, HarnessOpts,
+    Workload,
+};
 use encoding::tokenizer::plan_sentences;
 use encoding::EncoderConfig;
 use raal::dataset::collect;
@@ -44,11 +47,7 @@ fn main() {
     );
     let imdb_samples = imdb_coll.encode(&encoder, &imdb.engine);
     let tpch_samples = tpch_coll.encode(&encoder, &tpch.engine);
-    println!(
-        "records: IMDB {}, TPC-H {}",
-        imdb_samples.len(),
-        tpch_samples.len()
-    );
+    println!("records: IMDB {}, TPC-H {}", imdb_samples.len(), tpch_samples.len());
     let (tpch_train, tpch_test) = train_test_split(tpch_samples, 0.8, opts.seed);
     let mut tcfg = train_config(opts.full, opts.seed);
     if !opts.full {
@@ -73,10 +72,7 @@ fn main() {
     train(&mut native, &tpch_train, &tcfg);
     let from_scratch = evaluate(&native, &tpch_test).summary(training_transform);
 
-    println!(
-        "\n{:>24} {:>9} {:>9} {:>9} {:>9}",
-        "setting", "RE", "MSE", "COR", "R2"
-    );
+    println!("\n{:>24} {:>9} {:>9} {:>9} {:>9}", "setting", "RE", "MSE", "COR", "R2");
     let mut rows = Vec::new();
     for (name, s) in [
         ("zero-shot (IMDB only)", zero_shot),
@@ -91,13 +87,7 @@ fn main() {
             fmt(s.cor),
             fmt(s.r2)
         );
-        rows.push(vec![
-            name.to_string(),
-            fmt(s.re),
-            fmt(s.mse),
-            fmt(s.cor),
-            fmt(s.r2),
-        ]);
+        rows.push(vec![name.to_string(), fmt(s.re), fmt(s.mse), fmt(s.cor), fmt(s.r2)]);
     }
     println!(
         "\nexpected shape: zero-shot trails badly; a small fine-tuning set \

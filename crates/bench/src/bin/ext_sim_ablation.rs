@@ -20,7 +20,11 @@ fn main() {
     let scale = data.simulated_scale();
     let queries = paper_section3_queries(&data);
 
-    let base = SimulatorConfig { data_scale: scale, noise_sigma: 0.0, ..SimulatorConfig::default() };
+    let base = SimulatorConfig {
+        data_scale: scale,
+        noise_sigma: 0.0,
+        ..SimulatorConfig::default()
+    };
     let variants: Vec<(&str, SimulatorConfig)> = vec![
         ("full model", base.clone()),
         ("no GC term", SimulatorConfig { gc_per_gb: 0.0, ..base.clone() }),
@@ -30,22 +34,18 @@ fn main() {
         ),
         (
             "no page cache",
-            SimulatorConfig { cache_throughput_mbps: base.disk_equivalent(), ..base.clone() },
+            SimulatorConfig {
+                cache_throughput_mbps: base.disk_equivalent(),
+                ..base.clone()
+            },
         ),
-        (
-            "no spill",
-            SimulatorConfig { memory_fraction: 1e9, ..base.clone() },
-        ),
+        ("no spill", SimulatorConfig { memory_fraction: 1e9, ..base.clone() }),
     ];
 
     let catalog = data.catalog;
     let planner_opts = PlannerOptions { max_plans: 3, ..PlannerOptions::scaled_to(scale) };
-    let engine = Engine::with_options(
-        catalog,
-        planner_opts,
-        ClusterConfig::default(),
-        base.clone(),
-    );
+    let engine =
+        Engine::with_options(catalog, planner_opts, ClusterConfig::default(), base.clone());
     let memories: Vec<f64> = (1..=8).map(|m| m as f64).collect();
 
     // Pick the (query, plan) whose cost responds most to memory — that is

@@ -6,7 +6,9 @@
 //! RAAL picks for the current resources. The paper's shape: the tuned
 //! model reduces the execution time of (nearly) every query.
 
-use bench::{build_model, fmt, run_pipeline, section, train_config, write_tsv, HarnessOpts, Workload};
+use bench::{
+    build_model, fmt, run_pipeline, section, train_config, write_tsv, HarnessOpts, Workload,
+};
 use raal::selection::evaluate_selection;
 use raal::ModelConfig;
 use rand::rngs::StdRng;

@@ -9,8 +9,8 @@
 //! plan flips* as memory changes.
 
 use bench::{fmt, section, write_tsv, HarnessOpts};
-use sparksim::{Engine, ResourceConfig, SimulatorConfig};
 use sparksim::plan::planner::PlannerOptions;
+use sparksim::{Engine, ResourceConfig, SimulatorConfig};
 
 fn main() {
     let opts = HarnessOpts::from_env();

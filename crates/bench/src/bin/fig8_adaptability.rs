@@ -5,7 +5,9 @@
 //! paper's shape: COR and R² stay above ~0.9 and flat; RE around 0.1;
 //! MSE stable — i.e. accuracy does not degrade in any memory environment.
 
-use bench::{build_model, fmt, run_pipeline, section, train_config, write_tsv, HarnessOpts, Workload};
+use bench::{
+    build_model, fmt, run_pipeline, section, train_config, write_tsv, HarnessOpts, Workload,
+};
 use raal::train::training_transform;
 use raal::{evaluate, train, train_test_split, ModelConfig};
 use sparksim::ClusterConfig;

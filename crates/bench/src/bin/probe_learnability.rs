@@ -54,15 +54,32 @@ fn main() {
         probe_eval.push(s.seconds, pred);
     }
     let p = probe_eval.summary(training_transform);
-    println!("linear probe: RE={} MSE={} COR={} R2={}", fmt(p.re), fmt(p.mse), fmt(p.cor), fmt(p.r2));
+    println!(
+        "linear probe: RE={} MSE={} COR={} R2={}",
+        fmt(p.re),
+        fmt(p.mse),
+        fmt(p.cor),
+        fmt(p.r2)
+    );
 
     // ---- long RAAL run ----
     let mut model = build_model(ModelConfig::raal(pipeline.encoder.node_dim()));
-    let tcfg = TrainConfig { epochs: 40, lr: 2e-3, batch_size: 32, ..TrainConfig::default() };
+    let tcfg = TrainConfig {
+        epochs: 40,
+        lr: 2e-3,
+        batch_size: 32,
+        ..TrainConfig::default()
+    };
     let history = train(&mut model, &train_set, &tcfg);
     println!("RAAL losses: {:?}", history.epoch_losses);
     let m = evaluate(&model, &test_set).summary(training_transform);
-    println!("RAAL (40 epochs): RE={} MSE={} COR={} R2={}", fmt(m.re), fmt(m.mse), fmt(m.cor), fmt(m.r2));
+    println!(
+        "RAAL (40 epochs): RE={} MSE={} COR={} R2={}",
+        fmt(m.re),
+        fmt(m.mse),
+        fmt(m.cor),
+        fmt(m.r2)
+    );
 
     write_tsv(
         &opts.out_dir,

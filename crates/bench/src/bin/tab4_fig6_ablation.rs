@@ -6,7 +6,9 @@
 //! the per-epoch training-loss curves (Fig. 6). Expected shape: RAAL best
 //! on every metric; NA-LSTM's curve least stable; RAAC behind the LSTMs.
 
-use bench::{build_model, fmt, run_pipeline, section, train_config, write_tsv, HarnessOpts, Workload};
+use bench::{
+    build_model, fmt, run_pipeline, section, train_config, write_tsv, HarnessOpts, Workload,
+};
 use raal::train::training_transform;
 use raal::{evaluate, train, train_test_split, ModelConfig};
 
@@ -20,10 +22,8 @@ fn main() {
     let without_structure = run_pipeline(&bench, opts.full, opts.seed, false);
     println!("records: {}", with_structure.samples.len());
 
-    let (train_s, test_s) =
-        train_test_split(with_structure.samples.clone(), 0.8, opts.seed);
-    let (train_ne, test_ne) =
-        train_test_split(without_structure.samples.clone(), 0.8, opts.seed);
+    let (train_s, test_s) = train_test_split(with_structure.samples.clone(), 0.8, opts.seed);
+    let (train_ne, test_ne) = train_test_split(without_structure.samples.clone(), 0.8, opts.seed);
     let tcfg = train_config(opts.full, opts.seed);
 
     let variants: Vec<(&str, ModelConfig, bool)> = vec![
@@ -43,7 +43,11 @@ fn main() {
     let mut curves: Vec<(String, Vec<f64>)> = Vec::new();
 
     for (name, cfg, structured) in variants {
-        let (tr, te) = if structured { (&train_s, &test_s) } else { (&train_ne, &test_ne) };
+        let (tr, te) = if structured {
+            (&train_s, &test_s)
+        } else {
+            (&train_ne, &test_ne)
+        };
         let mut model = build_model(cfg);
         let history = train(&mut model, tr, &tcfg);
         let summary = evaluate(&model, te).summary(training_transform);
@@ -72,12 +76,7 @@ fn main() {
     for epoch in 0..max_epochs {
         let mut row = vec![format!("{}", epoch + 1)];
         for (_, losses) in &curves {
-            row.push(
-                losses
-                    .get(epoch)
-                    .map(|l| format!("{l:.6}"))
-                    .unwrap_or_default(),
-            );
+            row.push(losses.get(epoch).map(|l| format!("{l:.6}")).unwrap_or_default());
         }
         loss_rows.push(row);
     }

@@ -7,7 +7,10 @@
 //! attention), but by less than in the varying-resource setting.
 
 use baselines::tlstm::{evaluate_tlstm, train_tlstm, TlstmConfig, TlstmModel};
-use bench::{build_model, collection_config, fmt, section, train_config, w2v_config, write_tsv, HarnessOpts, Workload};
+use bench::{
+    build_model, collection_config, fmt, section, train_config, w2v_config, write_tsv, HarnessOpts,
+    Workload,
+};
 use encoding::EncoderConfig;
 use raal::dataset::collect;
 use raal::train::training_transform;
@@ -61,14 +64,7 @@ fn main() {
             fmt(s.r2),
             fmt(t)
         );
-        rows.push(vec![
-            name.to_string(),
-            fmt(s.re),
-            fmt(s.mse),
-            fmt(s.cor),
-            fmt(s.r2),
-            fmt(t),
-        ]);
+        rows.push(vec![name.to_string(), fmt(s.re), fmt(s.mse), fmt(s.cor), fmt(s.r2), fmt(t)]);
     }
     write_tsv(
         &opts.out_dir,

@@ -13,7 +13,9 @@
 
 use baselines::gpsj::{GpsjModel, GpsjParams};
 use baselines::micro::MicroModel;
-use bench::{build_model, fmt, run_pipeline, section, train_config, write_tsv, HarnessOpts, Workload};
+use bench::{
+    build_model, fmt, run_pipeline, section, train_config, write_tsv, HarnessOpts, Workload,
+};
 use raal::train::training_transform;
 use raal::{evaluate, train, train_test_split, EvalSet, ModelConfig};
 
@@ -56,32 +58,32 @@ fn main() {
             .unwrap_or(0);
         max_q * 4 / 5
     };
-    let train_records = pipeline.collection.plan_runs.iter().filter(|r| r.query_idx < cut_query);
+    let train_records = pipeline
+        .collection
+        .plan_runs
+        .iter()
+        .filter(|r| r.query_idx < cut_query);
     let micro = MicroModel::fit(
-        train_records.flat_map(|r| {
-            r.observations.iter().map(move |(res, s)| (&r.plan, res, *s))
-        }),
+        train_records.flat_map(|r| r.observations.iter().map(move |(res, s)| (&r.plan, res, *s))),
         cluster,
-        1e-4,
+        baselines::micro::DEFAULT_RIDGE,
     );
     let mut micro_set = EvalSet::new();
-    for run in pipeline.collection.plan_runs.iter().filter(|r| r.query_idx >= cut_query) {
+    for run in pipeline
+        .collection
+        .plan_runs
+        .iter()
+        .filter(|r| r.query_idx >= cut_query)
+    {
         for (res, seconds) in &run.observations {
             micro_set.push(*seconds, micro.predict_seconds(&run.plan, res, cluster));
         }
     }
     let micro_summary = micro_set.summary(training_transform);
 
-    println!(
-        "\n{:>8} {:>9} {:>9} {:>9} {:>9}",
-        "model", "RE", "MSE", "COR", "R2"
-    );
+    println!("\n{:>8} {:>9} {:>9} {:>9} {:>9}", "model", "RE", "MSE", "COR", "R2");
     let mut rows = Vec::new();
-    for (name, s) in [
-        ("GPSJ", gpsj_summary),
-        ("MICRO", micro_summary),
-        ("RAAL", raal_summary),
-    ] {
+    for (name, s) in [("GPSJ", gpsj_summary), ("MICRO", micro_summary), ("RAAL", raal_summary)] {
         println!(
             "{:>8} {:>9} {:>9} {:>9} {:>9}",
             name,
@@ -90,18 +92,7 @@ fn main() {
             fmt(s.cor),
             fmt(s.r2)
         );
-        rows.push(vec![
-            name.to_string(),
-            fmt(s.re),
-            fmt(s.mse),
-            fmt(s.cor),
-            fmt(s.r2),
-        ]);
+        rows.push(vec![name.to_string(), fmt(s.re), fmt(s.mse), fmt(s.cor), fmt(s.r2)]);
     }
-    write_tsv(
-        &opts.out_dir,
-        "tab6_vs_gpsj.tsv",
-        &["model", "RE", "MSE", "COR", "R2"],
-        &rows,
-    );
+    write_tsv(&opts.out_dir, "tab6_vs_gpsj.tsv", &["model", "RE", "MSE", "COR", "R2"], &rows);
 }

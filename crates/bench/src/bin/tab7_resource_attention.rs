@@ -6,7 +6,9 @@
 //! Expected shape: adding resource awareness improves every variant on
 //! every metric, with the MSE gap especially large on TPC-H.
 
-use bench::{build_model, fmt, run_pipeline, section, train_config, write_tsv, HarnessOpts, Workload};
+use bench::{
+    build_model, fmt, run_pipeline, section, train_config, write_tsv, HarnessOpts, Workload,
+};
 use raal::train::training_transform;
 use raal::{evaluate, train, train_test_split, MetricSummary, ModelConfig};
 
@@ -42,7 +44,11 @@ fn main() {
             "model", "RE-", "MSE-", "COR-", "R2-", "RE+", "MSE+", "COR+", "R2+"
         );
         for (name, cfg, uses_structure) in variants {
-            let (tr, te) = if uses_structure { (&tr_s, &te_s) } else { (&tr_n, &te_n) };
+            let (tr, te) = if uses_structure {
+                (&tr_s, &te_s)
+            } else {
+                (&tr_n, &te_n)
+            };
             let run_one = |cfg: ModelConfig| -> MetricSummary {
                 let mut model = build_model(cfg);
                 train(&mut model, tr, &tcfg);
@@ -81,8 +87,16 @@ fn main() {
         &opts.out_dir,
         "tab7_resource_attention.tsv",
         &[
-            "workload", "model", "RE_without", "MSE_without", "COR_without", "R2_without",
-            "RE_with", "MSE_with", "COR_with", "R2_with",
+            "workload",
+            "model",
+            "RE_without",
+            "MSE_without",
+            "COR_without",
+            "R2_without",
+            "RE_with",
+            "MSE_with",
+            "COR_with",
+            "R2_with",
         ],
         &rows,
     );

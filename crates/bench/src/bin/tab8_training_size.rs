@@ -6,7 +6,9 @@
 //! linearly with the data; test error falls as data grows but is already
 //! reasonable on the smallest subset.
 
-use bench::{build_model, fmt, run_pipeline, section, train_config, write_tsv, HarnessOpts, Workload};
+use bench::{
+    build_model, fmt, run_pipeline, section, train_config, write_tsv, HarnessOpts, Workload,
+};
 use raal::{evaluate, train, train_test_split, ModelConfig};
 
 fn main() {
@@ -19,10 +21,7 @@ fn main() {
 
     // Paper sizes: 10k..50k. Reduced runs scale to the data we have.
     let fractions = [0.2, 0.4, 0.6, 0.8, 1.0];
-    println!(
-        "\n{:>10} {:>12} {:>10}",
-        "records", "train time", "test RE"
-    );
+    println!("\n{:>10} {:>12} {:>10}", "records", "train time", "test RE");
     let mut rows = Vec::new();
     for f in fractions {
         let n = ((train_all.len() as f64) * f) as usize;
@@ -33,16 +32,8 @@ fn main() {
         let mut model = build_model(ModelConfig::raal(pipeline.encoder.node_dim()));
         let history = train(&mut model, subset, &train_config(opts.full, opts.seed));
         let re = evaluate(&model, &test_set).relative_error();
-        println!(
-            "{n:>10} {:>12} {:>10}",
-            format!("{:.1}s", history.train_seconds),
-            fmt(re)
-        );
-        rows.push(vec![
-            n.to_string(),
-            format!("{:.2}", history.train_seconds),
-            fmt(re),
-        ]);
+        println!("{n:>10} {:>12} {:>10}", format!("{:.1}s", history.train_seconds), fmt(re));
+        rows.push(vec![n.to_string(), format!("{:.2}", history.train_seconds), fmt(re)]);
     }
     write_tsv(
         &opts.out_dir,

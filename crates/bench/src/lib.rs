@@ -33,7 +33,11 @@ pub struct HarnessOpts {
 impl HarnessOpts {
     /// Parses `--full`, `--out <dir>` and `--seed <n>` from `std::env`.
     pub fn from_env() -> Self {
-        let mut opts = Self { full: false, out_dir: PathBuf::from("results"), seed: 42 };
+        let mut opts = Self {
+            full: false,
+            out_dir: PathBuf::from("results"),
+            seed: 42,
+        };
         let args: Vec<String> = std::env::args().collect();
         let mut i = 1;
         while i < args.len() {
@@ -95,10 +99,8 @@ pub fn build_bench(workload: Workload, full: bool, seed: u64) -> Bench {
     let (catalog, graph, scale) = match workload {
         Workload::Imdb => {
             let rows = if full { 20_000 } else { 2_000 };
-            let data = workloads::imdb::generate(&workloads::imdb::ImdbConfig {
-                title_rows: rows,
-                seed,
-            });
+            let data =
+                workloads::imdb::generate(&workloads::imdb::ImdbConfig { title_rows: rows, seed });
             let scale = data.simulated_scale();
             (data.catalog, data.graph, scale)
         }
@@ -180,10 +182,8 @@ pub struct Pipeline {
 pub fn run_pipeline(bench: &Bench, full: bool, seed: u64, structure: bool) -> Pipeline {
     let cfg = collection_config(bench.workload, full, seed);
     let collection = collect(&bench.engine, &bench.graph, &cfg);
-    let encoder = collection.build_encoder(
-        &w2v_config(full),
-        EncoderConfig { structure, ..EncoderConfig::default() },
-    );
+    let encoder = collection
+        .build_encoder(&w2v_config(full), EncoderConfig { structure, ..EncoderConfig::default() });
     let samples = collection.encode(&encoder, &bench.engine);
     Pipeline { collection, encoder, samples }
 }
@@ -235,12 +235,7 @@ mod tests {
     #[test]
     fn tsv_writer_round_trips() {
         let dir = std::env::temp_dir().join("raal_bench_test");
-        let path = write_tsv(
-            &dir,
-            "t.tsv",
-            &["a", "b"],
-            &[vec!["1".into(), "2".into()]],
-        );
+        let path = write_tsv(&dir, "t.tsv", &["a", "b"], &[vec!["1".into(), "2".into()]]);
         let content = std::fs::read_to_string(path).unwrap();
         assert_eq!(content, "a\tb\n1\t2\n");
     }

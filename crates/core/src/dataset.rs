@@ -185,9 +185,7 @@ fn collect_one(
                     .wrapping_add(plan_idx as u64 * 7919)
                     .wrapping_add(obs as u64 * 97)
                     .wrapping_add(run as u64);
-                total += engine
-                    .simulator()
-                    .simulate(&plan, &result.metrics, &res, seed);
+                total += engine.simulator().simulate(&plan, &result.metrics, &res, seed);
             }
             let mean = total / cfg.runs_per_observation.max(1) as f64;
             // Failed placements (1h sentinel) are real observations the

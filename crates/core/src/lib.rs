@@ -19,15 +19,15 @@
 #![warn(missing_docs)]
 
 pub mod dataset;
-pub mod persist;
 pub mod metrics;
 pub mod model;
+pub mod persist;
 pub mod selection;
 pub mod train;
 
 pub use dataset::{collect, Collection, CollectionConfig};
 pub use metrics::{EvalSet, MetricSummary};
+pub use model::{CostModel, ModelConfig, PlanContext, PlanLayerKind};
 pub use persist::ModelBundle;
-pub use model::{CostModel, ModelConfig, PlanLayerKind};
 pub use selection::{evaluate_selection, select_plan, SelectionOutcome};
 pub use train::{evaluate, train, train_test_split, TrainConfig, TrainHistory};

@@ -148,11 +148,7 @@ pub struct MetricSummary {
 
 impl std::fmt::Display for MetricSummary {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "RE={:.4} MSE={:.4} COR={:.4} R2={:.4}",
-            self.re, self.mse, self.cor, self.r2
-        )
+        write!(f, "RE={:.4} MSE={:.4} COR={:.4} R2={:.4}", self.re, self.mse, self.cor, self.r2)
     }
 }
 

@@ -17,11 +17,14 @@
 //! ([`normalize_seconds`]) with MSE loss, as in the paper.
 
 use encoding::plan_encoder::{EncodedPlan, PLAN_STAT_FEATURES};
-use nn::layers::{dot_attention, Activation, Conv1d, Dense, LstmCell};
+use nn::infer::{self, InferArena};
+use nn::layers::{dot_attention, dot_attention_into, Activation, Conv1d, Dense, LstmCell};
 use nn::{Graph, ParamId, ParamStore, Tensor, Var};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Which network models the node sequence (the plan feature layer).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -79,7 +82,10 @@ impl ModelConfig {
 
     /// RAAC: RAAL with a CNN plan feature layer.
     pub fn raac(node_dim: usize) -> Self {
-        Self { plan_layer: PlanLayerKind::Cnn, ..Self::raal(node_dim) }
+        Self {
+            plan_layer: PlanLayerKind::Cnn,
+            ..Self::raal(node_dim)
+        }
     }
 
     /// Disables the resource-aware attention layer (ablation).
@@ -126,6 +132,68 @@ pub struct CostModel {
     /// well-scaled even though the log-targets span a narrow band.
     label_mean: f32,
     label_std: f32,
+    /// Process-unique id binding [`PlanContext`]s to the model instance
+    /// that produced them. Never serialised: a deserialised model gets a
+    /// fresh identity, so contexts cannot be resurrected across a
+    /// save/load round trip.
+    #[serde(skip, default = "next_model_identity")]
+    identity: u64,
+    /// Bumped on every mutation that can change predictions
+    /// ([`CostModel::store_mut`], [`CostModel::set_label_stats`],
+    /// [`CostModel::restore`]); a [`PlanContext`] is only valid for the
+    /// exact `(identity, version)` it was computed under.
+    #[serde(skip)]
+    version: u64,
+}
+
+static MODEL_IDENTITY: AtomicU64 = AtomicU64::new(1);
+
+fn next_model_identity() -> u64 {
+    MODEL_IDENTITY.fetch_add(1, Ordering::Relaxed)
+}
+
+thread_local! {
+    /// Per-thread scratch pool for the tape-free inference path, so
+    /// repeated predictions (selection loops, resource sweeps, batch
+    /// shards) stop allocating after their first call.
+    static INFER_ARENA: RefCell<InferArena> = RefCell::new(InferArena::new());
+}
+
+/// Precomputed resource-independent state of one plan's forward pass.
+///
+/// The LSTM/CNN hidden states, the node-aware attention pooling and the
+/// projected resource-attention keys depend only on the plan, not on the
+/// resource vector, so a what-if sweep over resource configurations can
+/// compute them once via [`CostModel::plan_context`] and then price each
+/// configuration with [`CostModel::predict_with_context`], which costs
+/// only the resource attention and the dense head.
+///
+/// A context is pinned to the exact model state that produced it
+/// (instance identity plus mutation version); using it after the model
+/// has been mutated, retrained or deserialised panics. Check
+/// [`CostModel::context_is_current`] to test freshness explicitly.
+#[derive(Debug, Clone)]
+pub struct PlanContext {
+    model_identity: u64,
+    model_version: u64,
+    /// Number of plan nodes.
+    n: usize,
+    /// `n x hidden` plan-layer hidden states, row-major.
+    h: Vec<f32>,
+    /// `1 x hidden` pooled plan representation (after node attention).
+    p: Vec<f32>,
+    /// `n x latent_k` projected resource-attention keys (`h @ Wk_res`);
+    /// empty when resource attention is disabled.
+    keys: Vec<f32>,
+    /// Plan-level statistic features.
+    stats: Vec<f32>,
+}
+
+impl PlanContext {
+    /// Number of nodes in the plan this context was computed for.
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
 }
 
 impl std::fmt::Debug for CostModel {
@@ -185,9 +253,14 @@ impl CostModel {
         // (joined with the "other statistical features", Sec. IV-D's
         // prediction layer).
         let head_in = cfg.hidden
-            + if cfg.resource_attention { cfg.hidden + cfg.resource_dim } else { 0 }
+            + if cfg.resource_attention {
+                cfg.hidden + cfg.resource_dim
+            } else {
+                0
+            }
             + PLAN_STAT_FEATURES;
-        let head1 = Dense::new(&mut store, &mut rng, "head.1", head_in, cfg.head_hidden, Activation::Relu);
+        let head1 =
+            Dense::new(&mut store, &mut rng, "head.1", head_in, cfg.head_hidden, Activation::Relu);
         let head2 = Dense::new(
             &mut store,
             &mut rng,
@@ -218,12 +291,15 @@ impl CostModel {
             out,
             label_mean: 0.0,
             label_std: 1.0,
+            identity: next_model_identity(),
+            version: 0,
         }
     }
 
     /// Sets the label standardisation constants (normalised-log space).
     /// Called by the trainer with the training set's statistics.
     pub fn set_label_stats(&mut self, mean: f32, std: f32) {
+        self.version += 1;
         self.label_mean = mean;
         self.label_std = std.max(1e-4);
     }
@@ -253,8 +329,11 @@ impl CostModel {
         &self.store
     }
 
-    /// Mutable parameter store (for optimizers).
+    /// Mutable parameter store (for optimizers). Conservatively
+    /// invalidates every outstanding [`PlanContext`], since the borrow
+    /// may be used to change weights.
     pub fn store_mut(&mut self) -> &mut ParamStore {
+        self.version += 1;
         &mut self.store
     }
 
@@ -272,11 +351,12 @@ impl CostModel {
                 .as_ref()
                 .expect("lstm exists for Lstm kind")
                 .forward_seq(g, &self.store, x),
-            PlanLayerKind::Cnn => self
-                .cnn
-                .as_ref()
-                .expect("cnn exists for Cnn kind")
-                .forward_seq(g, &self.store, x),
+            PlanLayerKind::Cnn => {
+                self.cnn
+                    .as_ref()
+                    .expect("cnn exists for Cnn kind")
+                    .forward_seq(g, &self.store, x)
+            }
         };
 
         // Node-aware attention (Eq. 8–9): each node attends over its
@@ -295,8 +375,7 @@ impl CostModel {
                     continue;
                 }
                 let qi = g.slice_rows(q_all, i, 1);
-                let key_rows: Vec<Var> =
-                    kids.iter().map(|&c| g.slice_rows(k_all, c, 1)).collect();
+                let key_rows: Vec<Var> = kids.iter().map(|&c| g.slice_rows(k_all, c, 1)).collect();
                 let keys = g.concat_rows(&key_rows);
                 let val_rows: Vec<Var> = kids.iter().map(|&c| g.slice_rows(h, c, 1)).collect();
                 let values = g.concat_rows(&val_rows);
@@ -313,11 +392,7 @@ impl CostModel {
         // queries the node hidden states.
         let stats = g.input(Tensor::row(&plan.plan_stats));
         let features = if self.cfg.resource_attention {
-            assert_eq!(
-                resources.len(),
-                self.cfg.resource_dim,
-                "resource vector width mismatch"
-            );
+            assert_eq!(resources.len(), self.cfg.resource_dim, "resource vector width mismatch");
             let rvec = g.input(Tensor::row(resources));
             let wr = g.param(&self.store, self.wr.expect("resource attention enabled"));
             let wk_res = g.param(&self.store, self.wk_res.expect("resource attention enabled"));
@@ -342,15 +417,250 @@ impl CostModel {
     }
 
     /// Predicts the execution time of a plan in seconds.
+    ///
+    /// Runs the tape-free inference engine ([`nn::infer`]): the same
+    /// arithmetic as [`CostModel::forward`] in the same accumulation
+    /// order, without recording autograd state, using SIMD kernels
+    /// (FMA matmuls, polynomial `exp` gates) the tape deliberately
+    /// avoids. Agreement with the tape within 1e-5 relative error is
+    /// enforced by `tests/prop_infer.rs` and the layer unit tests.
     pub fn predict_seconds(&self, plan: &EncodedPlan, resources: &[f32]) -> f64 {
+        let ctx = self.plan_context(plan);
+        self.predict_with_context(&ctx, resources)
+    }
+
+    /// Reference implementation of [`CostModel::predict_seconds`] on the
+    /// autograd tape. Kept as the ground truth the fast path is checked
+    /// against; prefer `predict_seconds` everywhere else.
+    pub fn predict_seconds_tape(&self, plan: &EncodedPlan, resources: &[f32]) -> f64 {
         let mut g = Graph::new();
         let pred = self.forward(&mut g, plan, resources);
         let y = g.value(pred).item() * self.label_std + self.label_mean;
         denormalize_seconds(y)
     }
 
+    /// Precomputes the resource-independent part of the forward pass for
+    /// `plan`: plan-layer hidden states, node-aware attention pooling and
+    /// the projected resource-attention keys. See [`PlanContext`].
+    pub fn plan_context(&self, plan: &EncodedPlan) -> PlanContext {
+        let n = plan.num_nodes();
+        assert!(n > 0, "cannot cost an empty plan");
+        INFER_ARENA.with(|cell| {
+            let arena = &mut *cell.borrow_mut();
+            let hidden = self.cfg.hidden;
+
+            // Pack node features row-major (the fast-path node_matrix).
+            let dim = plan.node_features[0].len();
+            let mut xs = arena.take(n * dim);
+            for (row, feat) in xs.chunks_mut(dim).zip(&plan.node_features) {
+                debug_assert_eq!(feat.len(), dim);
+                row.copy_from_slice(feat);
+            }
+
+            // Plan feature layer.
+            let h = match self.cfg.plan_layer {
+                PlanLayerKind::Lstm => self
+                    .lstm
+                    .as_ref()
+                    .expect("lstm exists for Lstm kind")
+                    .infer_seq(&self.store, &xs, n, arena),
+                PlanLayerKind::Cnn => self
+                    .cnn
+                    .as_ref()
+                    .expect("cnn exists for Cnn kind")
+                    .infer_seq(&self.store, &xs, n, arena),
+            };
+            arena.give(xs);
+
+            // Node-aware attention and mean pooling. `p[j]` accumulates
+            // `rep_i[j] / n` over nodes in order, matching the tape's
+            // `mean_rows` exactly.
+            let mut p = arena.take(hidden);
+            if self.cfg.node_attention {
+                let k = self.cfg.latent_k;
+                let wq = self.store.value(self.wq.expect("node attention enabled")).data();
+                let wk = self.store.value(self.wk.expect("node attention enabled")).data();
+                let mut q_all = arena.take(n * k);
+                let mut k_all = arena.take(n * k);
+                infer::matmul_into(&h, n, hidden, wq, k, &mut q_all);
+                infer::matmul_into(&h, n, hidden, wk, k, &mut k_all);
+                let mut scores = arena.take(0);
+                let mut ctx = arena.take(hidden);
+                for i in 0..n {
+                    let hi = &h[i * hidden..(i + 1) * hidden];
+                    let kids = &plan.children[i];
+                    if kids.is_empty() {
+                        for (acc, &v) in p.iter_mut().zip(hi.iter()) {
+                            *acc += v / n as f32;
+                        }
+                        continue;
+                    }
+                    dot_attention_into(
+                        &q_all[i * k..(i + 1) * k],
+                        &k_all,
+                        &h,
+                        k,
+                        hidden,
+                        Some(kids),
+                        0,
+                        &mut scores,
+                        &mut ctx,
+                    );
+                    for ((acc, &hv), &cv) in p.iter_mut().zip(hi.iter()).zip(ctx.iter()) {
+                        *acc += (hv + cv) / n as f32;
+                    }
+                }
+                arena.give(q_all);
+                arena.give(k_all);
+                arena.give(scores);
+                arena.give(ctx);
+            } else {
+                for i in 0..n {
+                    let hi = &h[i * hidden..(i + 1) * hidden];
+                    for (acc, &v) in p.iter_mut().zip(hi.iter()) {
+                        *acc += v / n as f32;
+                    }
+                }
+            }
+
+            // Resource-attention keys (`h @ Wk_res`) are resource
+            // independent, so a context amortises them across a sweep.
+            let keys = if self.cfg.resource_attention {
+                let k = self.cfg.latent_k;
+                let wk_res = self
+                    .store
+                    .value(self.wk_res.expect("resource attention enabled"))
+                    .data();
+                let mut keys = arena.take(n * k);
+                infer::matmul_into(&h, n, hidden, wk_res, k, &mut keys);
+                keys
+            } else {
+                Vec::new()
+            };
+
+            PlanContext {
+                model_identity: self.identity,
+                model_version: self.version,
+                n,
+                h,
+                p,
+                keys,
+                stats: plan.plan_stats.clone(),
+            }
+        })
+    }
+
+    /// Whether `ctx` was computed by this exact model state (same
+    /// instance, no intervening mutation, no serde round trip).
+    pub fn context_is_current(&self, ctx: &PlanContext) -> bool {
+        ctx.model_identity == self.identity && ctx.model_version == self.version
+    }
+
+    /// Predicts seconds from a precomputed [`PlanContext`], paying only
+    /// the resource-aware attention and the dense head.
+    ///
+    /// # Panics
+    /// Panics if the context is stale — produced by a different model, or
+    /// by this model before a mutation ([`CostModel::store_mut`],
+    /// [`CostModel::set_label_stats`], [`CostModel::restore`]) or a serde
+    /// round trip.
+    pub fn predict_with_context(&self, ctx: &PlanContext, resources: &[f32]) -> f64 {
+        assert!(
+            self.context_is_current(ctx),
+            "stale PlanContext: the model was mutated, retrained or deserialised after \
+             plan_context() — recompute the context"
+        );
+        let y = INFER_ARENA.with(|cell| {
+            let arena = &mut *cell.borrow_mut();
+            let hidden = self.cfg.hidden;
+
+            // Assemble the head input `[p | m | rvec | stats]` (or
+            // `[p | stats]` for resource-blind ablations).
+            let mut features = arena.take(self.head1.in_dim);
+            let mut at = 0usize;
+            features[at..at + hidden].copy_from_slice(&ctx.p);
+            at += hidden;
+            if self.cfg.resource_attention {
+                assert_eq!(
+                    resources.len(),
+                    self.cfg.resource_dim,
+                    "resource vector width mismatch"
+                );
+                let k = self.cfg.latent_k;
+                let wr = self.store.value(self.wr.expect("resource attention enabled")).data();
+                let mut q = arena.take(k);
+                infer::matmul_into(resources, 1, self.cfg.resource_dim, wr, k, &mut q);
+                let mut scores = arena.take(0);
+                {
+                    let (m_slot, _) = features[at..].split_at_mut(hidden);
+                    dot_attention_into(
+                        &q,
+                        &ctx.keys,
+                        &ctx.h,
+                        k,
+                        hidden,
+                        None,
+                        ctx.n,
+                        &mut scores,
+                        m_slot,
+                    );
+                }
+                at += hidden;
+                arena.give(q);
+                arena.give(scores);
+                features[at..at + self.cfg.resource_dim].copy_from_slice(resources);
+                at += self.cfg.resource_dim;
+            }
+            features[at..at + ctx.stats.len()].copy_from_slice(&ctx.stats);
+            debug_assert_eq!(at + ctx.stats.len(), self.head1.in_dim);
+
+            // Prediction head.
+            let z1 = self.head1.infer(&self.store, &features, 1, arena);
+            let z2 = self.head2.infer(&self.store, &z1, 1, arena);
+            let out = self.out.infer(&self.store, &z2, 1, arena);
+            let y = out[0] * self.label_std + self.label_mean;
+            arena.give(features);
+            arena.give(z1);
+            arena.give(z2);
+            arena.give(out);
+            y
+        });
+        denormalize_seconds(y)
+    }
+
+    /// Predicts a batch of `(plan, resources)` pairs, sharding the work
+    /// across `std::thread::available_parallelism()` scoped threads (the
+    /// same pattern the trainer uses for batch gradients). Each thread
+    /// reuses its own inference arena, so large batches run
+    /// allocation-free after warmup.
+    pub fn predict_batch(&self, items: &[(&EncodedPlan, &[f32])]) -> Vec<f64> {
+        if items.is_empty() {
+            return Vec::new();
+        }
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(items.len());
+        if threads <= 1 {
+            return items.iter().map(|(p, r)| self.predict_seconds(p, r)).collect();
+        }
+        let chunk = items.len().div_ceil(threads);
+        let mut out = vec![0.0f64; items.len()];
+        std::thread::scope(|scope| {
+            for (slots, shard) in out.chunks_mut(chunk).zip(items.chunks(chunk)) {
+                scope.spawn(move || {
+                    for (slot, (plan, res)) in slots.iter_mut().zip(shard.iter()) {
+                        *slot = self.predict_seconds(plan, res);
+                    }
+                });
+            }
+        });
+        out
+    }
+
     /// Restores internal optimizer buffers after deserialisation.
     pub fn restore(&mut self) {
+        self.version += 1;
         self.store.restore_state();
     }
 }
@@ -487,6 +797,57 @@ mod tests {
         let a = model.predict_seconds(&plan, &resources());
         let b = model.predict_seconds(&plan, &[0.01; 7]);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn fast_path_matches_tape_on_all_variants() {
+        let dim = 20;
+        for cfg in [
+            ModelConfig::raal(dim),
+            ModelConfig::na_lstm(dim),
+            ModelConfig::raac(dim),
+            ModelConfig::raal(dim).without_resources(),
+        ] {
+            let model = CostModel::new(cfg);
+            for n in [1, 2, 5, 9] {
+                let plan = toy_plan(n, dim);
+                let fast = model.predict_seconds(&plan, &resources());
+                let tape = model.predict_seconds_tape(&plan, &resources());
+                let rel = (fast - tape).abs() / tape.abs().max(1e-6);
+                assert!(
+                    rel <= 1e-5,
+                    "n={n} cfg={:?}: fast {fast} vs tape {tape} (rel {rel:.2e})",
+                    model.config()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn context_sweep_matches_direct_prediction() {
+        let dim = 14;
+        let plan = toy_plan(6, dim);
+        let model = CostModel::new(ModelConfig::raal(dim));
+        let ctx = model.plan_context(&plan);
+        for scale in [0.1f32, 0.5, 1.0] {
+            let res: Vec<f32> = resources().iter().map(|r| r * scale).collect();
+            assert_eq!(model.predict_with_context(&ctx, &res), model.predict_seconds(&plan, &res));
+        }
+    }
+
+    #[test]
+    fn predict_batch_matches_per_item() {
+        let dim = 12;
+        let model = CostModel::new(ModelConfig::raal(dim));
+        let plans: Vec<EncodedPlan> = (1..14).map(|n| toy_plan(n, dim)).collect();
+        let res = resources();
+        let items: Vec<(&EncodedPlan, &[f32])> =
+            plans.iter().map(|p| (p, res.as_slice())).collect();
+        let batch = model.predict_batch(&items);
+        for (got, plan) in batch.iter().zip(&plans) {
+            assert_eq!(*got, model.predict_seconds(plan, &res));
+        }
+        assert!(model.predict_batch(&[]).is_empty());
     }
 
     #[test]

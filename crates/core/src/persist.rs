@@ -46,8 +46,7 @@ impl ModelBundle {
     /// Loads a bundle from JSON and restores optimizer buffers.
     pub fn load(path: &Path) -> std::io::Result<Self> {
         let json = std::fs::read_to_string(path)?;
-        let mut bundle: ModelBundle =
-            serde_json::from_str(&json).map_err(std::io::Error::other)?;
+        let mut bundle: ModelBundle = serde_json::from_str(&json).map_err(std::io::Error::other)?;
         bundle.model.restore();
         Ok(bundle)
     }

@@ -19,16 +19,15 @@ pub fn select_plan(
 ) -> usize {
     assert!(!plans.is_empty(), "no candidate plans");
     let features = resources.feature_vector(engine.simulator().cluster());
-    let mut best = 0usize;
-    let mut best_cost = f64::INFINITY;
-    for (i, plan) in plans.iter().enumerate() {
-        let cost = model.predict_seconds(&encoder.encode(plan), &features);
-        if cost < best_cost {
-            best_cost = cost;
-            best = i;
-        }
-    }
-    best
+    let encoded: Vec<_> = plans.iter().map(|p| encoder.encode(p)).collect();
+    let items: Vec<_> = encoded.iter().map(|e| (e, features.as_slice())).collect();
+    let costs = model.predict_batch(&items);
+    costs
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite costs"))
+        .map(|(i, _)| i)
+        .expect("at least one plan")
 }
 
 /// The outcome of a head-to-head between the rule-based default plan and
@@ -78,9 +77,12 @@ pub fn evaluate_selection(
         let result = engine.execute_plan(plan)?;
         let mut total = 0.0;
         for r in 0..3u64 {
-            total += engine
-                .simulator()
-                .simulate(plan, &result.metrics, resources, seed ^ (i as u64 * 131 + r));
+            total += engine.simulator().simulate(
+                plan,
+                &result.metrics,
+                resources,
+                seed ^ (i as u64 * 131 + r),
+            );
         }
         times.push(total / 3.0);
     }
@@ -146,7 +148,12 @@ mod tests {
         train(
             &mut model,
             &samples,
-            &TrainConfig { epochs: 2, batch_size: 16, threads: 2, ..Default::default() },
+            &TrainConfig {
+                epochs: 2,
+                batch_size: 16,
+                threads: 2,
+                ..Default::default()
+            },
         );
         let res = ResourceConfig::default_for(engine.simulator().cluster());
         let outcome = evaluate_selection(

@@ -31,7 +31,14 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        Self { epochs: 15, lr: 1e-3, batch_size: 32, clip_norm: 5.0, seed: 7, threads: 0 }
+        Self {
+            epochs: 15,
+            lr: 1e-3,
+            batch_size: 32,
+            clip_norm: 5.0,
+            seed: 7,
+            threads: 0,
+        }
     }
 }
 
@@ -90,7 +97,10 @@ pub fn train(model: &mut CostModel, samples: &[Sample], cfg: &TrainConfig) -> Tr
         }
         epoch_losses.push(epoch_loss / samples.len() as f64);
     }
-    TrainHistory { epoch_losses, train_seconds: start.elapsed().as_secs_f64() }
+    TrainHistory {
+        epoch_losses,
+        train_seconds: start.elapsed().as_secs_f64(),
+    }
 }
 
 /// Computes accumulated gradients for a batch, parallelised over samples.
@@ -162,7 +172,11 @@ pub fn training_transform(seconds: f64) -> f64 {
 
 /// Splits samples into (train, test) by shuffling with a seed — the
 /// paper's 80/20 split.
-pub fn train_test_split(samples: Vec<Sample>, train_frac: f64, seed: u64) -> (Vec<Sample>, Vec<Sample>) {
+pub fn train_test_split(
+    samples: Vec<Sample>,
+    train_frac: f64,
+    seed: u64,
+) -> (Vec<Sample>, Vec<Sample>) {
     let mut samples = samples;
     let mut rng = StdRng::seed_from_u64(seed);
     samples.shuffle(&mut rng);
@@ -211,15 +225,17 @@ mod tests {
             head_hidden: 16,
             ..ModelConfig::raal(10)
         });
-        let cfg = TrainConfig { epochs: 20, batch_size: 16, threads: 2, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 20,
+            batch_size: 16,
+            threads: 2,
+            ..Default::default()
+        };
         let history = train(&mut model, &samples, &cfg);
         assert_eq!(history.epoch_losses.len(), 20);
         let first = history.epoch_losses[0];
         let last = history.final_loss();
-        assert!(
-            last < first * 0.5,
-            "loss should halve: first={first} last={last}"
-        );
+        assert!(last < first * 0.5, "loss should halve: first={first} last={last}");
     }
 
     #[test]
@@ -236,7 +252,12 @@ mod tests {
         train(
             &mut model,
             &train_set,
-            &TrainConfig { epochs: 30, batch_size: 16, threads: 2, ..Default::default() },
+            &TrainConfig {
+                epochs: 30,
+                batch_size: 16,
+                threads: 2,
+                ..Default::default()
+            },
         );
         let eval = evaluate(&model, &test_set);
         assert!(eval.correlation() > 0.8, "cor={}", eval.correlation());
@@ -257,8 +278,18 @@ mod tests {
         };
         let mut m1 = build();
         let mut m2 = build();
-        let cfg1 = TrainConfig { epochs: 2, batch_size: 8, threads: 1, ..Default::default() };
-        let cfg2 = TrainConfig { epochs: 2, batch_size: 8, threads: 2, ..Default::default() };
+        let cfg1 = TrainConfig {
+            epochs: 2,
+            batch_size: 8,
+            threads: 1,
+            ..Default::default()
+        };
+        let cfg2 = TrainConfig {
+            epochs: 2,
+            batch_size: 8,
+            threads: 2,
+            ..Default::default()
+        };
         let h1 = train(&mut m1, &samples, &cfg1);
         let h2 = train(&mut m2, &samples, &cfg2);
         assert!((h1.final_loss() - h2.final_loss()).abs() < 1e-4);

@@ -1,0 +1,81 @@
+//! Property test: the tape-free inference engine agrees with the
+//! autograd-tape reference forward pass across random plans, random
+//! resource vectors and every model variant.
+
+use encoding::plan_encoder::{EncodedPlan, PLAN_STAT_FEATURES};
+use proptest::prelude::*;
+use raal::{CostModel, ModelConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const NODE_DIM: usize = 10;
+
+/// A random plan: a chain backbone (every node consumes its predecessor)
+/// with extra child edges thrown in, so node-aware attention sees both
+/// leaf nodes and multi-child joins.
+fn random_plan(rng: &mut StdRng, n: usize) -> EncodedPlan {
+    let node_features = (0..n)
+        .map(|_| (0..NODE_DIM).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+        .collect();
+    let children = (0..n)
+        .map(|i| {
+            if i == 0 {
+                return Vec::new();
+            }
+            let mut kids = vec![i - 1];
+            for j in 0..i - 1 {
+                if rng.gen_bool(0.3) {
+                    kids.push(j);
+                }
+            }
+            kids
+        })
+        .collect();
+    EncodedPlan {
+        node_features,
+        children,
+        plan_stats: (0..PLAN_STAT_FEATURES).map(|_| rng.gen_range(0.0f32..1.0)).collect(),
+    }
+}
+
+fn variant(idx: usize) -> ModelConfig {
+    let cfg = match idx % 4 {
+        0 => ModelConfig::raal(NODE_DIM),
+        1 => ModelConfig::na_lstm(NODE_DIM),
+        2 => ModelConfig::raac(NODE_DIM),
+        _ => ModelConfig::raal(NODE_DIM).without_resources(),
+    };
+    // Small dims keep the tape pass cheap; the kernels are dimension
+    // generic, so agreement at 12/6/10 implies nothing special at 64/32.
+    ModelConfig { hidden: 12, latent_k: 6, head_hidden: 10, ..cfg }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    #[test]
+    fn fast_path_agrees_with_tape(
+        n in 1usize..9,
+        seed in 0u64..1_000_000,
+        variant_idx in 0usize..4,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let plan = random_plan(&mut rng, n);
+        let cfg = ModelConfig { seed: seed ^ 0x5eed, ..variant(variant_idx) };
+        let resources: Vec<f32> =
+            (0..cfg.resource_dim).map(|_| rng.gen_range(0.0f32..1.0)).collect();
+        let model = CostModel::new(cfg);
+
+        let fast = model.predict_seconds(&plan, &resources);
+        let tape = model.predict_seconds_tape(&plan, &resources);
+        let rel = (fast - tape).abs() / tape.abs().max(1e-6);
+        prop_assert!(
+            rel <= 1e-5,
+            "fast={fast} tape={tape} rel={rel} n={n} variant={variant_idx}"
+        );
+
+        // The cached-context path must agree with the one-shot fast path.
+        let ctx = model.plan_context(&plan);
+        prop_assert_eq!(model.predict_with_context(&ctx, &resources), fast);
+    }
+}

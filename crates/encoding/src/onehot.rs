@@ -71,9 +71,9 @@ mod tests {
                 pushed_filter: None,
             },
             PhysicalOp::Filter {
-                predicate: sparksim::expr::Expr::IsNotNull(Box::new(
-                    sparksim::expr::Expr::Column(cr()),
-                )),
+                predicate: sparksim::expr::Expr::IsNotNull(Box::new(sparksim::expr::Expr::Column(
+                    cr(),
+                ))),
             },
             PhysicalOp::Project { columns: vec![] },
             PhysicalOp::ExchangeHash { keys: vec![], partitions: 4 },
@@ -91,11 +91,7 @@ mod tests {
             PhysicalOp::Limit { n: 1 },
         ];
         for op in ops {
-            assert!(
-                operator_index(op.name()).is_some(),
-                "missing one-hot slot for {}",
-                op.name()
-            );
+            assert!(operator_index(op.name()).is_some(), "missing one-hot slot for {}", op.name());
         }
     }
 }

@@ -88,7 +88,11 @@ impl PlanEncoder {
     pub fn node_dim(&self) -> usize {
         self.w2v.dim()
             + onehot::DIM
-            + if self.cfg.structure { self.cfg.max_nodes } else { 0 }
+            + if self.cfg.structure {
+                self.cfg.max_nodes
+            } else {
+                0
+            }
             + NODE_STAT_FEATURES
     }
 
@@ -131,7 +135,11 @@ impl PlanEncoder {
             node_features.push(row);
             children.push(plan.node(id).children.clone());
         }
-        EncodedPlan { node_features, children, plan_stats: plan_stats(plan) }
+        EncodedPlan {
+            node_features,
+            children,
+            plan_stats: plan_stats(plan),
+        }
     }
 
     /// Encodes a full training sample.
@@ -204,11 +212,7 @@ mod tests {
                 binding: "t".into(),
                 table: "title".into(),
                 output: vec![ColumnRef::new("t", "id")],
-                pushed_filter: Some(Expr::cmp(
-                    ColumnRef::new("t", "id"),
-                    CmpOp::Lt,
-                    Value::Int(7),
-                )),
+                pushed_filter: Some(Expr::cmp(ColumnRef::new("t", "id"), CmpOp::Lt, Value::Int(7))),
             },
             vec![],
             100.0,

@@ -80,17 +80,10 @@ pub fn tokenize_statement(statement: &str) -> Vec<String> {
 fn normalize_word(word: &str) -> String {
     let trimmed = word.strip_prefix('-').unwrap_or(word);
     if !trimmed.is_empty()
-        && trimmed
-            .chars()
-            .all(|c| c.is_ascii_digit() || c == '.')
+        && trimmed.chars().all(|c| c.is_ascii_digit() || c == '.')
         && trimmed.chars().any(|c| c.is_ascii_digit())
     {
-        let magnitude = trimmed
-            .split('.')
-            .next()
-            .map(str::len)
-            .unwrap_or(1)
-            .min(12);
+        let magnitude = trimmed.split('.').next().map(str::len).unwrap_or(1).min(12);
         return format!("<num:{magnitude}>");
     }
     word.to_lowercase()

@@ -28,7 +28,15 @@ pub struct W2vConfig {
 
 impl Default for W2vConfig {
     fn default() -> Self {
-        Self { dim: 32, window: 4, negative: 5, epochs: 4, lr: 0.025, min_count: 1, seed: 42 }
+        Self {
+            dim: 32,
+            window: 4,
+            negative: 5,
+            epochs: 4,
+            lr: 0.025,
+            min_count: 1,
+            seed: 42,
+        }
     }
 }
 
@@ -101,10 +109,8 @@ pub fn train(corpus: &[Vec<String>], cfg: &W2vConfig) -> Word2Vec {
             *counts.entry(w).or_insert(0) += 1;
         }
     }
-    let mut words: Vec<(&str, usize)> = counts
-        .into_iter()
-        .filter(|(_, c)| *c >= cfg.min_count)
-        .collect();
+    let mut words: Vec<(&str, usize)> =
+        counts.into_iter().filter(|(_, c)| *c >= cfg.min_count).collect();
     words.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
     let vocab: HashMap<String, usize> = words
         .iter()
@@ -147,9 +153,7 @@ pub fn train(corpus: &[Vec<String>], cfg: &W2vConfig) -> Word2Vec {
                 let win = rng.gen_range(1..=cfg.window);
                 let lo = pos.saturating_sub(win);
                 let hi = (pos + win).min(sentence.len() - 1);
-                for (ctx_pos, &context) in
-                    sentence.iter().enumerate().take(hi + 1).skip(lo)
-                {
+                for (ctx_pos, &context) in sentence.iter().enumerate().take(hi + 1).skip(lo) {
                     if ctx_pos == pos {
                         continue;
                     }
@@ -194,11 +198,7 @@ fn train_pair(
         if k > 0 && target == context {
             continue;
         }
-        let dot: f32 = w_in[center]
-            .iter()
-            .zip(&w_out[target])
-            .map(|(a, b)| a * b)
-            .sum();
+        let dot: f32 = w_in[center].iter().zip(&w_out[target]).map(|(a, b)| a * b).sum();
         let pred = 1.0 / (1.0 + (-dot).exp());
         let g = (pred - label) * lr;
         for d in 0..dim {
@@ -246,10 +246,7 @@ mod tests {
         let model = train(&corpus(), &W2vConfig { dim: 16, epochs: 6, ..Default::default() });
         let cat_dog = model.similarity("cat", "dog").unwrap();
         let cat_stone = model.similarity("cat", "stone").unwrap();
-        assert!(
-            cat_dog > cat_stone,
-            "cat~dog ({cat_dog}) must beat cat~stone ({cat_stone})"
-        );
+        assert!(cat_dog > cat_stone, "cat~dog ({cat_dog}) must beat cat~stone ({cat_stone})");
     }
 
     #[test]

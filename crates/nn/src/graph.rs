@@ -275,11 +275,7 @@ impl Graph {
     /// # Panics
     /// Panics if `loss` is not `1 x 1`.
     pub fn backward(&self, loss: Var) -> Gradients {
-        assert_eq!(
-            self.nodes[loss.0].value.shape(),
-            (1, 1),
-            "backward requires a scalar loss"
-        );
+        assert_eq!(self.nodes[loss.0].value.shape(), (1, 1), "backward requires a scalar loss");
         let mut grads: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
         grads[loss.0] = Some(Tensor::scalar(1.0));
 

@@ -1,0 +1,430 @@
+//! Tape-free inference kernels.
+//!
+//! The autograd tape in [`crate::graph`] records an `Op` node (and clones
+//! a tensor) for every primitive, which is what training needs and
+//! exactly what inference does not: a forward-only pass through the RAAL
+//! model allocates dozens of small tensors per plan just to throw them
+//! away. The kernels here compute the same math without recording
+//! anything, and use arithmetic the tape deliberately avoids so a single
+//! prediction runs several times faster than the reference forward pass:
+//!
+//! * [`matmul_into`] dispatches at runtime to a register-tiled AVX2+FMA
+//!   microkernel on x86-64 (scalar branch-free loops elsewhere);
+//! * the LSTM gate activations go through [`fast_exp`], a branch-free
+//!   Cephes-style polynomial `exp` whose element loops auto-vectorise.
+//!
+//! Per-element accumulation *order* still matches the corresponding
+//! graph ops, so the only divergence from the tape is FMA contraction
+//! and the polynomial `exp` (each ~1e-7 relative). End-to-end agreement
+//! within 1e-5 relative error is the property-tested contract
+//! (`crates/core/tests/prop_infer.rs`); the tape path remains the exact
+//! IEEE-ordered reference used by training.
+//!
+//! Scratch space comes from an [`InferArena`], a free-list of `Vec<f32>`
+//! buffers that callers `take` and `give` back; a steady-state prediction
+//! loop performs no heap allocation at all.
+
+use crate::layers::Activation;
+
+/// A recycling pool of `f32` scratch buffers for tape-free inference.
+///
+/// `take(len)` hands out a zeroed buffer of the requested length, reusing
+/// a previously returned allocation when one is available (capacity is
+/// kept across uses, so a steady-state inference loop stops allocating
+/// after the first pass). Buffers are returned with [`InferArena::give`];
+/// forgetting to return one is not an error, it just costs a future
+/// allocation.
+#[derive(Debug, Default)]
+pub struct InferArena {
+    free: Vec<Vec<f32>>,
+}
+
+/// Upper bound on pooled buffers, so a pathological caller cannot grow
+/// the free list without bound.
+const MAX_POOLED: usize = 64;
+
+impl InferArena {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes a zero-filled buffer of length `len`.
+    pub fn take(&mut self, len: usize) -> Vec<f32> {
+        match self.free.pop() {
+            Some(mut buf) => {
+                buf.clear();
+                buf.resize(len, 0.0);
+                buf
+            }
+            None => vec![0.0; len],
+        }
+    }
+
+    /// Returns a buffer to the pool for reuse.
+    pub fn give(&mut self, buf: Vec<f32>) {
+        if self.free.len() < MAX_POOLED {
+            self.free.push(buf);
+        }
+    }
+}
+
+/// `out = a @ b` for row-major `a` (`m x k`) and `b` (`k x n`).
+///
+/// Each output element accumulates over `k` in the same order as
+/// [`crate::tensor::Tensor::matmul`]; on CPUs with AVX2+FMA (detected at
+/// runtime) the products are contracted with fused multiply-adds, so the
+/// result can differ from the tape in the last bits (~1e-7 relative).
+/// `out` must have length `m * n`; it is overwritten.
+pub fn matmul_into(a: &[f32], m: usize, k: usize, b: &[f32], n: usize, out: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k, "matmul_into lhs length");
+    debug_assert_eq!(b.len(), k * n, "matmul_into rhs length");
+    debug_assert_eq!(out.len(), m * n, "matmul_into out length");
+    #[cfg(target_arch = "x86_64")]
+    if x86::avx2_fma_available() {
+        // SAFETY: feature support was just checked; lengths are the
+        // caller's contract (debug-asserted above, sliced inside).
+        unsafe { x86::matmul_into(a, m, k, b, n, out) };
+        return;
+    }
+    matmul_into_scalar(a, m, k, b, n, out);
+}
+
+/// Portable branch-free i-k-j matmul, accumulating exactly like
+/// [`crate::tensor::Tensor::matmul`].
+fn matmul_into_scalar(a: &[f32], m: usize, k: usize, b: &[f32], n: usize, out: &mut [f32]) {
+    out.fill(0.0);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let o_row = &mut out[i * n..(i + 1) * n];
+        for (kk, &av) in a_row.iter().enumerate() {
+            let b_row = &b[kk * n..(kk + 1) * n];
+            for (o, &bv) in o_row.iter_mut().zip(b_row.iter()) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// Plain in-order dot product (matches a `m x 1` matmul's accumulation).
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len(), "dot length mismatch");
+    let mut acc = 0.0;
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        acc += x * y;
+    }
+    acc
+}
+
+/// In-place `out += alpha * x`.
+#[inline]
+pub fn axpy(out: &mut [f32], alpha: f32, x: &[f32]) {
+    debug_assert_eq!(out.len(), x.len(), "axpy length mismatch");
+    for (o, &v) in out.iter_mut().zip(x.iter()) {
+        *o += alpha * v;
+    }
+}
+
+/// Numerically stable in-place softmax over a slice, with the same
+/// max-shift / exp / running-sum / divide order as
+/// [`crate::tensor::Tensor::softmax_rows`]. Uses libm `exp` (attention
+/// score vectors are short, so exactness is cheap here).
+pub fn softmax_inplace(xs: &mut [f32]) {
+    let max = xs.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0;
+    for x in xs.iter_mut() {
+        *x = (*x - max).exp();
+        sum += *x;
+    }
+    for x in xs.iter_mut() {
+        *x /= sum;
+    }
+}
+
+/// Logistic sigmoid, identical to the graph op's formula (libm `exp`).
+#[inline]
+pub fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Branch-free polynomial `exp` (the Cephes `expf` scheme): reduce to
+/// `exp(x) = 2^n * exp(f)` with `|f| <= ln(2)/2`, evaluate a degree-5
+/// minimax polynomial for `exp(f)`, and rebuild `2^n` with exponent bit
+/// arithmetic. Rounding to the nearest integer uses the `+1.5*2^23`
+/// trick instead of `round()` (a libm call below SSE4.1), so the whole
+/// function is straight-line float ops and element loops over it
+/// auto-vectorise. Relative error is ~2e-7; the input is clamped to
+/// ±87.34, so the result saturates instead of overflowing.
+#[inline(always)]
+#[allow(clippy::excessive_precision)] // Cephes constants kept verbatim
+pub fn fast_exp(x: f32) -> f32 {
+    const LOG2E: f32 = std::f32::consts::LOG2_E;
+    // ln(2) split hi/lo so `x - n*ln2` stays accurate (Cephes constants).
+    const LN2_HI: f32 = 0.693_359_375;
+    const LN2_LO: f32 = -2.121_944_4e-4;
+    // 1.5 * 2^23: adding then subtracting rounds to the nearest integer.
+    const RND: f32 = 12_582_912.0;
+    let x = x.clamp(-87.336_54, 87.336_54);
+    let n = (x * LOG2E + RND) - RND;
+    let f = (x - n * LN2_HI) - n * LN2_LO;
+    let mut p = 1.987_569_15e-4_f32;
+    p = p * f + 1.398_199_9e-3;
+    p = p * f + 8.333_452e-3;
+    p = p * f + 4.166_579_6e-2;
+    p = p * f + 1.666_666_5e-1;
+    p = p * f + 5.000_000_2e-1;
+    let r = (p * f * f + f) + 1.0;
+    let scale = f32::from_bits(((n as i32 + 127) as u32) << 23);
+    r * scale
+}
+
+/// Sigmoid via [`fast_exp`] (~1e-7 absolute error).
+#[inline(always)]
+pub fn fast_sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + fast_exp(-x))
+}
+
+/// Tanh via [`fast_exp`] (~1e-7 absolute error).
+#[inline(always)]
+pub fn fast_tanh(x: f32) -> f32 {
+    let e = fast_exp(2.0 * x);
+    (e - 1.0) / (e + 1.0)
+}
+
+/// In-place sigmoid over a slice using [`fast_sigmoid`], 8-wide under
+/// AVX2 where available.
+pub fn sigmoid_slice(xs: &mut [f32]) {
+    #[cfg(target_arch = "x86_64")]
+    if x86::avx2_fma_available() {
+        // SAFETY: feature support was just checked.
+        unsafe { x86::sigmoid_slice(xs) };
+        return;
+    }
+    for x in xs.iter_mut() {
+        *x = fast_sigmoid(*x);
+    }
+}
+
+/// In-place tanh over a slice using [`fast_tanh`], 8-wide under AVX2
+/// where available.
+pub fn tanh_slice(xs: &mut [f32]) {
+    #[cfg(target_arch = "x86_64")]
+    if x86::avx2_fma_available() {
+        // SAFETY: feature support was just checked.
+        unsafe { x86::tanh_slice(xs) };
+        return;
+    }
+    for x in xs.iter_mut() {
+        *x = fast_tanh(*x);
+    }
+}
+
+/// Applies an activation in place. Relu and Identity are exact; Sigmoid
+/// and Tanh go through the fast polynomial kernels (~1e-7 absolute).
+pub fn activate(xs: &mut [f32], act: Activation) {
+    match act {
+        Activation::Identity => {}
+        Activation::Relu => {
+            for x in xs.iter_mut() {
+                *x = x.max(0.0);
+            }
+        }
+        Activation::Sigmoid => sigmoid_slice(xs),
+        Activation::Tanh => tanh_slice(xs),
+    }
+}
+
+/// x86-64 AVX2+FMA variants of the hot kernels, dispatched at runtime.
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use std::arch::x86_64::{
+        __m256, _mm256_fmadd_ps, _mm256_loadu_ps, _mm256_set1_ps, _mm256_setzero_ps,
+        _mm256_storeu_ps,
+    };
+
+    /// Whether this CPU has AVX2 and FMA (`std` caches the CPUID probe).
+    #[inline]
+    pub fn avx2_fma_available() -> bool {
+        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+    }
+
+    /// Register-tiled matmul microkernel: 64 output columns live in
+    /// eight YMM accumulators across the whole `k` loop, so the only
+    /// streaming traffic is the weight matrix itself. Per-element
+    /// accumulation order equals the scalar kernel's; only FMA
+    /// contraction differs.
+    ///
+    /// # Safety
+    /// Requires AVX2+FMA, `a.len() == m*k`, `b.len() == k*n` and
+    /// `out.len() == m*n`.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn matmul_into(a: &[f32], m: usize, k: usize, b: &[f32], n: usize, out: &mut [f32]) {
+        let bp = b.as_ptr();
+        for i in 0..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            let o = out[i * n..(i + 1) * n].as_mut_ptr();
+            let mut j = 0;
+            while j + 64 <= n {
+                let mut acc: [__m256; 8] = [_mm256_setzero_ps(); 8];
+                for (kk, &av) in a_row.iter().enumerate() {
+                    let avv = _mm256_set1_ps(av);
+                    let brow = bp.add(kk * n + j);
+                    for (l, slot) in acc.iter_mut().enumerate() {
+                        *slot = _mm256_fmadd_ps(avv, _mm256_loadu_ps(brow.add(8 * l)), *slot);
+                    }
+                }
+                for (l, &slot) in acc.iter().enumerate() {
+                    _mm256_storeu_ps(o.add(j + 8 * l), slot);
+                }
+                j += 64;
+            }
+            while j + 8 <= n {
+                let mut acc = _mm256_setzero_ps();
+                for (kk, &av) in a_row.iter().enumerate() {
+                    acc = _mm256_fmadd_ps(
+                        _mm256_set1_ps(av),
+                        _mm256_loadu_ps(bp.add(kk * n + j)),
+                        acc,
+                    );
+                }
+                _mm256_storeu_ps(o.add(j), acc);
+                j += 8;
+            }
+            while j < n {
+                let mut acc = 0.0f32;
+                for (kk, &av) in a_row.iter().enumerate() {
+                    acc = av.mul_add(*bp.add(kk * n + j), acc);
+                }
+                *o.add(j) = acc;
+                j += 1;
+            }
+        }
+    }
+
+    /// # Safety
+    /// Requires AVX2+FMA. The body is the scalar loop; compiling it
+    /// with these features lets LLVM vectorise `fast_sigmoid` 8-wide.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn sigmoid_slice(xs: &mut [f32]) {
+        for x in xs.iter_mut() {
+            *x = super::fast_sigmoid(*x);
+        }
+    }
+
+    /// # Safety
+    /// Requires AVX2+FMA (see [`sigmoid_slice`]).
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn tanh_slice(xs: &mut [f32]) {
+        for x in xs.iter_mut() {
+            *x = super::fast_tanh(*x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn arena_recycles_capacity() {
+        let mut arena = InferArena::new();
+        let mut buf = arena.take(8);
+        buf[0] = 5.0;
+        let ptr = buf.as_ptr();
+        let cap = buf.capacity();
+        arena.give(buf);
+        let again = arena.take(4);
+        assert_eq!(again.as_ptr(), ptr, "allocation was reused");
+        assert!(again.capacity() >= cap.min(8));
+        assert!(again.iter().all(|&x| x == 0.0), "buffer comes back zeroed");
+    }
+
+    #[test]
+    fn matmul_into_matches_tensor_matmul_exactly_on_small_ints() {
+        // Integer-valued inputs: FMA contraction is exact, so even the
+        // SIMD kernel must agree bit-for-bit with the tape matmul.
+        let a = Tensor::from_vec(2, 3, vec![1., -2., 3., 0., 5., 6.]);
+        let b = Tensor::from_vec(3, 2, vec![7., 8., 9., 10., 11., 12.]);
+        let want = a.matmul(&b);
+        let mut out = vec![f32::NAN; 4];
+        matmul_into(a.data(), 2, 3, b.data(), 2, &mut out);
+        assert_eq!(out, want.data());
+    }
+
+    #[test]
+    fn matmul_into_tracks_reference_on_awkward_shapes() {
+        // 5 x 67 @ 67 x 139 exercises the 64-wide tile, the 8-wide tile
+        // and the scalar remainder columns of the SIMD kernel.
+        let mut rng = StdRng::seed_from_u64(41);
+        let (m, k, n) = (5, 67, 139);
+        let a = Tensor::from_vec(m, k, (0..m * k).map(|_| rng.gen_range(-2.0..2.0)).collect());
+        let b = Tensor::from_vec(k, n, (0..k * n).map(|_| rng.gen_range(-2.0..2.0)).collect());
+        let want = a.matmul(&b);
+        let mut out = vec![f32::NAN; m * n];
+        matmul_into(a.data(), m, k, b.data(), n, &mut out);
+        for (&got, &w) in out.iter().zip(want.data()) {
+            assert!((got - w).abs() <= 1e-5 * w.abs().max(1.0), "got {got}, want {w}");
+        }
+    }
+
+    #[test]
+    fn softmax_inplace_matches_softmax_rows() {
+        let t = Tensor::row(&[0.3, -1.7, 2.5, 0.0]);
+        let want = t.softmax_rows();
+        let mut xs = t.data().to_vec();
+        softmax_inplace(&mut xs);
+        assert_eq!(xs, want.data());
+    }
+
+    #[test]
+    fn dot_and_axpy() {
+        assert_eq!(dot(&[1., 2., 3.], &[4., 5., 6.]), 32.0);
+        let mut out = vec![1.0, 1.0];
+        axpy(&mut out, 2.0, &[3.0, 4.0]);
+        assert_eq!(out, vec![7.0, 9.0]);
+    }
+
+    #[test]
+    fn fast_exp_tracks_libm() {
+        let mut x = -86.0f32;
+        while x < 86.0 {
+            let got = fast_exp(x);
+            let want = x.exp();
+            assert!((got - want).abs() <= 1e-6 * want, "exp({x}): got {got}, want {want}");
+            x += 0.1373;
+        }
+        assert_eq!(fast_exp(-1000.0), (-87.336_54f32).exp());
+        assert!(fast_exp(1000.0).is_finite(), "saturates instead of inf");
+    }
+
+    #[test]
+    fn fast_sigmoid_and_tanh_track_libm() {
+        let mut x = -30.0f32;
+        while x < 30.0 {
+            assert!((fast_sigmoid(x) - sigmoid(x)).abs() <= 1e-6, "sigmoid({x})");
+            assert!((fast_tanh(x) - x.tanh()).abs() <= 1e-6, "tanh({x})");
+            x += 0.0917;
+        }
+    }
+
+    #[test]
+    fn slice_activations_match_scalar_kernels() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let xs: Vec<f32> = (0..103).map(|_| rng.gen_range(-12.0f32..12.0)).collect();
+        let mut s = xs.clone();
+        sigmoid_slice(&mut s);
+        let mut t = xs.clone();
+        tanh_slice(&mut t);
+        for (i, &x) in xs.iter().enumerate() {
+            assert!((s[i] - fast_sigmoid(x)).abs() <= 1e-6);
+            assert!((t[i] - fast_tanh(x)).abs() <= 1e-6);
+        }
+        let mut a = xs.clone();
+        activate(&mut a, Activation::Sigmoid);
+        assert_eq!(a, s);
+    }
+}

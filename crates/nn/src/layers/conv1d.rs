@@ -3,6 +3,7 @@
 //! layer).
 
 use crate::graph::{Graph, Var};
+use crate::infer::{self, InferArena};
 use crate::init;
 use crate::params::{ParamId, ParamStore};
 use crate::tensor::Tensor;
@@ -38,10 +39,7 @@ impl Conv1d {
         width: usize,
     ) -> Self {
         assert!(width % 2 == 1, "Conv1d width must be odd, got {width}");
-        let w = store.register(
-            format!("{name}.w"),
-            init::he_uniform(rng, width * in_dim, out_dim),
-        );
+        let w = store.register(format!("{name}.w"), init::he_uniform(rng, width * in_dim, out_dim));
         let b = store.register(format!("{name}.b"), init::zeros(1, out_dim));
         Self { w, b, in_dim, out_dim, width }
     }
@@ -74,6 +72,46 @@ impl Conv1d {
             out_rows.push(g.relu(affine));
         }
         g.concat_rows(&out_rows)
+    }
+
+    /// Tape-free equivalent of [`Conv1d::forward_seq`] over `n` rows of
+    /// `xs` (row-major, `n * in_dim` long), returning a flat
+    /// `n x out_dim` buffer taken from `arena`. The zero-padded window is
+    /// assembled into one reused scratch row, so each position is a
+    /// single fused affine + ReLU.
+    pub fn infer_seq(
+        &self,
+        store: &ParamStore,
+        xs: &[f32],
+        n: usize,
+        arena: &mut InferArena,
+    ) -> Vec<f32> {
+        assert!(n > 0, "Conv1d sequence must be non-empty");
+        assert_eq!(xs.len(), n * self.in_dim, "Conv1d input length mismatch");
+        let half = self.width / 2;
+        let w = store.value(self.w).data();
+        let b = store.value(self.b).data();
+        let mut flat = arena.take(self.width * self.in_dim);
+        let mut out = arena.take(n * self.out_dim);
+        for t in 0..n {
+            for offset in 0..self.width {
+                let pos = t as isize + offset as isize - half as isize;
+                let dst = &mut flat[offset * self.in_dim..(offset + 1) * self.in_dim];
+                if pos < 0 || pos >= n as isize {
+                    dst.fill(0.0);
+                } else {
+                    let pos = pos as usize;
+                    dst.copy_from_slice(&xs[pos * self.in_dim..(pos + 1) * self.in_dim]);
+                }
+            }
+            let row = &mut out[t * self.out_dim..(t + 1) * self.out_dim];
+            infer::matmul_into(&flat, 1, self.width * self.in_dim, w, self.out_dim, row);
+            for (o, &bias) in row.iter_mut().zip(b.iter()) {
+                *o = (*o + bias).max(0.0);
+            }
+        }
+        arena.give(flat);
+        out
     }
 }
 
@@ -115,6 +153,22 @@ mod tests {
         let ys = conv.forward_seq(&mut g, &store, xs);
         // [0+1+2, 1+2+3, 2+3+0] = [3, 6, 5]
         assert_eq!(g.value(ys).data(), &[3.0, 6.0, 5.0]);
+    }
+
+    #[test]
+    fn infer_seq_tracks_tape() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(6);
+        let conv = Conv1d::new(&mut store, &mut rng, "c", 4, 6, 3);
+        let xs = Tensor::from_vec(5, 4, (0..20).map(|i| (i as f32 * 0.23).sin()).collect());
+        let mut g = Graph::new();
+        let xv = g.input(xs.clone());
+        let ys = conv.forward_seq(&mut g, &store, xv);
+        let mut arena = InferArena::new();
+        let fast = conv.infer_seq(&store, xs.data(), 5, &mut arena);
+        for (&got, &want) in fast.iter().zip(g.value(ys).data()) {
+            assert!((got - want).abs() <= 1e-5, "{got} vs {want}");
+        }
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Fully connected layer.
 
 use crate::graph::{Graph, Var};
+use crate::infer::{self, InferArena};
 use crate::init;
 use crate::params::{ParamId, ParamStore};
 use rand::Rng;
@@ -60,11 +61,7 @@ impl Dense {
     /// Applies the layer to a `batch x in_dim` variable, producing
     /// `batch x out_dim`.
     pub fn forward(&self, g: &mut Graph, store: &ParamStore, x: Var) -> Var {
-        assert_eq!(
-            g.value(x).cols(),
-            self.in_dim,
-            "dense layer input width mismatch"
-        );
+        assert_eq!(g.value(x).cols(), self.in_dim, "dense layer input width mismatch");
         let w = g.param(store, self.w);
         let b = g.param(store, self.b);
         let affine = g.matmul(x, w);
@@ -75,6 +72,34 @@ impl Dense {
             Activation::Sigmoid => g.sigmoid(affine),
             Activation::Tanh => g.tanh(affine),
         }
+    }
+
+    /// Tape-free equivalent of [`Dense::forward`]: fused affine + bias +
+    /// activation over `rows` row-major input rows, returning a
+    /// `rows * out_dim` buffer taken from `arena`. Same accumulation
+    /// order as the tape path (bias added after the product); only FMA
+    /// contraction and, for sigmoid/tanh, the fast polynomial `exp`
+    /// drift from it (~1e-7).
+    pub fn infer(
+        &self,
+        store: &ParamStore,
+        x: &[f32],
+        rows: usize,
+        arena: &mut InferArena,
+    ) -> Vec<f32> {
+        assert_eq!(x.len(), rows * self.in_dim, "dense layer input width mismatch");
+        let w = store.value(self.w).data();
+        let b = store.value(self.b).data();
+        let mut out = arena.take(rows * self.out_dim);
+        infer::matmul_into(x, rows, self.in_dim, w, self.out_dim, &mut out);
+        for r in 0..rows {
+            let row = &mut out[r * self.out_dim..(r + 1) * self.out_dim];
+            for (o, &bias) in row.iter_mut().zip(b.iter()) {
+                *o += bias;
+            }
+        }
+        infer::activate(&mut out, self.activation);
+        out
     }
 }
 
@@ -110,6 +135,24 @@ mod tests {
         let x = g.input(Tensor::scalar(-5.0));
         let y = layer.forward(&mut g, &store, x);
         assert_eq!(g.value(y).item(), 0.0);
+    }
+
+    #[test]
+    fn infer_tracks_tape() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(4);
+        for act in [Activation::Identity, Activation::Relu, Activation::Sigmoid, Activation::Tanh] {
+            let layer = Dense::new(&mut store, &mut rng, "d", 6, 3, act);
+            let x = Tensor::from_vec(2, 6, (0..12).map(|i| (i as f32 * 0.31).cos()).collect());
+            let mut g = Graph::new();
+            let xv = g.input(x.clone());
+            let y = layer.forward(&mut g, &store, xv);
+            let mut arena = InferArena::new();
+            let fast = layer.infer(&store, x.data(), 2, &mut arena);
+            for (&got, &want) in fast.iter().zip(g.value(y).data()) {
+                assert!((got - want).abs() <= 1e-5, "{act:?}: {got} vs {want}");
+            }
+        }
     }
 
     #[test]

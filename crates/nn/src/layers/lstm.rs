@@ -5,6 +5,7 @@
 //! with `c' = f ⊙ c + i ⊙ g` and `h' = o ⊙ tanh(c')`.
 
 use crate::graph::{Graph, Var};
+use crate::infer::{self, InferArena};
 use crate::init;
 use crate::params::{ParamId, ParamStore};
 use crate::tensor::Tensor;
@@ -42,8 +43,10 @@ impl LstmCell {
         in_dim: usize,
         hidden: usize,
     ) -> Self {
-        let wx = store.register(format!("{name}.wx"), init::xavier_uniform(rng, in_dim, 4 * hidden));
-        let wh = store.register(format!("{name}.wh"), init::xavier_uniform(rng, hidden, 4 * hidden));
+        let wx =
+            store.register(format!("{name}.wx"), init::xavier_uniform(rng, in_dim, 4 * hidden));
+        let wh =
+            store.register(format!("{name}.wh"), init::xavier_uniform(rng, hidden, 4 * hidden));
         let b = store.register(format!("{name}.b"), init::lstm_bias(hidden));
         Self { wx, wh, b, in_dim, hidden }
     }
@@ -77,6 +80,66 @@ impl LstmCell {
             hs.push(h);
         }
         g.concat_rows(&hs)
+    }
+
+    /// Tape-free equivalent of [`LstmCell::forward_seq`]: runs the cell
+    /// over `n` rows of `xs` (row-major, `n * in_dim` long) and returns
+    /// the `n x hidden` hidden states as a flat buffer taken from
+    /// `arena`. All four gates are computed in block-wise sweeps per
+    /// step through the SIMD kernels in [`crate::infer`]; accumulation
+    /// order matches the graph ops, so the result tracks the tape path
+    /// to within the FMA / polynomial-`exp` drift (~1e-6 absolute).
+    pub fn infer_seq(
+        &self,
+        store: &ParamStore,
+        xs: &[f32],
+        n: usize,
+        arena: &mut InferArena,
+    ) -> Vec<f32> {
+        assert!(n > 0, "LSTM sequence must be non-empty");
+        assert_eq!(xs.len(), n * self.in_dim, "LSTM input length mismatch");
+        let hidden = self.hidden;
+        let gates = 4 * hidden;
+        let wx = store.value(self.wx).data();
+        let wh = store.value(self.wh).data();
+        let b = store.value(self.b).data();
+
+        let mut h = arena.take(hidden);
+        let mut c = arena.take(hidden);
+        let mut xz = arena.take(gates);
+        let mut hz = arena.take(gates);
+        let mut ct = arena.take(hidden);
+        let mut out = arena.take(n * hidden);
+        for t in 0..n {
+            let x_t = &xs[t * self.in_dim..(t + 1) * self.in_dim];
+            infer::matmul_into(x_t, 1, self.in_dim, wx, gates, &mut xz);
+            infer::matmul_into(&h, 1, hidden, wh, gates, &mut hz);
+            // z = (x@Wx + h@Wh) + b, associated exactly like the tape.
+            for j in 0..gates {
+                xz[j] = (xz[j] + hz[j]) + b[j];
+            }
+            // Gate layout [i, f, g, o]: sigmoid the contiguous [i, f]
+            // block, tanh the candidate, sigmoid the output gate — three
+            // vectorised sweeps instead of four scalar calls per lane.
+            infer::sigmoid_slice(&mut xz[..2 * hidden]);
+            infer::tanh_slice(&mut xz[2 * hidden..3 * hidden]);
+            infer::sigmoid_slice(&mut xz[3 * hidden..]);
+            for j in 0..hidden {
+                c[j] = xz[hidden + j] * c[j] + xz[j] * xz[2 * hidden + j];
+            }
+            ct.copy_from_slice(&c);
+            infer::tanh_slice(&mut ct);
+            for j in 0..hidden {
+                h[j] = xz[3 * hidden + j] * ct[j];
+            }
+            out[t * hidden..(t + 1) * hidden].copy_from_slice(&h);
+        }
+        arena.give(h);
+        arena.give(c);
+        arena.give(xz);
+        arena.give(hz);
+        arena.give(ct);
+        out
     }
 }
 
@@ -150,6 +213,22 @@ mod tests {
     }
 
     #[test]
+    fn infer_seq_tracks_tape() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(11);
+        let cell = LstmCell::new(&mut store, &mut rng, "lstm", 5, 8);
+        let xs = Tensor::from_vec(4, 5, (0..20).map(|i| (i as f32 * 0.17).sin()).collect());
+        let mut g = Graph::new();
+        let xv = g.input(xs.clone());
+        let hs = cell.forward_seq(&mut g, &store, xv);
+        let mut arena = InferArena::new();
+        let fast = cell.infer_seq(&store, xs.data(), 4, &mut arena);
+        for (&got, &want) in fast.iter().zip(g.value(hs).data()) {
+            assert!((got - want).abs() <= 1e-5, "fast {got} drifted from tape {want}");
+        }
+    }
+
+    #[test]
     fn gradients_flow_to_all_parameters() {
         let mut store = ParamStore::new();
         let mut rng = StdRng::seed_from_u64(5);
@@ -161,11 +240,7 @@ mod tests {
         let grads = g.backward(loss);
         g.accumulate_grads(&grads, &mut store, 1.0);
         for id in store.ids().collect::<Vec<_>>() {
-            assert!(
-                store.grad(id).norm() > 0.0,
-                "no gradient reached {}",
-                store.name(id)
-            );
+            assert!(store.grad(id).norm() > 0.0, "no gradient reached {}", store.name(id));
         }
     }
 }

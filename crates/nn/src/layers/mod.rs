@@ -5,7 +5,7 @@ mod conv1d;
 mod dense;
 mod lstm;
 
-pub use attention::{attention_weights, dot_attention};
+pub use attention::{attention_weights, dot_attention, dot_attention_into};
 pub use conv1d::Conv1d;
 pub use dense::{Activation, Dense};
 pub use lstm::{BoundLstm, LstmCell};

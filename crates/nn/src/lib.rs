@@ -4,7 +4,9 @@
 //! by the RAAL cost model of *"A Resource-Aware Deep Cost Model for Big
 //! Data Query Processing"* (ICDE 2022): dense layers, an LSTM cell, a 1-D
 //! convolution (for the RAAC ablation) and dot-product attention primitives
-//! (for the node-aware and resource-aware attention layers).
+//! (for the node-aware and resource-aware attention layers). The [`infer`]
+//! module provides a tape-free SIMD fast path for each layer that tracks
+//! the tape's values to ~1e-6 without recording gradient state.
 //!
 //! Design goals, in order:
 //! 1. **Verifiability** — every backward rule is checked against central
@@ -33,6 +35,7 @@
 
 pub mod gradcheck;
 pub mod graph;
+pub mod infer;
 pub mod init;
 pub mod layers;
 pub mod optim;
@@ -40,5 +43,6 @@ pub mod params;
 pub mod tensor;
 
 pub use graph::{Gradients, Graph, Var};
+pub use infer::InferArena;
 pub use params::{ParamId, ParamStore};
 pub use tensor::Tensor;

@@ -53,7 +53,14 @@ pub struct Adam {
 impl Adam {
     /// Creates an Adam optimizer with standard moments (0.9 / 0.999).
     pub fn new(lr: f32) -> Self {
-        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0, t: 0 }
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            t: 0,
+        }
     }
 
     /// Number of steps taken so far.

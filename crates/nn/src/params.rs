@@ -139,7 +139,10 @@ impl ParamStore {
         }
     }
 
-    pub(crate) fn entry_mut(&mut self, id: ParamId) -> (&mut Tensor, &Tensor, &mut Tensor, &mut Tensor) {
+    pub(crate) fn entry_mut(
+        &mut self,
+        id: ParamId,
+    ) -> (&mut Tensor, &Tensor, &mut Tensor, &mut Tensor) {
         let e = &mut self.params[id.0];
         (&mut e.value, &e.grad, &mut e.m, &mut e.v)
     }

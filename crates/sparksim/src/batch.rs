@@ -103,10 +103,7 @@ mod tests {
 
     fn batch() -> Batch {
         Batch::from_columns(vec![
-            (
-                ColumnRef::new("t", "id"),
-                Column::non_null(ColumnData::Int(vec![1, 2, 3])),
-            ),
+            (ColumnRef::new("t", "id"), Column::non_null(ColumnData::Int(vec![1, 2, 3]))),
             (
                 ColumnRef::new("t", "x"),
                 Column::non_null(ColumnData::Float(vec![0.1, 0.2, 0.3])),
@@ -143,14 +140,8 @@ mod tests {
     #[should_panic(expected = "equal length")]
     fn ragged_batch_rejected() {
         let _ = Batch::from_columns(vec![
-            (
-                ColumnRef::new("t", "a"),
-                Column::non_null(ColumnData::Int(vec![1])),
-            ),
-            (
-                ColumnRef::new("t", "b"),
-                Column::non_null(ColumnData::Int(vec![1, 2])),
-            ),
+            (ColumnRef::new("t", "a"), Column::non_null(ColumnData::Int(vec![1]))),
+            (ColumnRef::new("t", "b"), Column::non_null(ColumnData::Int(vec![1, 2]))),
         ]);
     }
 }

@@ -140,9 +140,7 @@ impl Engine {
         seed: u64,
     ) -> Result<String, EngineError> {
         let result = self.execute_plan(plan)?;
-        let report = self
-            .simulator
-            .simulate_report(plan, &result.metrics, resources, seed);
+        let report = self.simulator.simulate_report(plan, &result.metrics, resources, seed);
         let mut out = String::new();
         for id in (0..plan.len()).rev() {
             let node = plan.node(id);
@@ -186,9 +184,7 @@ impl Engine {
         seed: u64,
     ) -> Result<ObservedRun, EngineError> {
         let result = self.execute_plan(plan)?;
-        let report = self
-            .simulator
-            .simulate_report(plan, &result.metrics, resources, seed);
+        let report = self.simulator.simulate_report(plan, &result.metrics, resources, seed);
         Ok(ObservedRun { result, report })
     }
 
@@ -201,8 +197,7 @@ impl Engine {
         resources: &ResourceConfig,
         seed: u64,
     ) -> SimReport {
-        self.simulator
-            .simulate_report(plan, &result.metrics, resources, seed)
+        self.simulator.simulate_report(plan, &result.metrics, resources, seed)
     }
 }
 
@@ -288,9 +283,7 @@ mod tests {
     #[test]
     fn explain_analyze_annotates_estimates_and_actuals() {
         let e = engine();
-        let plans = e
-            .plan_candidates("SELECT COUNT(*) FROM t WHERE t.x < 5")
-            .unwrap();
+        let plans = e.plan_candidates("SELECT COUNT(*) FROM t WHERE t.x < 5").unwrap();
         let res = ResourceConfig::default_for(e.simulator().cluster());
         let text = e.explain_analyze(&plans[0], &res, 3).unwrap();
         assert!(text.contains("actual_rows"));
@@ -302,9 +295,6 @@ mod tests {
     fn parse_error_is_reported() {
         let e = engine();
         assert!(matches!(e.spec("SELEKT *"), Err(EngineError::Parse(_))));
-        assert!(matches!(
-            e.spec("SELECT COUNT(*) FROM missing"),
-            Err(EngineError::Resolve(_))
-        ));
+        assert!(matches!(e.spec("SELECT COUNT(*) FROM missing"), Err(EngineError::Resolve(_))));
     }
 }

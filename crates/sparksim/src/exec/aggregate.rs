@@ -122,7 +122,11 @@ impl Groups {
     }
 }
 
-fn group_key(batch: &Batch, group_by: &[ColumnRef], row: usize) -> Result<Vec<KeyValue>, ExecError> {
+fn group_key(
+    batch: &Batch,
+    group_by: &[ColumnRef],
+    row: usize,
+) -> Result<Vec<KeyValue>, ExecError> {
     group_by
         .iter()
         .map(|re| {
@@ -145,9 +149,7 @@ fn partial(input: &Batch, group_by: &[ColumnRef], aggs: &[AggSpec]) -> Result<Ba
         .collect();
     for (a, col) in aggs.iter().zip(&arg_cols) {
         if let (Some(arg), None) = (&a.arg, col) {
-            return exec_err(format!(
-                "aggregate input is missing argument column {arg}"
-            ));
+            return exec_err(format!("aggregate input is missing argument column {arg}"));
         }
     }
 
@@ -199,7 +201,11 @@ fn partial(input: &Batch, group_by: &[ColumnRef], aggs: &[AggSpec]) -> Result<Ba
                 out.push(acc_ref(ai, "sum"), column_from_values(&vals));
             }
             AggFunc::Min | AggFunc::Max => {
-                let tag = if spec.func == AggFunc::Min { "min" } else { "max" };
+                let tag = if spec.func == AggFunc::Min {
+                    "min"
+                } else {
+                    "max"
+                };
                 let vals: Vec<Value> = accs
                     .iter()
                     .map(|a| match &a[ai] {
@@ -232,7 +238,11 @@ fn partial(input: &Batch, group_by: &[ColumnRef], aggs: &[AggSpec]) -> Result<Ba
     Ok(out)
 }
 
-fn final_merge(input: &Batch, group_by: &[ColumnRef], aggs: &[AggSpec]) -> Result<Batch, ExecError> {
+fn final_merge(
+    input: &Batch,
+    group_by: &[ColumnRef],
+    aggs: &[AggSpec],
+) -> Result<Batch, ExecError> {
     let mut groups = Groups::new();
     // Per group, per agg: merged state as (f64 sum, i64 count, Option<Value> best, bool any).
     let mut merged: Vec<Vec<Acc>> = Vec::new();
@@ -263,7 +273,11 @@ fn final_merge(input: &Batch, group_by: &[ColumnRef], aggs: &[AggSpec]) -> Resul
                     }
                 }
                 AggFunc::Min | AggFunc::Max => {
-                    let tag = if spec.func == AggFunc::Min { "min" } else { "max" };
+                    let tag = if spec.func == AggFunc::Min {
+                        "min"
+                    } else {
+                        "max"
+                    };
                     let v = fetch(input, ai, tag, row)?;
                     merged[g][ai].update(Some(&v));
                 }
@@ -308,22 +322,16 @@ fn final_merge(input: &Batch, group_by: &[ColumnRef], aggs: &[AggSpec]) -> Resul
                 }
             })
             .collect();
-        out.push(
-            ColumnRef::new(AGG_TABLE, format!("a{ai}")),
-            column_from_values(&vals),
-        );
+        out.push(ColumnRef::new(AGG_TABLE, format!("a{ai}")), column_from_values(&vals));
     }
     Ok(out)
 }
 
 fn fetch(input: &Batch, ai: usize, tag: &str, row: usize) -> Result<Value, ExecError> {
     let re = acc_ref(ai, tag);
-    input
-        .column(&re)
-        .map(|c| c.value(row))
-        .ok_or_else(|| ExecError {
-            message: format!("final aggregate expects partial column {re}"),
-        })
+    input.column(&re).map(|c| c.value(row)).ok_or_else(|| ExecError {
+        message: format!("final aggregate expects partial column {re}"),
+    })
 }
 
 fn acc_ref(ai: usize, tag: &str) -> ColumnRef {
@@ -381,10 +389,7 @@ mod tests {
 
     fn input() -> Batch {
         let mut b = Batch::new();
-        b.push(
-            ColumnRef::new("t", "g"),
-            Column::non_null(ColumnData::Int(vec![1, 1, 2, 2, 2])),
-        );
+        b.push(ColumnRef::new("t", "g"), Column::non_null(ColumnData::Int(vec![1, 1, 2, 2, 2])));
         b.push(
             ColumnRef::new("t", "x"),
             Column {
@@ -452,10 +457,7 @@ mod tests {
     fn empty_input_global_aggregate_yields_one_row() {
         let empty = {
             let mut b = Batch::new();
-            b.push(
-                ColumnRef::new("t", "x"),
-                Column::non_null(ColumnData::Int(vec![])),
-            );
+            b.push(ColumnRef::new("t", "x"), Column::non_null(ColumnData::Int(vec![])));
             b
         };
         let aggs = [count_star(), agg(AggFunc::Sum)];

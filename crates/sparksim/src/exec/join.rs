@@ -19,12 +19,8 @@ pub fn hash_join(
     build_key: &ColumnRef,
     max_rows: usize,
 ) -> Result<Batch, ExecError> {
-    let probe_col = probe
-        .column(probe_key)
-        .ok_or_else(|| missing(probe_key, "probe"))?;
-    let build_col = build
-        .column(build_key)
-        .ok_or_else(|| missing(build_key, "build"))?;
+    let probe_col = probe.column(probe_key).ok_or_else(|| missing(probe_key, "probe"))?;
+    let build_col = build.column(build_key).ok_or_else(|| missing(build_key, "build"))?;
 
     let mut table: HashMap<KeyValue, Vec<usize>> = HashMap::with_capacity(build.num_rows());
     for i in 0..build.num_rows() {
@@ -66,9 +62,7 @@ pub fn merge_join(
     max_rows: usize,
 ) -> Result<Batch, ExecError> {
     let lcol = left.column(left_key).ok_or_else(|| missing(left_key, "left"))?;
-    let rcol = right
-        .column(right_key)
-        .ok_or_else(|| missing(right_key, "right"))?;
+    let rcol = right.column(right_key).ok_or_else(|| missing(right_key, "right"))?;
 
     let mut li = 0usize;
     let mut ri = 0usize;
@@ -130,7 +124,9 @@ fn stitch(left: &Batch, right: &Batch, left_idx: &[usize], right_idx: &[usize]) 
 }
 
 fn missing(key: &ColumnRef, side: &str) -> ExecError {
-    ExecError { message: format!("{side} side is missing join key column {key}") }
+    ExecError {
+        message: format!("{side} side is missing join key column {key}"),
+    }
 }
 
 #[cfg(test)]
@@ -142,10 +138,7 @@ mod tests {
     fn batch(table: &str, ids: Vec<i64>, payload: Vec<i64>) -> Batch {
         let mut b = Batch::new();
         b.push(ColumnRef::new(table, "id"), Column::non_null(ColumnData::Int(ids)));
-        b.push(
-            ColumnRef::new(table, "v"),
-            Column::non_null(ColumnData::Int(payload)),
-        );
+        b.push(ColumnRef::new(table, "v"), Column::non_null(ColumnData::Int(payload)));
         b
     }
 
@@ -253,13 +246,8 @@ mod tests {
     fn missing_key_column_is_error() {
         let l = batch("l", vec![1], vec![10]);
         let r = batch("r", vec![1], vec![10]);
-        let res = hash_join(
-            &l,
-            &r,
-            &ColumnRef::new("l", "nope"),
-            &ColumnRef::new("r", "id"),
-            usize::MAX,
-        );
+        let res =
+            hash_join(&l, &r, &ColumnRef::new("l", "nope"), &ColumnRef::new("r", "id"), usize::MAX);
         assert!(res.is_err());
     }
 }

@@ -118,18 +118,8 @@ impl<'a> Executor<'a> {
                     (rows, rows * width.max(8) as f64)
                 }
                 _ => {
-                    let rows = plan
-                        .node(id)
-                        .children
-                        .iter()
-                        .map(|&c| metrics[c].rows_out)
-                        .sum();
-                    let bytes = plan
-                        .node(id)
-                        .children
-                        .iter()
-                        .map(|&c| metrics[c].bytes_out)
-                        .sum();
+                    let rows = plan.node(id).children.iter().map(|&c| metrics[c].rows_out).sum();
+                    let bytes = plan.node(id).children.iter().map(|&c| metrics[c].bytes_out).sum();
                     (rows, bytes)
                 }
             };
@@ -163,15 +153,14 @@ impl<'a> Executor<'a> {
             node.children
                 .get(i)
                 .and_then(|&c| outputs[c].as_ref())
-                .ok_or_else(|| ExecError {
-                    message: format!("node {id} missing child {i}"),
-                })
+                .ok_or_else(|| ExecError { message: format!("node {id} missing child {i}") })
         };
         match &node.op {
             PhysicalOp::FileScan { binding, table, output, pushed_filter } => {
-                let t = self.catalog.table(table).ok_or_else(|| ExecError {
-                    message: format!("unknown table '{table}'"),
-                })?;
+                let t = self
+                    .catalog
+                    .table(table)
+                    .ok_or_else(|| ExecError { message: format!("unknown table '{table}'") })?;
                 let mut batch = Batch::new();
                 for re in output {
                     let col = t.column(&re.column).ok_or_else(|| ExecError {
@@ -184,10 +173,8 @@ impl<'a> Executor<'a> {
                 if output.is_empty() {
                     if let Some(first) = t.schema.columns.first() {
                         let col = t.column(&first.name).expect("schema column exists");
-                        batch.push(
-                            ColumnRef::new(binding.clone(), first.name.clone()),
-                            col.clone(),
-                        );
+                        batch
+                            .push(ColumnRef::new(binding.clone(), first.name.clone()), col.clone());
                     }
                 }
                 match pushed_filter {
@@ -238,7 +225,9 @@ pub fn sort_batch(batch: &Batch, keys: &[(ColumnRef, bool)]) -> Batch {
     let mut indices: Vec<usize> = (0..batch.num_rows()).collect();
     indices.sort_by(|&a, &b| {
         for (re, asc) in keys {
-            let Some(col) = batch.column(re) else { continue };
+            let Some(col) = batch.column(re) else {
+                continue;
+            };
             let (va, vb) = (col.value(a), col.value(b));
             let ord = match (va.is_null(), vb.is_null()) {
                 (true, true) => std::cmp::Ordering::Equal,
@@ -301,10 +290,7 @@ mod tests {
 
     fn batch() -> Batch {
         let mut b = Batch::new();
-        b.push(
-            ColumnRef::new("t", "id"),
-            Column::non_null(ColumnData::Int(vec![3, 1, 2])),
-        );
+        b.push(ColumnRef::new("t", "id"), Column::non_null(ColumnData::Int(vec![3, 1, 2])));
         b
     }
 
@@ -347,12 +333,7 @@ mod tests {
 
     #[test]
     fn key_value_round_trip() {
-        for v in [
-            Value::Null,
-            Value::Int(-7),
-            Value::Float(2.5),
-            Value::Str("abc".into()),
-        ] {
+        for v in [Value::Null, Value::Int(-7), Value::Float(2.5), Value::Str("abc".into())] {
             assert_eq!(KeyValue::from_value(&v).to_value(), v);
         }
     }

@@ -82,9 +82,9 @@ pub fn execute_reference(catalog: &Catalog, spec: &QuerySpec) -> Result<Vec<RefR
     };
     if !spec.residual.is_empty() {
         tuples.retain(|tuple| {
-            spec.residual.iter().all(|pred| {
-                eval_pred_on_tuple(pred, spec, &batches, tuple) == Some(true)
-            })
+            spec.residual
+                .iter()
+                .all(|pred| eval_pred_on_tuple(pred, spec, &batches, tuple) == Some(true))
         });
     }
 
@@ -181,7 +181,9 @@ fn join_edges_hold(spec: &QuerySpec, batches: &[Batch], tuple: &[usize]) -> bool
     for e in &spec.join_edges {
         let li = spec.bindings.iter().position(|b| b.name == e.left.table);
         let ri = spec.bindings.iter().position(|b| b.name == e.right.table);
-        let (Some(li), Some(ri)) = (li, ri) else { continue };
+        let (Some(li), Some(ri)) = (li, ri) else {
+            continue;
+        };
         if li >= present || ri >= present {
             continue; // edge not yet applicable
         }
@@ -189,8 +191,7 @@ fn join_edges_hold(spec: &QuerySpec, batches: &[Batch], tuple: &[usize]) -> bool
         let rv = batches[ri].column(&e.right).map(|c| c.value(tuple[ri]));
         match (lv, rv) {
             (Some(a), Some(b)) => {
-                if a.is_null() || b.is_null() || a.sql_cmp(&b) != Some(std::cmp::Ordering::Equal)
-                {
+                if a.is_null() || b.is_null() || a.sql_cmp(&b) != Some(std::cmp::Ordering::Equal) {
                     return false;
                 }
             }
@@ -368,20 +369,14 @@ mod tests {
         rows.sort_by_key(|r| r[0].as_i64());
         assert_eq!(
             rows,
-            vec![
-                vec![Value::Int(1), Value::Int(2)],
-                vec![Value::Int(2), Value::Int(1)],
-            ]
+            vec![vec![Value::Int(1), Value::Int(2)], vec![Value::Int(2), Value::Int(1)],]
         );
     }
 
     #[test]
     fn select_with_order_and_limit() {
         let rows = run("SELECT a.id FROM a WHERE a.x > 10 ORDER BY a.id DESC LIMIT 2");
-        assert_eq!(
-            rows,
-            vec![vec![Value::Int(4)], vec![Value::Int(3)]]
-        );
+        assert_eq!(rows, vec![vec![Value::Int(4)], vec![Value::Int(3)]]);
     }
 
     #[test]
@@ -389,12 +384,7 @@ mod tests {
         let rows = run("SELECT SUM(a.x), AVG(a.x), MIN(a.x), MAX(a.x) FROM a");
         assert_eq!(
             rows,
-            vec![vec![
-                Value::Float(100.0),
-                Value::Float(25.0),
-                Value::Int(10),
-                Value::Int(40),
-            ]]
+            vec![vec![Value::Float(100.0), Value::Float(25.0), Value::Int(10), Value::Int(40),]]
         );
     }
 }

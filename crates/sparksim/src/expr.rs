@@ -113,10 +113,16 @@ impl Expr {
 
     /// Conjunction of a list of predicates; `None` for an empty list.
     pub fn conjunction(mut preds: Vec<Expr>) -> Option<Expr> {
-        let first = if preds.is_empty() { return None } else { preds.remove(0) };
-        Some(preds.into_iter().fold(first, |acc, p| {
-            Expr::And(Box::new(acc), Box::new(p))
-        }))
+        let first = if preds.is_empty() {
+            return None;
+        } else {
+            preds.remove(0)
+        };
+        Some(
+            preds
+                .into_iter()
+                .fold(first, |acc, p| Expr::And(Box::new(acc), Box::new(p))),
+        )
     }
 
     /// Splits a conjunctive expression into its AND-ed factors.
@@ -163,10 +169,7 @@ impl Expr {
     /// Evaluates the expression for a single row of a batch.
     pub fn eval_row(&self, batch: &Batch, row: usize) -> Value {
         match self {
-            Expr::Column(c) => batch
-                .column(c)
-                .map(|col| col.value(row))
-                .unwrap_or(Value::Null),
+            Expr::Column(c) => batch.column(c).map(|col| col.value(row)).unwrap_or(Value::Null),
             Expr::Literal(v) => v.clone(),
             Expr::Cmp { op, left, right } => {
                 let l = left.eval_row(batch, row);
@@ -201,21 +204,14 @@ impl Expr {
             Expr::And(a, b) => {
                 let ma = a.eval_mask(batch);
                 let mb = b.eval_mask(batch);
-                ma.into_iter()
-                    .zip(mb)
-                    .map(|(x, y)| tri_and_b(x, y))
-                    .collect()
+                ma.into_iter().zip(mb).map(|(x, y)| tri_and_b(x, y)).collect()
             }
             Expr::Or(a, b) => {
                 let ma = a.eval_mask(batch);
                 let mb = b.eval_mask(batch);
                 ma.into_iter().zip(mb).map(|(x, y)| tri_or_b(x, y)).collect()
             }
-            Expr::Not(e) => e
-                .eval_mask(batch)
-                .into_iter()
-                .map(|x| x.map(|b| !b))
-                .collect(),
+            Expr::Not(e) => e.eval_mask(batch).into_iter().map(|x| x.map(|b| !b)).collect(),
             Expr::IsNotNull(e) => match e.as_ref() {
                 Expr::Column(c) => {
                     let col = match batch.column(c) {
@@ -224,9 +220,7 @@ impl Expr {
                     };
                     (0..n).map(|i| Some(col.is_valid(i))).collect()
                 }
-                _ => (0..n)
-                    .map(|i| Some(!e.eval_row(batch, i).is_null()))
-                    .collect(),
+                _ => (0..n).map(|i| Some(!e.eval_row(batch, i).is_null())).collect(),
             },
             Expr::IsNull(e) => match e.as_ref() {
                 Expr::Column(c) => {
@@ -236,9 +230,7 @@ impl Expr {
                     };
                     (0..n).map(|i| Some(!col.is_valid(i))).collect()
                 }
-                _ => (0..n)
-                    .map(|i| Some(e.eval_row(batch, i).is_null()))
-                    .collect(),
+                _ => (0..n).map(|i| Some(e.eval_row(batch, i).is_null())).collect(),
             },
             Expr::Cmp { op, left, right } => {
                 // Fast path: column vs literal.
@@ -444,10 +436,7 @@ mod tests {
         names.push_null();
         names.push("alphabet");
         let mut b = Batch::new();
-        b.push(
-            ColumnRef::new("t", "id"),
-            Column::non_null(ColumnData::Int(vec![1, 2, 3, 4])),
-        );
+        b.push(ColumnRef::new("t", "id"), Column::non_null(ColumnData::Int(vec![1, 2, 3, 4])));
         b.push(ColumnRef::new("t", "name"), names.finish());
         b
     }
@@ -459,28 +448,19 @@ mod tests {
     #[test]
     fn numeric_comparison_mask() {
         let e = Expr::cmp(col("id"), CmpOp::Lt, Value::Int(3));
-        assert_eq!(
-            e.eval_mask(&batch()),
-            vec![Some(true), Some(true), Some(false), Some(false)]
-        );
+        assert_eq!(e.eval_mask(&batch()), vec![Some(true), Some(true), Some(false), Some(false)]);
     }
 
     #[test]
     fn null_propagates_through_comparison() {
         let e = Expr::cmp(col("name"), CmpOp::Eq, Value::Str("beta".into()));
-        assert_eq!(
-            e.eval_mask(&batch()),
-            vec![Some(false), Some(true), None, Some(false)]
-        );
+        assert_eq!(e.eval_mask(&batch()), vec![Some(false), Some(true), None, Some(false)]);
     }
 
     #[test]
     fn is_not_null_mask() {
         let e = Expr::IsNotNull(Box::new(Expr::Column(col("name"))));
-        assert_eq!(
-            e.eval_mask(&batch()),
-            vec![Some(true), Some(true), Some(false), Some(true)]
-        );
+        assert_eq!(e.eval_mask(&batch()), vec![Some(true), Some(true), Some(false), Some(true)]);
     }
 
     #[test]
@@ -490,10 +470,7 @@ mod tests {
             Box::new(Expr::cmp(col("name"), CmpOp::Eq, Value::Str("beta".into()))),
             Box::new(Expr::cmp(col("id"), CmpOp::Lt, Value::Int(5))),
         );
-        assert_eq!(
-            e.eval_mask(&batch()),
-            vec![Some(false), Some(true), None, Some(false)]
-        );
+        assert_eq!(e.eval_mask(&batch()), vec![Some(false), Some(true), None, Some(false)]);
     }
 
     #[test]
@@ -524,10 +501,7 @@ mod tests {
             expr: Box::new(Expr::Column(col("name"))),
             pattern: "alpha%".into(),
         };
-        assert_eq!(
-            e.eval_mask(&batch()),
-            vec![Some(true), Some(false), None, Some(true)]
-        );
+        assert_eq!(e.eval_mask(&batch()), vec![Some(true), Some(false), None, Some(true)]);
     }
 
     #[test]
@@ -567,10 +541,7 @@ mod tests {
             left: Box::new(Expr::Literal(Value::Int(3))),
             right: Box::new(Expr::Column(col("id"))),
         };
-        assert_eq!(
-            e.eval_mask(&batch()),
-            vec![Some(true), Some(true), Some(false), Some(false)]
-        );
+        assert_eq!(e.eval_mask(&batch()), vec![Some(true), Some(true), Some(false), Some(false)]);
     }
 
     #[test]

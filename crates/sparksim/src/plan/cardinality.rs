@@ -148,10 +148,7 @@ mod tests {
 
     fn uniform_table(n: i64) -> Table {
         Table::new(
-            TableSchema::new(
-                "t",
-                vec![ColumnDef::new("x", DataType::Int, false)],
-            ),
+            TableSchema::new("t", vec![ColumnDef::new("x", DataType::Int, false)]),
             vec![Column::non_null(ColumnData::Int((0..n).collect()))],
         )
     }

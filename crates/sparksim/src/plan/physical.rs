@@ -180,10 +180,7 @@ impl PhysicalPlan {
         est_bytes: f64,
     ) -> NodeId {
         let id = self.nodes.len();
-        assert!(
-            children.iter().all(|&c| c < id),
-            "plan must be built bottom-up"
-        );
+        assert!(children.iter().all(|&c| c < id), "plan must be built bottom-up");
         self.nodes.push(PhysicalNode { op, children, est_rows, est_bytes });
         id
     }
@@ -300,11 +297,7 @@ impl PhysicalPlan {
                         }
                     })
                     .collect();
-                format!(
-                    "HashAggregate(keys=[{}], functions=[{}])",
-                    keys.join(", "),
-                    fns.join(", ")
-                )
+                format!("HashAggregate(keys=[{}], functions=[{}])", keys.join(", "), fns.join(", "))
             }
             PhysicalOp::Limit { n } => format!("CollectLimit {n}"),
         }
@@ -366,11 +359,7 @@ mod tests {
                 binding: "t".into(),
                 table: "title".into(),
                 output: vec![ColumnRef::new("t", "id")],
-                pushed_filter: Some(Expr::cmp(
-                    ColumnRef::new("t", "id"),
-                    CmpOp::Lt,
-                    Value::Int(7),
-                )),
+                pushed_filter: Some(Expr::cmp(ColumnRef::new("t", "id"), CmpOp::Lt, Value::Int(7))),
             },
             vec![],
             100.0,
@@ -406,14 +395,8 @@ mod tests {
     #[test]
     fn statements_render_spark_style() {
         let p = two_node_plan();
-        assert_eq!(
-            p.statement(0),
-            "FileScan title[id] PushedFilters: [(t.id < 7)]"
-        );
-        assert_eq!(
-            p.statement(1),
-            "HashAggregate(keys=[], functions=[partial_count(1)])"
-        );
+        assert_eq!(p.statement(0), "FileScan title[id] PushedFilters: [(t.id < 7)]");
+        assert_eq!(p.statement(1), "HashAggregate(keys=[], functions=[partial_count(1)])");
     }
 
     #[test]

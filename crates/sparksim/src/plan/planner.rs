@@ -9,9 +9,7 @@
 
 use crate::catalog::Catalog;
 use crate::expr::{CmpOp, Expr};
-use crate::plan::cardinality::{
-    estimate_join_rows, estimate_scan_rows, DEFAULT_SELECTIVITY,
-};
+use crate::plan::cardinality::{estimate_join_rows, estimate_scan_rows, DEFAULT_SELECTIVITY};
 use crate::plan::physical::{AggMode, NodeId, PhysicalOp, PhysicalPlan};
 use crate::plan::spec::QuerySpec;
 use crate::schema::ColumnRef;
@@ -140,11 +138,10 @@ impl<'a> Planner<'a> {
         let n = spec.bindings.len();
         for step in 1..n {
             let name = &spec.bindings[step].name;
-            let connected = spec.join_edges.iter().any(|e| {
-                spec.bindings[..step]
-                    .iter()
-                    .any(|b| e.connects(&b.name, name))
-            });
+            let connected = spec
+                .join_edges
+                .iter()
+                .any(|e| spec.bindings[..step].iter().any(|b| e.connects(&b.name, name)));
             if !connected {
                 return None;
             }
@@ -200,9 +197,10 @@ impl<'a> Planner<'a> {
                         continue;
                     }
                     let cand_name = &spec.bindings[cand].name;
-                    let edge = spec.join_edges.iter().find(|e| {
-                        included.iter().any(|inc| e.connects(inc, cand_name))
-                    });
+                    let edge = spec
+                        .join_edges
+                        .iter()
+                        .find(|e| included.iter().any(|inc| e.connects(inc, cand_name)));
                     let Some(edge) = edge else { continue };
                     let est =
                         estimate_join_rows(current_rows, *cand_rows, edge, spec, self.catalog);
@@ -268,10 +266,7 @@ impl<'a> Planner<'a> {
         let output = spec.required_columns(&b.name);
         // Catalyst's logical optimizer simplifies predicates before
         // physical planning (constant folding, NOT pushing, ...).
-        let filter = spec
-            .table_filters
-            .get(&b.name)
-            .map(crate::plan::simplify::simplify);
+        let filter = spec.table_filters.get(&b.name).map(crate::plan::simplify::simplify);
         match filter {
             Some(predicate) if !push_filter => {
                 let scan = plan.add(
@@ -403,10 +398,7 @@ impl<'a> Planner<'a> {
                         right_rows * right_width,
                     );
                     plan.add(
-                        PhysicalOp::BroadcastHashJoin {
-                            probe_key: left_key,
-                            build_key: right_key,
-                        },
+                        PhysicalOp::BroadcastHashJoin { probe_key: left_key, build_key: right_key },
                         vec![current, bex],
                         out_rows,
                         out_bytes,
@@ -699,9 +691,8 @@ mod tests {
 
     #[test]
     fn small_table_defaults_to_broadcast() {
-        let plans = plans_for(
-            "SELECT COUNT(*) FROM title t, movie_keyword mk WHERE t.id = mk.movie_id",
-        );
+        let plans =
+            plans_for("SELECT COUNT(*) FROM title t, movie_keyword mk WHERE t.id = mk.movie_id");
         // movie_keyword is tiny -> default plan broadcasts it.
         assert!(
             plans[0].explain().contains("BroadcastHashJoin"),
@@ -734,25 +725,21 @@ mod tests {
 
     #[test]
     fn group_by_uses_hash_exchange() {
-        let plans =
-            plans_for("SELECT t.kind_id, COUNT(*) FROM title t GROUP BY t.kind_id");
+        let plans = plans_for("SELECT t.kind_id, COUNT(*) FROM title t GROUP BY t.kind_id");
         assert!(plans[0].explain().contains("Exchange hashpartitioning"));
     }
 
     #[test]
     fn order_and_limit_appear_at_top() {
-        let plans = plans_for(
-            "SELECT t.id FROM title t WHERE t.kind_id < 3 ORDER BY t.id LIMIT 5",
-        );
+        let plans = plans_for("SELECT t.id FROM title t WHERE t.kind_id < 3 ORDER BY t.id LIMIT 5");
         let p = &plans[0];
         assert!(matches!(p.node(p.root()).op, PhysicalOp::Limit { n: 5 }));
     }
 
     #[test]
     fn estimates_are_positive_and_monotone_ish() {
-        let plans = plans_for(
-            "SELECT COUNT(*) FROM title t, movie_companies mc WHERE t.id = mc.movie_id",
-        );
+        let plans =
+            plans_for("SELECT COUNT(*) FROM title t, movie_companies mc WHERE t.id = mc.movie_id");
         for p in &plans {
             for n in p.nodes() {
                 assert!(n.est_rows >= 0.0);

@@ -181,10 +181,7 @@ mod tests {
         let e = Expr::Not(Box::new(Expr::Not(Box::new(lt(5)))));
         assert_eq!(simplify(&e), lt(5));
         let e = Expr::Not(Box::new(lt(5)));
-        assert_eq!(
-            simplify(&e),
-            Expr::cmp(ColumnRef::new("t", "x"), CmpOp::Ge, Value::Int(5))
-        );
+        assert_eq!(simplify(&e), Expr::cmp(ColumnRef::new("t", "x"), CmpOp::Ge, Value::Int(5)));
         let e = Expr::Not(Box::new(Expr::IsNull(Box::new(col()))));
         assert_eq!(simplify(&e), Expr::IsNotNull(Box::new(col())));
     }

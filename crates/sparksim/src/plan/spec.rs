@@ -217,10 +217,9 @@ pub fn resolve(query: &Query, catalog: &Catalog) -> Result<QuerySpec, ResolveErr
         for factor in resolved.split_conjunction() {
             match classify(factor) {
                 Class::Join(edge) => join_edges.push(edge),
-                Class::SingleTable(binding) => table_filter_lists
-                    .entry(binding)
-                    .or_default()
-                    .push(factor.clone()),
+                Class::SingleTable(binding) => {
+                    table_filter_lists.entry(binding).or_default().push(factor.clone())
+                }
                 Class::Residual => residual.push(factor.clone()),
             }
         }
@@ -267,9 +266,11 @@ pub fn resolve(query: &Query, catalog: &Catalog) -> Result<QuerySpec, ResolveErr
                     if reached[i] {
                         continue;
                     }
-                    let other_reached = spec.bindings.iter().enumerate().any(|(j, ob)| {
-                        reached[j] && e.connects(&ob.name, &b.name)
-                    });
+                    let other_reached = spec
+                        .bindings
+                        .iter()
+                        .enumerate()
+                        .any(|(j, ob)| reached[j] && e.connects(&ob.name, &b.name));
                     if other_reached {
                         reached[i] = true;
                         changed = true;
@@ -322,9 +323,7 @@ impl ColumnResolver<'_> {
                     .bindings
                     .iter()
                     .find(|b| &b.name == q)
-                    .ok_or_else(|| ResolveError {
-                        message: format!("unknown qualifier '{q}'"),
-                    })?;
+                    .ok_or_else(|| ResolveError { message: format!("unknown qualifier '{q}'") })?;
                 let table = self.catalog.table(&b.table).expect("validated above");
                 if table.schema.column_index(&c.name).is_none() {
                     return err(format!("table '{}' has no column '{}'", b.table, c.name));
@@ -353,15 +352,9 @@ impl ColumnResolver<'_> {
             .bindings
             .iter()
             .find(|b| b.name == c.table)
-            .ok_or_else(|| ResolveError {
-                message: format!("unknown binding '{}'", c.table),
-            })?;
+            .ok_or_else(|| ResolveError { message: format!("unknown binding '{}'", c.table) })?;
         let table = self.catalog.table(&b.table).expect("validated above");
-        Ok(table
-            .schema
-            .column(&c.column)
-            .expect("validated above")
-            .data_type)
+        Ok(table.schema.column(&c.column).expect("validated above").data_type)
     }
 
     fn resolve_expr(&self, e: &AstExpr) -> Result<Expr, ResolveError> {
@@ -373,14 +366,12 @@ impl ColumnResolver<'_> {
                 left: Box::new(self.resolve_expr(left)?),
                 right: Box::new(self.resolve_expr(right)?),
             },
-            AstExpr::And(a, b) => Expr::And(
-                Box::new(self.resolve_expr(a)?),
-                Box::new(self.resolve_expr(b)?),
-            ),
-            AstExpr::Or(a, b) => Expr::Or(
-                Box::new(self.resolve_expr(a)?),
-                Box::new(self.resolve_expr(b)?),
-            ),
+            AstExpr::And(a, b) => {
+                Expr::And(Box::new(self.resolve_expr(a)?), Box::new(self.resolve_expr(b)?))
+            }
+            AstExpr::Or(a, b) => {
+                Expr::Or(Box::new(self.resolve_expr(a)?), Box::new(self.resolve_expr(b)?))
+            }
             AstExpr::Not(inner) => Expr::Not(Box::new(self.resolve_expr(inner)?)),
             AstExpr::IsNull(inner) => Expr::IsNull(Box::new(self.resolve_expr(inner)?)),
             AstExpr::IsNotNull(inner) => Expr::IsNotNull(Box::new(self.resolve_expr(inner)?)),
@@ -489,8 +480,8 @@ mod tests {
     fn ambiguous_column_is_error() {
         // Both tables would match a hypothetical shared name; here use `id`
         // vs `movie_id` — craft ambiguity via two bindings of same table.
-        let q = parse("SELECT COUNT(*) FROM title a, title b WHERE a.id = b.id AND id < 5")
-            .unwrap();
+        let q =
+            parse("SELECT COUNT(*) FROM title a, title b WHERE a.id = b.id AND id < 5").unwrap();
         let e = resolve(&q, &catalog()).unwrap_err();
         assert!(e.message.contains("ambiguous"), "{}", e.message);
     }

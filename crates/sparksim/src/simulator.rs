@@ -259,8 +259,7 @@ impl CostSimulator {
         }
         let effective_executors = res.executors.min(max_per_node * self.cluster.nodes);
         let nodes_used = effective_executors.min(self.cluster.nodes).max(1);
-        let executors_per_node =
-            (effective_executors as f64 / nodes_used as f64).ceil().max(1.0);
+        let executors_per_node = (effective_executors as f64 / nodes_used as f64).ceil().max(1.0);
         let slots = (effective_executors * res.cores_per_executor).max(1);
         // CPU oversubscription: more concurrent task threads than cores.
         let cpu_slowdown = (executors_per_node * res.cores_per_executor as f64
@@ -283,10 +282,9 @@ impl CostSimulator {
             0.0
         };
 
-        let task_mem_bytes =
-            (res.memory_per_executor_gb * self.cfg.memory_fraction * GB
-                / res.cores_per_executor as f64)
-                .max(1.0);
+        let task_mem_bytes = (res.memory_per_executor_gb * self.cfg.memory_fraction * GB
+            / res.cores_per_executor as f64)
+            .max(1.0);
 
         let stages = build_stages(plan);
         let mut stage_seconds = Vec::with_capacity(stages.len());
@@ -343,7 +341,8 @@ impl CostSimulator {
                             let ch = &plan.node(id).children;
                             let p = ch.first().map(|&c| metrics[c].rows_out * scale).unwrap_or(0.0);
                             let b = ch.get(1).map(|&c| metrics[c].rows_out * scale).unwrap_or(0.0);
-                            let bb = ch.get(1).map(|&c| metrics[c].bytes_out * scale).unwrap_or(0.0);
+                            let bb =
+                                ch.get(1).map(|&c| metrics[c].bytes_out * scale).unwrap_or(0.0);
                             (p, b, bb)
                         };
                         cpu_ns += build_rows * CPU.hash_build
@@ -382,9 +381,7 @@ impl CostSimulator {
                             / (res.network_throughput_mbps * MB * nodes_used as f64);
                         let build_s = rows * CPU.hash_build * 1e-9;
                         let mut one_off = collect_s + ship_s + build_s;
-                        let cap = self.cfg.broadcast_cap_fraction
-                            * res.memory_per_executor_gb
-                            * GB;
+                        let cap = self.cfg.broadcast_cap_fraction * res.memory_per_executor_gb * GB;
                         if bytes > cap {
                             // The relation does not fit the broadcast cap:
                             // executors churn (GC storms, retries).
@@ -418,17 +415,15 @@ impl CostSimulator {
 
             // GC: grows with heap size and memory pressure.
             let occupancy = (working_set / task_mem_bytes).clamp(0.0, 1.0);
-            let gc_factor = self.cfg.gc_per_gb
-                * res.memory_per_executor_gb
-                * (0.3 + 0.7 * occupancy);
+            let gc_factor =
+                self.cfg.gc_per_gb * res.memory_per_executor_gb * (0.3 + 0.7 * occupancy);
 
             let tasks = partitions.max(1);
             let waves = (tasks as f64 / slots as f64).ceil().max(1.0);
             // Bandwidth is shared among the tasks actually running
             // concurrently in this stage, not the theoretical slot count:
             // a single-partition stage gets a node's full bandwidth.
-            let stage_concurrency =
-                ((tasks.min(slots)) as f64 / nodes_used as f64).max(1.0);
+            let stage_concurrency = ((tasks.min(slots)) as f64 / nodes_used as f64).max(1.0);
             let disk_bw = res.disk_throughput_mbps * MB / stage_concurrency;
             let net_bw = res.network_throughput_mbps * MB / stage_concurrency;
             let cache_bw = self.cfg.cache_throughput_mbps * MB / stage_concurrency;
@@ -441,8 +436,10 @@ impl CostSimulator {
             let write_pt = disk_write / tasks as f64 / disk_bw;
             let net_pt = net_read / tasks as f64 / net_bw;
             let task_s = cpu_pt + read_pt + write_pt + net_pt;
-            let stage_s =
-                waves * task_s + self.cfg.stage_overhead_s + waves * self.cfg.wave_overhead_s + fixed_s;
+            let stage_s = waves * task_s
+                + self.cfg.stage_overhead_s
+                + waves * self.cfg.wave_overhead_s
+                + fixed_s;
             stage_seconds.push(stage_s);
         }
 
@@ -473,7 +470,8 @@ impl CostSimulator {
         for &src in &stage.sources {
             match &plan.node(src).op {
                 PhysicalOp::ExchangeHash { partitions, .. } => {
-                    from_exchange = Some(from_exchange.map_or(*partitions, |p: usize| p.max(*partitions)));
+                    from_exchange =
+                        Some(from_exchange.map_or(*partitions, |p: usize| p.max(*partitions)));
                 }
                 PhysicalOp::ExchangeSingle => {
                     from_exchange = Some(from_exchange.map_or(1, |p: usize| p.max(1)));
@@ -591,10 +589,30 @@ mod tests {
             8.0,
         );
         let metrics = vec![
-            NodeMetrics { rows_out: 1e6, bytes_out: 8e6, rows_in: 1e6, bytes_in: 8e6 },
-            NodeMetrics { rows_out: 1.0, bytes_out: 8.0, rows_in: 1e6, bytes_in: 8e6 },
-            NodeMetrics { rows_out: 1.0, bytes_out: 8.0, rows_in: 1.0, bytes_in: 8.0 },
-            NodeMetrics { rows_out: 1.0, bytes_out: 8.0, rows_in: 1.0, bytes_in: 8.0 },
+            NodeMetrics {
+                rows_out: 1e6,
+                bytes_out: 8e6,
+                rows_in: 1e6,
+                bytes_in: 8e6,
+            },
+            NodeMetrics {
+                rows_out: 1.0,
+                bytes_out: 8.0,
+                rows_in: 1e6,
+                bytes_in: 8e6,
+            },
+            NodeMetrics {
+                rows_out: 1.0,
+                bytes_out: 8.0,
+                rows_in: 1.0,
+                bytes_in: 8.0,
+            },
+            NodeMetrics {
+                rows_out: 1.0,
+                bytes_out: 8.0,
+                rows_in: 1.0,
+                bytes_in: 8.0,
+            },
         ];
         (p, metrics)
     }
@@ -628,10 +646,7 @@ mod tests {
         let sim = CostSimulator::new(cluster(), cfg);
         let slow = sim.simulate(&p, &m, &res(1, 1, 2.0), 0);
         let fast = sim.simulate(&p, &m, &res(4, 2, 2.0), 0);
-        assert!(
-            fast < slow,
-            "8 slots ({fast}s) should beat 1 slot ({slow}s)"
-        );
+        assert!(fast < slow, "8 slots ({fast}s) should beat 1 slot ({slow}s)");
     }
 
     #[test]
@@ -690,10 +705,30 @@ mod tests {
         );
         let big = 2.0 * GB;
         let metrics = vec![
-            NodeMetrics { rows_out: 1e6, bytes_out: 8e6, rows_in: 1e6, bytes_in: 8e6 },
-            NodeMetrics { rows_out: 1e7, bytes_out: big, rows_in: 1e7, bytes_in: big },
-            NodeMetrics { rows_out: 1e7, bytes_out: big, rows_in: 1e7, bytes_in: big },
-            NodeMetrics { rows_out: 1e6, bytes_out: 1.6e7, rows_in: 1.1e7, bytes_in: big + 8e6 },
+            NodeMetrics {
+                rows_out: 1e6,
+                bytes_out: 8e6,
+                rows_in: 1e6,
+                bytes_in: 8e6,
+            },
+            NodeMetrics {
+                rows_out: 1e7,
+                bytes_out: big,
+                rows_in: 1e7,
+                bytes_in: big,
+            },
+            NodeMetrics {
+                rows_out: 1e7,
+                bytes_out: big,
+                rows_in: 1e7,
+                bytes_in: big,
+            },
+            NodeMetrics {
+                rows_out: 1e6,
+                bytes_out: 1.6e7,
+                rows_in: 1.1e7,
+                bytes_in: big + 8e6,
+            },
         ];
         let cfg = SimulatorConfig { noise_sigma: 0.0, ..SimulatorConfig::default() };
         let sim = CostSimulator::new(cluster(), cfg);

@@ -28,10 +28,8 @@ impl std::error::Error for ParseError {}
 
 /// Parses a SQL string into a [`Query`].
 pub fn parse(sql: &str) -> Result<Query, ParseError> {
-    let tokens = tokenize(sql).map_err(|e| ParseError {
-        message: e.message,
-        position: e.offset,
-    })?;
+    let tokens =
+        tokenize(sql).map_err(|e| ParseError { message: e.message, position: e.offset })?;
     let mut p = Parser { tokens, pos: 0 };
     let q = p.query()?;
     if p.pos != p.tokens.len() {
@@ -165,7 +163,14 @@ impl Parser {
         } else {
             None
         };
-        Ok(Query { items, tables, predicate, group_by, order_by, limit })
+        Ok(Query {
+            items,
+            tables,
+            predicate,
+            group_by,
+            order_by,
+            limit,
+        })
     }
 
     fn select_list(&mut self) -> Result<Vec<SelectItem>, ParseError> {
@@ -375,10 +380,7 @@ mod tests {
         assert_eq!(q.tables.len(), 1);
         assert_eq!(q.tables[0].name, "movie_keyword");
         assert_eq!(q.tables[0].alias.as_deref(), Some("mk"));
-        assert_eq!(
-            q.items,
-            vec![SelectItem::Aggregate { func: AggFunc::Count, arg: None }]
-        );
+        assert_eq!(q.items, vec![SelectItem::Aggregate { func: AggFunc::Count, arg: None }]);
         assert!(q.predicate.is_some());
     }
 

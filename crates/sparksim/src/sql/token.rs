@@ -152,7 +152,10 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>, TokenizeError> {
                     let d = bytes[i] as char;
                     if d.is_ascii_digit() {
                         i += 1;
-                    } else if d == '.' && !is_float && bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit()) {
+                    } else if d == '.'
+                        && !is_float
+                        && bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit())
+                    {
                         is_float = true;
                         i += 1;
                     } else {

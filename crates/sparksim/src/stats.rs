@@ -144,10 +144,7 @@ fn compute_column_stats(col: &Column) -> ColumnStats {
             numeric_stats(vals, null_count, 8.0)
         }
         ColumnData::Float(v) => {
-            let vals: Vec<f64> = (0..v.len())
-                .filter(|&i| col.is_valid(i))
-                .map(|i| v[i])
-                .collect();
+            let vals: Vec<f64> = (0..v.len()).filter(|&i| col.is_valid(i)).map(|i| v[i]).collect();
             numeric_stats(vals, null_count, 8.0)
         }
         ColumnData::Str { codes, .. } => {
@@ -247,10 +244,7 @@ mod tests {
         sb.push_null();
         let t = Table::new(
             schema,
-            vec![
-                Column::non_null(ColumnData::Int(vec![1, 2, 2, 3])),
-                sb.finish(),
-            ],
+            vec![Column::non_null(ColumnData::Int(vec![1, 2, 2, 3])), sb.finish()],
         );
         let stats = compute_table_stats(&t);
         assert_eq!(stats.row_count, 4);

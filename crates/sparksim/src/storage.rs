@@ -58,7 +58,11 @@ impl ColumnData {
             // Dictionary code + amortised share of the string payload.
             ColumnData::Str { dict, codes } => {
                 let payload: usize = dict.iter().map(String::len).sum();
-                4 + if codes.is_empty() { 0 } else { payload / codes.len().max(1) }
+                4 + if codes.is_empty() {
+                    0
+                } else {
+                    payload / codes.len().max(1)
+                }
             }
         }
     }
@@ -174,7 +178,11 @@ impl StrColumnBuilder {
     pub fn finish(self) -> Column {
         Column {
             data: ColumnData::Str { codes: self.codes, dict: Arc::new(self.dict) },
-            validity: if self.any_null { Some(self.validity) } else { None },
+            validity: if self.any_null {
+                Some(self.validity)
+            } else {
+                None
+            },
         }
     }
 }
@@ -247,10 +255,7 @@ mod tests {
         b.push("alpha");
         b.push_null();
         b.push("alpha");
-        Table::new(
-            schema,
-            vec![Column::non_null(ColumnData::Int(vec![1, 2, 3])), b.finish()],
-        )
+        Table::new(schema, vec![Column::non_null(ColumnData::Int(vec![1, 2, 3])), b.finish()])
     }
 
     #[test]

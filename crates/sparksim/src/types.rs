@@ -116,14 +116,8 @@ mod tests {
 
     #[test]
     fn cross_numeric_comparison() {
-        assert_eq!(
-            Value::Int(2).sql_cmp(&Value::Float(2.5)),
-            Some(Ordering::Less)
-        );
-        assert_eq!(
-            Value::Float(3.0).sql_cmp(&Value::Int(3)),
-            Some(Ordering::Equal)
-        );
+        assert_eq!(Value::Int(2).sql_cmp(&Value::Float(2.5)), Some(Ordering::Less));
+        assert_eq!(Value::Float(3.0).sql_cmp(&Value::Int(3)), Some(Ordering::Equal));
     }
 
     #[test]

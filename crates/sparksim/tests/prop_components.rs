@@ -115,7 +115,11 @@ mod simulator_props {
         );
         let aggs = vec![AggSpec { func: AggFunc::Count, arg: None }];
         let pa = p.add(
-            PhysicalOp::HashAggregate { mode: AggMode::Partial, group_by: vec![], aggs: aggs.clone() },
+            PhysicalOp::HashAggregate {
+                mode: AggMode::Partial,
+                group_by: vec![],
+                aggs: aggs.clone(),
+            },
             vec![scan],
             1.0,
             8.0,
@@ -128,10 +132,30 @@ mod simulator_props {
             8.0,
         );
         let m = vec![
-            NodeMetrics { rows_out: rows, bytes_out: rows * 8.0, rows_in: rows, bytes_in: rows * 8.0 },
-            NodeMetrics { rows_out: 1.0, bytes_out: 8.0, rows_in: rows, bytes_in: rows * 8.0 },
-            NodeMetrics { rows_out: 1.0, bytes_out: 8.0, rows_in: 1.0, bytes_in: 8.0 },
-            NodeMetrics { rows_out: 1.0, bytes_out: 8.0, rows_in: 1.0, bytes_in: 8.0 },
+            NodeMetrics {
+                rows_out: rows,
+                bytes_out: rows * 8.0,
+                rows_in: rows,
+                bytes_in: rows * 8.0,
+            },
+            NodeMetrics {
+                rows_out: 1.0,
+                bytes_out: 8.0,
+                rows_in: rows,
+                bytes_in: rows * 8.0,
+            },
+            NodeMetrics {
+                rows_out: 1.0,
+                bytes_out: 8.0,
+                rows_in: 1.0,
+                bytes_in: 8.0,
+            },
+            NodeMetrics {
+                rows_out: 1.0,
+                bytes_out: 8.0,
+                rows_in: 1.0,
+                bytes_in: 8.0,
+            },
         ];
         (p, m)
     }
@@ -218,8 +242,8 @@ mod simulator_props {
 
 mod simplify_props {
     use super::*;
-    use sparksim::plan::simplify::simplify;
     use sparksim::expr::{CmpOp, Expr};
+    use sparksim::plan::simplify::simplify;
     use sparksim::types::Value;
 
     /// Random expression trees over one int column and boolean/int literals.

@@ -85,12 +85,7 @@ fn check_query(catalog: &Catalog, sql: &str) {
             .execute(plan)
             .unwrap_or_else(|e| panic!("{sql} plan {i}: {e}\n{}", plan.explain()));
         let got = canon(batch_rows(&result.batch));
-        assert_eq!(
-            got,
-            expected,
-            "{sql}\nplan {i} disagrees with reference:\n{}",
-            plan.explain()
-        );
+        assert_eq!(got, expected, "{sql}\nplan {i} disagrees with reference:\n{}", plan.explain());
     }
 }
 

@@ -67,9 +67,8 @@ const KINDS: [&str; 7] = [
     "short",
 ];
 
-const COUNTRIES: [&str; 12] = [
-    "us", "gb", "fr", "de", "jp", "it", "ca", "es", "in", "au", "br", "se",
-];
+const COUNTRIES: [&str; 12] =
+    ["us", "gb", "fr", "de", "jp", "it", "ca", "es", "in", "au", "br", "se"];
 
 /// Generates the dataset.
 pub fn generate(cfg: &ImdbConfig) -> ImdbDataset {
@@ -95,10 +94,7 @@ pub fn generate(cfg: &ImdbConfig) -> ImdbDataset {
                     ColumnDef::new("kind", DataType::Str, false),
                 ],
             ),
-            vec![
-                Column::non_null(ColumnData::Int((1..=7).collect())),
-                kind.finish(),
-            ],
+            vec![Column::non_null(ColumnData::Int((1..=7).collect())), kind.finish()],
         ));
     }
 
@@ -135,10 +131,7 @@ pub fn generate(cfg: &ImdbConfig) -> ImdbDataset {
                     ColumnDef::new("keyword", DataType::Str, false),
                 ],
             ),
-            vec![
-                Column::non_null(ColumnData::Int((0..n_keywords as i64).collect())),
-                kw.finish(),
-            ],
+            vec![Column::non_null(ColumnData::Int((0..n_keywords as i64).collect())), kw.finish()],
         ));
     }
 
@@ -448,7 +441,11 @@ fn fk_graph(n: usize, n_keywords: usize, n_companies: usize, n_names: usize) -> 
                 }],
                 numeric_preds: vec![
                     NumericPredCol { column: "kind_id".into(), min: 1, max: 7 },
-                    NumericPredCol { column: "production_year".into(), min: 1880, max: 2020 },
+                    NumericPredCol {
+                        column: "production_year".into(),
+                        min: 1880,
+                        max: 2020,
+                    },
                     NumericPredCol { column: "id".into(), min: 0, max: n as i64 - 1 },
                 ],
                 string_preds: vec![StringPredCol {
@@ -720,10 +717,9 @@ mod tests {
     fn kind_year_correlation_exists() {
         let d = small();
         let t = d.catalog.table("title").unwrap();
-        let (ColumnData::Int(kinds), ColumnData::Int(years)) = (
-            &t.column("kind_id").unwrap().data,
-            &t.column("production_year").unwrap().data,
-        ) else {
+        let (ColumnData::Int(kinds), ColumnData::Int(years)) =
+            (&t.column("kind_id").unwrap().data, &t.column("production_year").unwrap().data)
+        else {
             panic!("unexpected column types")
         };
         let validity = t.column("production_year").unwrap().validity.clone();
@@ -732,9 +728,7 @@ mod tests {
                 .iter()
                 .zip(years)
                 .enumerate()
-                .filter(|(i, (k, _))| {
-                    **k == kind && validity.as_ref().is_none_or(|v| v[*i])
-                })
+                .filter(|(i, (k, _))| **k == kind && validity.as_ref().is_none_or(|v| v[*i]))
                 .map(|(_, (_, y))| *y as f64)
                 .collect();
             vals.iter().sum::<f64>() / vals.len().max(1) as f64
@@ -751,9 +745,7 @@ mod tests {
         for q in &queries {
             let plans = engine.plan_candidates(q).unwrap_or_else(|e| panic!("{q}: {e}"));
             assert!(!plans.is_empty());
-            engine
-                .execute_plan(&plans[0])
-                .unwrap_or_else(|e| panic!("{q}: {e}"));
+            engine.execute_plan(&plans[0]).unwrap_or_else(|e| panic!("{q}: {e}"));
         }
     }
 
@@ -780,9 +772,6 @@ mod tests {
     fn generation_is_deterministic() {
         let a = generate(&ImdbConfig { title_rows: 500, seed: 1 });
         let b = generate(&ImdbConfig { title_rows: 500, seed: 1 });
-        assert_eq!(
-            a.catalog.stats("movie_keyword"),
-            b.catalog.stats("movie_keyword")
-        );
+        assert_eq!(a.catalog.stats("movie_keyword"), b.catalog.stats("movie_keyword"));
     }
 }

@@ -261,18 +261,12 @@ fn find_edge(graph: &FkGraph, included: &[usize], new: usize) -> Option<String> 
         let p = &graph.tables[pi];
         for fk in &p.fks {
             if fk.ref_table == n.name {
-                return Some(format!(
-                    "{}.{} = {}.{}",
-                    p.alias, fk.column, n.alias, fk.ref_column
-                ));
+                return Some(format!("{}.{} = {}.{}", p.alias, fk.column, n.alias, fk.ref_column));
             }
         }
         for fk in &n.fks {
             if fk.ref_table == p.name {
-                return Some(format!(
-                    "{}.{} = {}.{}",
-                    n.alias, fk.column, p.alias, fk.ref_column
-                ));
+                return Some(format!("{}.{} = {}.{}", n.alias, fk.column, p.alias, fk.ref_column));
             }
         }
     }

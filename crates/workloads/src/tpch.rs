@@ -89,10 +89,7 @@ pub fn generate(cfg: &TpchConfig) -> TpchDataset {
                     ColumnDef::new("r_name", DataType::Str, false),
                 ],
             ),
-            vec![
-                Column::non_null(ColumnData::Int((0..5).collect())),
-                name.finish(),
-            ],
+            vec![Column::non_null(ColumnData::Int((0..5).collect())), name.finish()],
         ));
     }
 
@@ -543,10 +540,9 @@ mod tests {
         let d = small();
         let l = d.catalog.table("lineitem").unwrap();
         let o = d.catalog.table("orders").unwrap();
-        let (ColumnData::Int(lok), ColumnData::Int(lsd)) = (
-            &l.column("l_orderkey").unwrap().data,
-            &l.column("l_shipdate").unwrap().data,
-        ) else {
+        let (ColumnData::Int(lok), ColumnData::Int(lsd)) =
+            (&l.column("l_orderkey").unwrap().data, &l.column("l_shipdate").unwrap().data)
+        else {
             panic!()
         };
         let ColumnData::Int(odate) = &o.column("o_orderdate").unwrap().data else {
@@ -566,9 +562,7 @@ mod tests {
         let engine = Engine::new(d.catalog);
         for q in &queries {
             let plans = engine.plan_candidates(q).unwrap_or_else(|e| panic!("{q}: {e}"));
-            engine
-                .execute_plan(&plans[0])
-                .unwrap_or_else(|e| panic!("{q}: {e}"));
+            engine.execute_plan(&plans[0]).unwrap_or_else(|e| panic!("{q}: {e}"));
         }
     }
 

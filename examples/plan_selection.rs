@@ -35,17 +35,11 @@ fn main() {
         &graph,
         &CollectionConfig { num_queries: 60, ..CollectionConfig::default() },
     );
-    let encoder = collection.build_encoder(
-        &encoding::W2vConfig::default(),
-        encoding::EncoderConfig::default(),
-    );
+    let encoder = collection
+        .build_encoder(&encoding::W2vConfig::default(), encoding::EncoderConfig::default());
     let samples = collection.encode(&encoder, &engine);
     let mut model = CostModel::new(ModelConfig::raal(encoder.node_dim()));
-    raal::train(
-        &mut model,
-        &samples,
-        &TrainConfig { epochs: 20, ..TrainConfig::default() },
-    );
+    raal::train(&mut model, &samples, &TrainConfig { epochs: 20, ..TrainConfig::default() });
 
     // Checkpoint and reload, as a long-running optimizer process would.
     let path = std::env::temp_dir().join("raal_example_bundle.json");
@@ -89,7 +83,11 @@ fn main() {
                     i + 1,
                     outcome.default_seconds,
                     outcome.chosen_seconds,
-                    if outcome.optimal() { "optimal" } else { "suboptimal" },
+                    if outcome.optimal() {
+                        "optimal"
+                    } else {
+                        "suboptimal"
+                    },
                     outcome.speedup()
                 ),
                 Err(e) => println!("Q{}: skipped ({e})", i + 1),

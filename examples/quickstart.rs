@@ -67,11 +67,8 @@ fn main() {
     let samples = collection.encode(&encoder, &engine);
     println!("\ncollected {} training records", samples.len());
     let mut model = CostModel::new(ModelConfig::raal(encoder.node_dim()));
-    let history = raal::train(
-        &mut model,
-        &samples,
-        &TrainConfig { epochs: 8, ..TrainConfig::default() },
-    );
+    let history =
+        raal::train(&mut model, &samples, &TrainConfig { epochs: 8, ..TrainConfig::default() });
     println!(
         "trained RAAL ({} weights) in {:.1}s, final loss {:.4}",
         model.num_weights(),

@@ -26,10 +26,7 @@ fn main() {
     let (name, sql) = &queries[3];
     println!("query ({name}): {sql}\n");
     let plans = engine.plan_candidates(sql).expect("plans");
-    let execs: Vec<_> = plans
-        .iter()
-        .map(|p| engine.execute_plan(p).expect("runs"))
-        .collect();
+    let execs: Vec<_> = plans.iter().map(|p| engine.execute_plan(p).expect("runs")).collect();
 
     println!("memory sweep (2 executors x 2 cores):");
     print!("{:>8}", "mem(GB)");
@@ -90,7 +87,14 @@ fn main() {
         .simulator()
         .simulate_report(&plans[0], &execs[0].metrics, &res, 5);
     println!("  total            {:.2}s", report.seconds);
-    println!("  stages           {:?}", report.stage_seconds.iter().map(|s| (s * 100.0).round() / 100.0).collect::<Vec<_>>());
+    println!(
+        "  stages           {:?}",
+        report
+            .stage_seconds
+            .iter()
+            .map(|s| (s * 100.0).round() / 100.0)
+            .collect::<Vec<_>>()
+    );
     println!("  spilled          {:.1} MB", report.spill_bytes / 1e6);
     println!("  gc time          {:.2}s", report.gc_seconds);
     println!("  page-cache hit   {:.0}%", report.cache_hit * 100.0);

@@ -35,40 +35,37 @@ fn main() {
             ..CollectionConfig::default()
         },
     );
-    let encoder = collection.build_encoder(
-        &encoding::W2vConfig::default(),
-        encoding::EncoderConfig::default(),
-    );
+    let encoder = collection
+        .build_encoder(&encoding::W2vConfig::default(), encoding::EncoderConfig::default());
     let samples = collection.encode(&encoder, &engine);
     println!("trained on {} records", samples.len());
     let mut model = CostModel::new(ModelConfig::raal(encoder.node_dim()));
-    raal::train(
-        &mut model,
-        &samples,
-        &TrainConfig { epochs: 25, ..TrainConfig::default() },
-    );
+    raal::train(&mut model, &samples, &TrainConfig { epochs: 25, ..TrainConfig::default() });
 
     // What-if scan for one query.
     let sql = "SELECT COUNT(*) FROM title t, movie_companies mc, movie_keyword mk \
                WHERE t.id = mc.movie_id AND t.id = mk.movie_id AND mk.keyword_id < 10";
     println!("\nquery: {sql}");
     let plans = engine.plan_candidates(sql).expect("plans");
-    let execs: Vec<_> = plans
-        .iter()
-        .map(|p| engine.execute_plan(p).expect("runs"))
-        .collect();
+    let execs: Vec<_> = plans.iter().map(|p| engine.execute_plan(p).expect("runs")).collect();
     let encoded: Vec<_> = plans.iter().map(|p| encoder.encode(p)).collect();
 
     let cluster = engine.simulator().cluster().clone();
     let grid = ResourceGrid::default().enumerate(&cluster);
     println!("scanning {} resource states x {} plans ...", grid.len(), plans.len());
 
+    // The plan-dependent prefix of the network (LSTM + node attention)
+    // is resource independent, so compute it once per plan and price
+    // every grid point through the cached context — only the resource
+    // attention and head run per configuration.
+    let contexts: Vec<_> = encoded.iter().map(|e| model.plan_context(e)).collect();
+
     let mut best_pred: Option<(f64, usize, usize)> = None;
     let mut best_true: Option<(f64, usize, usize)> = None;
     for (ri, res) in grid.iter().enumerate() {
         let features = res.feature_vector(&cluster);
         for (pi, plan) in plans.iter().enumerate() {
-            let pred = model.predict_seconds(&encoded[pi], &features);
+            let pred = model.predict_with_context(&contexts[pi], &features);
             if best_pred.is_none() || pred < best_pred.unwrap().0 {
                 best_pred = Some((pred, pi, ri));
             }
@@ -93,9 +90,12 @@ fn main() {
         describe(pred_res),
         pred_s
     );
-    let rec_actual = engine
-        .simulator()
-        .simulate(&plans[pred_plan], &execs[pred_plan].metrics, &grid[pred_res], 11);
+    let rec_actual = engine.simulator().simulate(
+        &plans[pred_plan],
+        &execs[pred_plan].metrics,
+        &grid[pred_res],
+        11,
+    );
     println!("               -> actually {rec_actual:.2}s on the simulator");
     println!(
         "true optimum     : plan {} on {} ({:.2}s)",

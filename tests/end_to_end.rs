@@ -48,7 +48,12 @@ fn full_pipeline_trains_and_predicts() {
     let history = raal::train(
         &mut model,
         &samples,
-        &TrainConfig { epochs: 3, batch_size: 16, threads: 1, ..Default::default() },
+        &TrainConfig {
+            epochs: 3,
+            batch_size: 16,
+            threads: 1,
+            ..Default::default()
+        },
     );
     assert!(history.final_loss().is_finite());
 
@@ -151,7 +156,12 @@ fn whole_pipeline_is_deterministic_under_seeds() {
         let h = raal::train(
             &mut model,
             &samples,
-            &TrainConfig { epochs: 2, batch_size: 16, threads: 1, ..Default::default() },
+            &TrainConfig {
+                epochs: 2,
+                batch_size: 16,
+                threads: 1,
+                ..Default::default()
+            },
         );
         (samples.len(), h.final_loss())
     };

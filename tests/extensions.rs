@@ -16,7 +16,11 @@ fn engine() -> (Engine, JobScales) {
         data.catalog,
         PlannerOptions::scaled_to(scale),
         ClusterConfig::default(),
-        SimulatorConfig { data_scale: scale, noise_sigma: 0.0, ..SimulatorConfig::default() },
+        SimulatorConfig {
+            data_scale: scale,
+            noise_sigma: 0.0,
+            ..SimulatorConfig::default()
+        },
     );
     (engine, scales)
 }
@@ -104,7 +108,7 @@ fn micro_model_beats_gpsj_but_not_by_structure() {
             .filter(|r| r.query_idx < cut)
             .flat_map(|r| r.observations.iter().map(move |(res, s)| (&r.plan, res, *s))),
         cluster,
-        1e-4,
+        baselines::micro::DEFAULT_RIDGE,
     );
     let gpsj = GpsjModel::new(GpsjParams { data_scale: scale, ..GpsjParams::default() });
     let mut micro_eval = EvalSet::new();

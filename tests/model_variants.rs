@@ -22,10 +22,7 @@ fn variant_weight_counts_reflect_their_components() {
     // Dropping node attention removes exactly the two hidden x K
     // projections.
     let cfg = ModelConfig::raal(dim);
-    assert_eq!(
-        raal.num_weights() - na.num_weights(),
-        2 * cfg.hidden * cfg.latent_k
-    );
+    assert_eq!(raal.num_weights() - na.num_weights(), 2 * cfg.hidden * cfg.latent_k);
     // Dropping the resource pathway removes the two resource projections
     // and shrinks the head input (hidden + resource_dim columns).
     assert!(blind.num_weights() < raal.num_weights());
@@ -87,10 +84,7 @@ fn every_variant_predicts_on_the_same_plan() {
     ] {
         let model = CostModel::new(cfg.clone());
         let pred = model.predict_seconds(&plan, &res);
-        assert!(
-            pred.is_finite() && pred >= 0.0,
-            "variant {cfg:?} produced {pred}"
-        );
+        assert!(pred.is_finite() && pred >= 0.0, "variant {cfg:?} produced {pred}");
     }
 }
 

@@ -24,7 +24,11 @@ fn engine_and_graph(rows: usize, seed: u64) -> (Engine, workloads::FkGraph, f64)
         data.catalog,
         PlannerOptions::scaled_to(scale),
         ClusterConfig::default(),
-        SimulatorConfig { data_scale: scale, noise_sigma: 0.0, ..SimulatorConfig::default() },
+        SimulatorConfig {
+            data_scale: scale,
+            noise_sigma: 0.0,
+            ..SimulatorConfig::default()
+        },
     );
     (engine, graph, scale)
 }
@@ -38,7 +42,11 @@ fn memory_effect_is_nonmonotonic_somewhere() {
         data.catalog,
         PlannerOptions::scaled_to(scale),
         ClusterConfig::default(),
-        SimulatorConfig { data_scale: scale, noise_sigma: 0.0, ..SimulatorConfig::default() },
+        SimulatorConfig {
+            data_scale: scale,
+            noise_sigma: 0.0,
+            ..SimulatorConfig::default()
+        },
     );
     let mut any_nonmonotone = false;
     for (_, sql) in &queries {
@@ -87,12 +95,18 @@ fn resource_aware_model_beats_resource_blind() {
     );
     let samples = collection.encode(&encoder, &engine);
     let (train_set, test_set) = train_test_split(samples, 0.8, 1);
-    let tcfg = TrainConfig { epochs: 10, batch_size: 16, threads: 1, ..Default::default() };
+    let tcfg = TrainConfig {
+        epochs: 10,
+        batch_size: 16,
+        threads: 1,
+        ..Default::default()
+    };
 
     let small = |cfg: ModelConfig| ModelConfig { hidden: 16, latent_k: 8, head_hidden: 16, ..cfg };
     let mut aware = CostModel::new(small(ModelConfig::raal(encoder.node_dim())));
     train(&mut aware, &train_set, &tcfg);
-    let mut blind = CostModel::new(small(ModelConfig::raal(encoder.node_dim()).without_resources()));
+    let mut blind =
+        CostModel::new(small(ModelConfig::raal(encoder.node_dim()).without_resources()));
     train(&mut blind, &train_set, &tcfg);
 
     let aware_mse = evaluate(&aware, &test_set).mse_with(training_transform);
@@ -129,7 +143,12 @@ fn learned_model_beats_gpsj() {
     train(
         &mut model,
         &train_set,
-        &TrainConfig { epochs: 12, batch_size: 16, threads: 1, ..Default::default() },
+        &TrainConfig {
+            epochs: 12,
+            batch_size: 16,
+            threads: 1,
+            ..Default::default()
+        },
     );
     let raal_mse = evaluate(&model, &test_set).mse_with(training_transform);
 
@@ -141,10 +160,7 @@ fn learned_model_beats_gpsj() {
         }
     }
     let gpsj_mse = gpsj_eval.mse_with(training_transform);
-    assert!(
-        raal_mse < gpsj_mse,
-        "RAAL MSE {raal_mse} must beat GPSJ {gpsj_mse} (Table VI)"
-    );
+    assert!(raal_mse < gpsj_mse, "RAAL MSE {raal_mse} must beat GPSJ {gpsj_mse} (Table VI)");
 }
 
 #[test]

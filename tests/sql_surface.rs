@@ -70,46 +70,22 @@ fn comparison_operators() {
 #[test]
 fn null_semantics() {
     let e = engine();
-    assert_eq!(
-        count(&e, "SELECT COUNT(*) FROM people WHERE people.city IS NULL"),
-        1
-    );
-    assert_eq!(
-        count(&e, "SELECT COUNT(*) FROM people WHERE people.city IS NOT NULL"),
-        7
-    );
+    assert_eq!(count(&e, "SELECT COUNT(*) FROM people WHERE people.city IS NULL"), 1);
+    assert_eq!(count(&e, "SELECT COUNT(*) FROM people WHERE people.city IS NOT NULL"), 7);
     // NULL city row must not pass an equality predicate...
-    assert_eq!(
-        count(&e, "SELECT COUNT(*) FROM people WHERE people.city = 'oslo'"),
-        3
-    );
+    assert_eq!(count(&e, "SELECT COUNT(*) FROM people WHERE people.city = 'oslo'"), 3);
     // ...nor its negation (three-valued logic).
-    assert_eq!(
-        count(&e, "SELECT COUNT(*) FROM people WHERE NOT people.city = 'oslo'"),
-        4
-    );
+    assert_eq!(count(&e, "SELECT COUNT(*) FROM people WHERE NOT people.city = 'oslo'"), 4);
 }
 
 #[test]
 fn between_in_like_or() {
     let e = engine();
+    assert_eq!(count(&e, "SELECT COUNT(*) FROM people WHERE people.age BETWEEN 29 AND 41"), 4);
+    assert_eq!(count(&e, "SELECT COUNT(*) FROM people WHERE people.age IN (18, 55, 99)"), 2);
+    assert_eq!(count(&e, "SELECT COUNT(*) FROM people WHERE people.city LIKE 'o%'"), 3);
     assert_eq!(
-        count(&e, "SELECT COUNT(*) FROM people WHERE people.age BETWEEN 29 AND 41"),
-        4
-    );
-    assert_eq!(
-        count(&e, "SELECT COUNT(*) FROM people WHERE people.age IN (18, 55, 99)"),
-        2
-    );
-    assert_eq!(
-        count(&e, "SELECT COUNT(*) FROM people WHERE people.city LIKE 'o%'"),
-        3
-    );
-    assert_eq!(
-        count(
-            &e,
-            "SELECT COUNT(*) FROM people WHERE people.age < 20 OR people.city = 'kyiv'"
-        ),
+        count(&e, "SELECT COUNT(*) FROM people WHERE people.age < 20 OR people.city = 'kyiv'"),
         2
     );
     // AND binds tighter than OR.
@@ -126,13 +102,7 @@ fn between_in_like_or() {
 #[test]
 fn joins_and_aggregates() {
     let e = engine();
-    assert_eq!(
-        count(
-            &e,
-            "SELECT COUNT(*) FROM people p, visits v WHERE p.id = v.person_id"
-        ),
-        7
-    );
+    assert_eq!(count(&e, "SELECT COUNT(*) FROM people p, visits v WHERE p.id = v.person_id"), 7);
     assert_eq!(
         count(
             &e,
@@ -178,7 +148,9 @@ fn group_by_with_nulls_and_strings() {
 fn order_by_and_limit() {
     let e = engine();
     let r = e
-        .run_sql("SELECT people.id FROM people WHERE people.age > 30 ORDER BY people.id DESC LIMIT 3")
+        .run_sql(
+            "SELECT people.id FROM people WHERE people.age > 30 ORDER BY people.id DESC LIMIT 3",
+        )
         .unwrap();
     let ids: Vec<i64> = (0..r.batch.num_rows())
         .map(|i| r.batch.entries()[0].1.value(i).as_i64().unwrap())
@@ -213,9 +185,13 @@ fn cross_type_numeric_comparison() {
 fn error_paths_are_reported_not_panics() {
     let e = engine();
     assert!(e.run_sql("SELECT COUNT(*) FROM ghosts").is_err());
-    assert!(e.run_sql("SELECT COUNT(*) FROM people WHERE people.ghost = 1").is_err());
-    assert!(e.run_sql("SELECT COUNT(* FROM people").is_err());
     assert!(e
-        .run_sql("SELECT COUNT(*) FROM people, visits WHERE people.age > 1")
-        .is_err(), "cross products are rejected");
+        .run_sql("SELECT COUNT(*) FROM people WHERE people.ghost = 1")
+        .is_err());
+    assert!(e.run_sql("SELECT COUNT(* FROM people").is_err());
+    assert!(
+        e.run_sql("SELECT COUNT(*) FROM people, visits WHERE people.age > 1")
+            .is_err(),
+        "cross products are rejected"
+    );
 }

@@ -1,0 +1,150 @@
+//! Offline stand-in for `criterion`: same macro/API surface
+//! (`criterion_group!`, `criterion_main!`, `Criterion::benchmark_group`,
+//! `Bencher::iter`) backed by a simple warmup + median-of-samples timer
+//! instead of criterion's full statistical engine.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver handed to each `criterion_group!` target.
+pub struct Criterion {
+    warmup: Duration,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            warmup: Duration::from_millis(300),
+            measure: Duration::from_millis(1000),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\ngroup: {name}");
+        BenchmarkGroup { criterion: self }
+    }
+}
+
+/// A named set of benchmarks sharing the group's configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark: `f` receives a [`Bencher`] and calls
+    /// [`Bencher::iter`] with the code under test.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            warmup: self.criterion.warmup,
+            measure: self.criterion.measure,
+            ns_per_iter: None,
+        };
+        f(&mut bencher);
+        match bencher.ns_per_iter {
+            Some(ns) => println!("  {name:<40} {:>12} ns/iter", format_ns(ns)),
+            None => println!("  {name:<40} (no measurement — iter() not called)"),
+        }
+        self
+    }
+
+    /// Ends the group (output is already flushed per benchmark).
+    pub fn finish(&mut self) {}
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e6 {
+        format!("{:.1}", ns)
+    } else if ns >= 100.0 {
+        format!("{:.2}", ns)
+    } else {
+        format!("{:.3}", ns)
+    }
+}
+
+/// Times a closure: warmup phase to stabilise caches/frequency, then
+/// repeated timed batches; reports the median batch.
+pub struct Bencher {
+    warmup: Duration,
+    measure: Duration,
+    ns_per_iter: Option<f64>,
+}
+
+impl Bencher {
+    /// Measures `f`, storing nanoseconds per iteration.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        // Warmup while estimating per-iteration cost.
+        let warmup_start = Instant::now();
+        let mut iters_done: u64 = 0;
+        while warmup_start.elapsed() < self.warmup {
+            black_box(f());
+            iters_done += 1;
+        }
+        let per_iter = warmup_start.elapsed().as_secs_f64() / iters_done.max(1) as f64;
+
+        // Aim for ~20 batches within the measurement window.
+        let batch = ((self.measure.as_secs_f64() / 20.0 / per_iter.max(1e-9)) as u64).max(1);
+        let mut samples: Vec<f64> = Vec::new();
+        let measure_start = Instant::now();
+        while measure_start.elapsed() < self.measure || samples.len() < 5 {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            samples.push(t.elapsed().as_secs_f64() * 1e9 / batch as f64);
+            if samples.len() >= 200 {
+                break;
+            }
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        self.ns_per_iter = Some(samples[samples.len() / 2]);
+    }
+}
+
+/// Declares a benchmark group runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion {
+            warmup: Duration::from_millis(5),
+            measure: Duration::from_millis(20),
+        };
+        let mut group = c.benchmark_group("smoke");
+        let mut ran = false;
+        group.bench_function("sum", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+}

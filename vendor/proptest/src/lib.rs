@@ -1,0 +1,575 @@
+//! Offline stand-in for `proptest`: random-sampling property tests with the
+//! combinator surface this workspace uses (`proptest!`, `prop_oneof!`,
+//! `prop_assert!`, ranges, regex-ish string strategies, `prop::collection::vec`,
+//! tuples, `Just`, `prop_map`, `prop_recursive`).
+//!
+//! Differences from real proptest: no shrinking (failures report the raw
+//! sampled case) and no regression-file persistence. Sampling is
+//! deterministic per test (the RNG is seeded from the test's module path),
+//! so failures reproduce across runs.
+
+#![warn(missing_docs)]
+
+/// Strategy trait and combinators.
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::Range;
+    use std::rc::Rc;
+
+    /// A recipe for generating random values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of values this strategy generates.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases this strategy behind a clonable handle.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Rc::new(self)
+        }
+
+        /// Builds recursive structures: `recurse` receives a strategy for
+        /// the current level and returns one for the next level up, applied
+        /// `depth` times. (`_desired_size` / `_expected_branch_size` are
+        /// accepted for API compatibility; sampling depth alone bounds the
+        /// tree here.)
+        fn prop_recursive<F, S>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S,
+            S: Strategy<Value = Self::Value> + 'static,
+        {
+            let mut cur = self.boxed();
+            for _ in 0..depth {
+                // Bias toward the shallower alternative so expected sizes
+                // stay small even for wide branch nodes.
+                cur =
+                    Union::new_weighted(vec![(2, cur.clone()), (1, recurse(cur).boxed())]).boxed();
+            }
+            cur
+        }
+    }
+
+    /// Clonable, type-erased strategy handle.
+    pub type BoxedStrategy<T> = Rc<dyn Strategy<Value = T>>;
+
+    impl<S: Strategy + ?Sized> Strategy for Rc<S> {
+        type Value = S::Value;
+
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            (**self).sample(rng)
+        }
+    }
+
+    /// Strategy produced by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut StdRng) -> T {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Weighted choice between boxed strategies (backs `prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<(u32, BoxedStrategy<T>)>,
+        total_weight: u64,
+    }
+
+    impl<T> Union<T> {
+        /// Uniform choice between options.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            Self::new_weighted(options.into_iter().map(|s| (1, s)).collect())
+        }
+
+        /// Weighted choice between options.
+        pub fn new_weighted(options: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            let total_weight = options.iter().map(|(w, _)| *w as u64).sum();
+            assert!(total_weight > 0, "prop_oneof! weights must not all be zero");
+            Self { options, total_weight }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut StdRng) -> T {
+            let mut pick = rng.gen_range(0..self.total_weight);
+            for (w, s) in &self.options {
+                if pick < *w as u64 {
+                    return s.sample(rng);
+                }
+                pick -= *w as u64;
+            }
+            unreachable!("weights summed correctly")
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+        type Value = (A::Value, B::Value);
+
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            (self.0.sample(rng), self.1.sample(rng))
+        }
+    }
+
+    impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+        type Value = (A::Value, B::Value, C::Value);
+
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng))
+        }
+    }
+
+    impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, D) {
+        type Value = (A::Value, B::Value, C::Value, D::Value);
+
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng), self.3.sample(rng))
+        }
+    }
+
+    /// `&str` strategies are interpreted as a small regex subset:
+    /// literal characters, `.` (printable ASCII), character classes
+    /// `[a-c%]` with ranges, and `{n}` / `{m,n}` repetition.
+    impl Strategy for &str {
+        type Value = String;
+
+        fn sample(&self, rng: &mut StdRng) -> String {
+            sample_pattern(self, rng)
+        }
+    }
+
+    enum Atom {
+        Any,
+        Literal(char),
+        Class(Vec<(char, char)>),
+    }
+
+    impl Atom {
+        fn sample(&self, rng: &mut StdRng) -> char {
+            match self {
+                Atom::Any => {
+                    // Printable ASCII, like `.` over a byte-oriented corpus.
+                    char::from_u32(rng.gen_range(0x20u32..0x7F)).unwrap()
+                }
+                Atom::Literal(c) => *c,
+                Atom::Class(ranges) => {
+                    let total: u32 =
+                        ranges.iter().map(|(lo, hi)| *hi as u32 - *lo as u32 + 1).sum();
+                    let mut pick = rng.gen_range(0..total);
+                    for (lo, hi) in ranges {
+                        let span = *hi as u32 - *lo as u32 + 1;
+                        if pick < span {
+                            return char::from_u32(*lo as u32 + pick).unwrap();
+                        }
+                        pick -= span;
+                    }
+                    unreachable!("class spans summed correctly")
+                }
+            }
+        }
+    }
+
+    fn sample_pattern(pattern: &str, rng: &mut StdRng) -> String {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut out = String::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let atom = match chars[i] {
+                '.' => {
+                    i += 1;
+                    Atom::Any
+                }
+                '[' => {
+                    i += 1;
+                    let mut ranges = Vec::new();
+                    while i < chars.len() && chars[i] != ']' {
+                        let lo = chars[i];
+                        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                            ranges.push((lo, chars[i + 2]));
+                            i += 3;
+                        } else {
+                            ranges.push((lo, lo));
+                            i += 1;
+                        }
+                    }
+                    assert!(i < chars.len(), "unterminated class in pattern {pattern:?}");
+                    i += 1; // consume ']'
+                    Atom::Class(ranges)
+                }
+                '\\' if i + 1 < chars.len() => {
+                    i += 2;
+                    Atom::Literal(chars[i - 1])
+                }
+                c => {
+                    i += 1;
+                    Atom::Literal(c)
+                }
+            };
+            // Optional repetition: {n} or {m,n}.
+            let (min, max) = if i < chars.len() && chars[i] == '{' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .map(|p| p + i)
+                    .unwrap_or_else(|| panic!("unterminated repetition in {pattern:?}"));
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((m, n)) => (
+                        m.trim().parse::<usize>().expect("repetition lower bound"),
+                        n.trim().parse::<usize>().expect("repetition upper bound"),
+                    ),
+                    None => {
+                        let n = body.trim().parse::<usize>().expect("repetition count");
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            let count = if min == max {
+                min
+            } else {
+                rng.gen_range(min..=max)
+            };
+            for _ in 0..count {
+                out.push(atom.sample(rng));
+            }
+        }
+        out
+    }
+}
+
+/// Runner plumbing used by the `proptest!` macro expansion.
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::fmt;
+
+    /// A failed property within a test case.
+    #[derive(Debug)]
+    pub struct TestCaseError {
+        msg: String,
+    }
+
+    impl TestCaseError {
+        /// Creates a failure with the given message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            Self { msg: msg.into() }
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.msg)
+        }
+    }
+
+    /// Deterministic per-test RNG so failures reproduce across runs.
+    pub fn rng_for(test_name: &str) -> StdRng {
+        // FNV-1a over the fully qualified test name.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        StdRng::seed_from_u64(h)
+    }
+}
+
+/// Runtime configuration for `proptest!` blocks.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+    /// Accepted for API compatibility; shrinking is not implemented.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256, max_shrink_iters: 0 }
+    }
+}
+
+/// Namespaced strategy constructors (`prop::collection::vec`, `prop::bool::ANY`).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::strategy::Strategy;
+        use rand::rngs::StdRng;
+        use rand::Rng;
+        use std::ops::Range;
+
+        /// Strategy for `Vec<T>` with length drawn from `size`.
+        pub struct VecStrategy<S> {
+            element: S,
+            size: Range<usize>,
+        }
+
+        /// Generates vectors whose elements come from `element` and whose
+        /// length is uniform in `size`.
+        pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+            assert!(size.start < size.end, "empty vec size range");
+            VecStrategy { element, size }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                let len = rng.gen_range(self.size.clone());
+                (0..len).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+    }
+
+    /// Boolean strategies.
+    pub mod bool {
+        use crate::strategy::Strategy;
+        use rand::rngs::StdRng;
+        use rand::Rng;
+
+        /// Uniform boolean strategy.
+        #[derive(Clone, Copy)]
+        pub struct Any;
+
+        /// Samples `true`/`false` with equal probability.
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = bool;
+
+            fn sample(&self, rng: &mut StdRng) -> bool {
+                rng.gen_bool(0.5)
+            }
+        }
+    }
+}
+
+/// Everything a test file needs: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Declares property tests. Each `fn name(pat in strategy, ...) { body }`
+/// runs `config.cases` sampled cases. As with upstream proptest, the
+/// `#[test]` attribute is written by the caller inside the macro body and
+/// passed through verbatim (adding one here would register every test
+/// twice).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr) $( $(#[$meta:meta])* fn $name:ident ( $($p:pat in $s:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                let mut __rng = $crate::test_runner::rng_for(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for __case in 0..__config.cases {
+                    $(let $p = $crate::strategy::Strategy::sample(&($s), &mut __rng);)+
+                    let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(e) = __outcome {
+                        panic!("property `{}` failed on case {}: {}", stringify!($name), __case, e);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Chooses uniformly between the listed strategies (all must generate the
+/// same value type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($s)),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (not
+/// panicking directly) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__a == *__b,
+            "assertion failed: `{:?}` == `{:?}`",
+            __a,
+            __b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__a == *__b,
+            "assertion failed: `{:?}` == `{:?}`: {}",
+            __a,
+            __b,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::rng_for;
+
+    #[test]
+    fn ranges_sample_within_bounds() {
+        let mut rng = rng_for("ranges");
+        for _ in 0..1000 {
+            let v = Strategy::sample(&(3i64..17), &mut rng);
+            assert!((3..17).contains(&v));
+        }
+    }
+
+    #[test]
+    fn pattern_strategy_matches_shape() {
+        let mut rng = rng_for("pattern");
+        for _ in 0..200 {
+            let s = Strategy::sample(&"[a-c]{1,3}", &mut rng);
+            assert!((1..=3).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)), "{s:?}");
+            let t = Strategy::sample(&"[a-c%]{0,6}", &mut rng);
+            assert!(t.len() <= 6);
+            assert!(t.chars().all(|c| ('a'..='c').contains(&c) || c == '%'));
+            let dot = Strategy::sample(&".{0,120}", &mut rng);
+            assert!(dot.len() <= 120);
+        }
+    }
+
+    #[test]
+    fn oneof_and_recursive_terminate() {
+        #[derive(Debug, Clone)]
+        enum Tree {
+            #[allow(dead_code)] // constructed by the strategy, read only via Debug
+            Leaf(i64),
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 1,
+                Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let leaf = prop_oneof![(-5i64..5).prop_map(Tree::Leaf), Just(Tree::Leaf(0)),];
+        let strat = leaf.prop_recursive(3, 24, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+        });
+        let mut rng = rng_for("recursive");
+        for _ in 0..200 {
+            let t = Strategy::sample(&strat, &mut rng);
+            assert!(depth(&t) <= 4, "depth bounded by recursion depth: {t:?}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        /// The macro itself: bindings, tuples, collections, assertions.
+        #[test]
+        fn macro_smoke(
+            (a, flag) in (0i64..10, prop::bool::ANY),
+            mut v in prop::collection::vec(0u64..5, 0..10),
+        ) {
+            prop_assert!((0..10).contains(&a));
+            v.push(3);
+            prop_assert!(!v.is_empty());
+            if flag {
+                prop_assert_eq!(*v.last().unwrap(), 3u64);
+            }
+        }
+    }
+}

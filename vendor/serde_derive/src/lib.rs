@@ -1,0 +1,525 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Generates `Serialize::to_value` / `Deserialize::from_value`
+//! implementations for the shapes this workspace uses: structs with named
+//! fields, tuple structs (newtype and wider), unit structs, and enums with
+//! unit, tuple and struct variants (externally tagged, like real serde).
+//! Honours `#[serde(skip)]`, `#[serde(default)]` and
+//! `#[serde(default = "path")]` field attributes.
+//!
+//! Implemented directly over `proc_macro::TokenStream` (no syn/quote —
+//! the build container has no network access to fetch them); code is
+//! generated as source text and re-parsed, which the compiler validates.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Simplified token for parsing.
+#[derive(Debug, Clone)]
+enum Tok {
+    Ident(String),
+    Punct(char),
+    Group(Delimiter, Vec<Tok>),
+    Literal(String),
+}
+
+fn lex(stream: TokenStream) -> Vec<Tok> {
+    stream
+        .into_iter()
+        .map(|tt| match tt {
+            TokenTree::Ident(i) => Tok::Ident(i.to_string()),
+            TokenTree::Punct(p) => Tok::Punct(p.as_char()),
+            TokenTree::Group(g) => Tok::Group(g.delimiter(), lex(g.stream())),
+            TokenTree::Literal(l) => Tok::Literal(l.to_string()),
+        })
+        .collect()
+}
+
+#[derive(Debug, Default, Clone)]
+struct FieldAttrs {
+    skip: bool,
+    /// `Some(None)` = `#[serde(default)]`; `Some(Some(path))` = `default = "path"`.
+    default: Option<Option<String>>,
+}
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    attrs: FieldAttrs,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum Input {
+    NamedStruct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Parses `#[serde(...)]` content into field attributes.
+fn parse_serde_attr(tokens: &[Tok], attrs: &mut FieldAttrs) {
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            Tok::Ident(id) if id == "skip" => {
+                attrs.skip = true;
+                i += 1;
+            }
+            Tok::Ident(id) if id == "default" => {
+                if let Some(Tok::Punct('=')) = tokens.get(i + 1) {
+                    if let Some(Tok::Literal(lit)) = tokens.get(i + 2) {
+                        let path = lit.trim_matches('"').to_string();
+                        attrs.default = Some(Some(path));
+                        i += 3;
+                        continue;
+                    }
+                    panic!("serde(default = ...) expects a string literal");
+                }
+                attrs.default = Some(None);
+                i += 1;
+            }
+            Tok::Punct(',') => i += 1,
+            other => panic!("unsupported serde attribute token: {other:?}"),
+        }
+    }
+}
+
+/// Consumes leading attributes at `*i`, returning any serde field attrs.
+fn skip_attrs(tokens: &[Tok], i: &mut usize) -> FieldAttrs {
+    let mut attrs = FieldAttrs::default();
+    while let Some(Tok::Punct('#')) = tokens.get(*i) {
+        match tokens.get(*i + 1) {
+            Some(Tok::Group(Delimiter::Bracket, inner)) => {
+                if let Some(Tok::Ident(head)) = inner.first() {
+                    if head == "serde" {
+                        if let Some(Tok::Group(Delimiter::Parenthesis, args)) = inner.get(1) {
+                            parse_serde_attr(args, &mut attrs);
+                        }
+                    }
+                }
+                *i += 2;
+            }
+            // `#!` inner attribute or malformed: skip the punct alone.
+            _ => *i += 1,
+        }
+    }
+    attrs
+}
+
+/// Skips visibility modifiers (`pub`, `pub(crate)`, ...).
+fn skip_vis(tokens: &[Tok], i: &mut usize) {
+    if let Some(Tok::Ident(id)) = tokens.get(*i) {
+        if id == "pub" {
+            *i += 1;
+            if let Some(Tok::Group(Delimiter::Parenthesis, _)) = tokens.get(*i) {
+                *i += 1;
+            }
+        }
+    }
+}
+
+/// Advances past a type expression: everything until a `,` at
+/// angle-bracket depth 0 (or end of tokens).
+fn skip_type(tokens: &[Tok], i: &mut usize) {
+    let mut angle: i32 = 0;
+    while let Some(tok) = tokens.get(*i) {
+        match tok {
+            Tok::Punct('<') => angle += 1,
+            Tok::Punct('>') => angle -= 1,
+            Tok::Punct(',') if angle == 0 => return,
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+/// Parses the contents of a `{ ... }` field list.
+fn parse_named_fields(tokens: &[Tok]) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let attrs = skip_attrs(tokens, &mut i);
+        skip_vis(tokens, &mut i);
+        let Some(Tok::Ident(name)) = tokens.get(i) else {
+            break;
+        };
+        let name = name.clone();
+        i += 1;
+        assert!(
+            matches!(tokens.get(i), Some(Tok::Punct(':'))),
+            "expected `:` after field `{name}`"
+        );
+        i += 1;
+        skip_type(tokens, &mut i);
+        // now at `,` or end
+        if let Some(Tok::Punct(',')) = tokens.get(i) {
+            i += 1;
+        }
+        fields.push(Field { name, attrs });
+    }
+    fields
+}
+
+/// Counts the fields of a tuple-struct/tuple-variant parenthesis group.
+fn count_tuple_fields(tokens: &[Tok]) -> usize {
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        let _ = skip_attrs(tokens, &mut i);
+        skip_vis(tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_type(tokens, &mut i);
+        count += 1;
+        if let Some(Tok::Punct(',')) = tokens.get(i) {
+            i += 1;
+        }
+    }
+    count
+}
+
+fn parse_variants(tokens: &[Tok]) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let _ = skip_attrs(tokens, &mut i); // e.g. doc comments, #[default]
+        let Some(Tok::Ident(name)) = tokens.get(i) else {
+            break;
+        };
+        let name = name.clone();
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(Tok::Group(Delimiter::Parenthesis, inner)) => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(inner))
+            }
+            Some(Tok::Group(Delimiter::Brace, inner)) => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(inner))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an explicit discriminant `= expr` if present.
+        if let Some(Tok::Punct('=')) = tokens.get(i) {
+            while i < tokens.len() && !matches!(tokens.get(i), Some(Tok::Punct(','))) {
+                i += 1;
+            }
+        }
+        if let Some(Tok::Punct(',')) = tokens.get(i) {
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_input(stream: TokenStream) -> Input {
+    let tokens = lex(stream);
+    let mut i = 0;
+    // Skip item-level attributes and visibility.
+    let _ = skip_attrs(&tokens, &mut i);
+    skip_vis(&tokens, &mut i);
+    let kind = match tokens.get(i) {
+        Some(Tok::Ident(id)) if id == "struct" || id == "enum" => id.clone(),
+        other => panic!("serde derive supports struct/enum only, found {other:?}"),
+    };
+    i += 1;
+    let Some(Tok::Ident(name)) = tokens.get(i) else {
+        panic!("expected type name");
+    };
+    let name = name.clone();
+    i += 1;
+    if let Some(Tok::Punct('<')) = tokens.get(i) {
+        panic!("vendored serde derive does not support generic type `{name}`");
+    }
+    if kind == "struct" {
+        match tokens.get(i) {
+            Some(Tok::Group(Delimiter::Brace, inner)) => {
+                Input::NamedStruct { name, fields: parse_named_fields(inner) }
+            }
+            Some(Tok::Group(Delimiter::Parenthesis, inner)) => {
+                Input::TupleStruct { name, arity: count_tuple_fields(inner) }
+            }
+            Some(Tok::Punct(';')) | None => Input::UnitStruct { name },
+            other => panic!("unsupported struct body: {other:?}"),
+        }
+    } else {
+        match tokens.get(i) {
+            Some(Tok::Group(Delimiter::Brace, inner)) => {
+                Input::Enum { name, variants: parse_variants(inner) }
+            }
+            other => panic!("unsupported enum body: {other:?}"),
+        }
+    }
+}
+
+fn default_expr(attrs: &FieldAttrs) -> String {
+    match &attrs.default {
+        Some(Some(path)) => format!("{path}()"),
+        _ => "::std::default::Default::default()".to_string(),
+    }
+}
+
+/// Derives `serde::Serialize` (vendored value-model form).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let out = match &parsed {
+        Input::NamedStruct { name, fields } => {
+            let mut pushes = String::new();
+            for f in fields {
+                if f.attrs.skip {
+                    continue;
+                }
+                pushes.push_str(&format!(
+                    "entries.push((\"{n}\".to_string(), ::serde::Serialize::to_value(&self.{n})));\n",
+                    n = f.name
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let mut entries: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n\
+                         {pushes}\
+                         ::serde::Value::Object(entries)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Input::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                "::serde::Serialize::to_value(&self.0)".to_string()
+            } else {
+                let items: Vec<String> = (0..*arity)
+                    .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                    .collect();
+                format!("::serde::Value::Array(vec![{}])", items.join(", "))
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Input::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n\
+             }}"
+        ),
+        Input::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),\n"
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        let binds: Vec<String> = (0..*arity).map(|k| format!("__f{k}")).collect();
+                        let inner = if *arity == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), {inner})]),\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(\"{n}\".to_string(), ::serde::Serialize::to_value({n}))",
+                                    n = f.name
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => ::serde::Value::Object(vec![(\"{vn}\".to_string(), ::serde::Value::Object(vec![{}]))]),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{arms}}}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    out.parse().expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` (vendored value-model form).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let out = match &parsed {
+        Input::NamedStruct { name, fields } => {
+            let mut inits = String::new();
+            for f in fields {
+                let n = &f.name;
+                if f.attrs.skip {
+                    inits.push_str(&format!("{n}: {},\n", default_expr(&f.attrs)));
+                } else if f.attrs.default.is_some() {
+                    inits.push_str(&format!(
+                        "{n}: match __v.get(\"{n}\") {{\n\
+                             Some(__x) => ::serde::Deserialize::from_value(__x)?,\n\
+                             None => {},\n\
+                         }},\n",
+                        default_expr(&f.attrs)
+                    ));
+                } else {
+                    inits.push_str(&format!(
+                        "{n}: match __v.get(\"{n}\") {{\n\
+                             Some(__x) => ::serde::Deserialize::from_value(__x)?,\n\
+                             None => return Err(::serde::DeError::new(\"missing field `{n}` in {name}\")),\n\
+                         }},\n"
+                    ));
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match __v {{\n\
+                             ::serde::Value::Object(_) => Ok({name} {{\n{inits}}}),\n\
+                             __other => Err(::serde::DeError::new(format!(\"expected object for {name}, found {{__other:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Input::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                format!("Ok({name}(::serde::Deserialize::from_value(__v)?))")
+            } else {
+                let items: Vec<String> = (0..*arity)
+                    .map(|k| format!("::serde::Deserialize::from_value(&__items[{k}])?"))
+                    .collect();
+                format!(
+                    "match __v {{\n\
+                         ::serde::Value::Array(__items) if __items.len() == {arity} => Ok({name}({})),\n\
+                         __other => Err(::serde::DeError::new(format!(\"expected {arity}-array for {name}, found {{__other:?}}\"))),\n\
+                     }}",
+                    items.join(", ")
+                )
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Input::UnitStruct { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(_: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{ Ok({name}) }}\n\
+             }}"
+        ),
+        Input::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n"));
+                        // Real serde also accepts {"Variant": null}; we don't emit it.
+                    }
+                    VariantKind::Tuple(arity) => {
+                        let body = if *arity == 1 {
+                            format!("Ok({name}::{vn}(::serde::Deserialize::from_value(__inner)?))")
+                        } else {
+                            let items: Vec<String> = (0..*arity)
+                                .map(|k| {
+                                    format!("::serde::Deserialize::from_value(&__items[{k}])?")
+                                })
+                                .collect();
+                            format!(
+                                "match __inner {{\n\
+                                     ::serde::Value::Array(__items) if __items.len() == {arity} => Ok({name}::{vn}({})),\n\
+                                     __other => Err(::serde::DeError::new(format!(\"expected {arity}-array for {name}::{vn}, found {{__other:?}}\"))),\n\
+                                 }}",
+                                items.join(", ")
+                            )
+                        };
+                        tagged_arms.push_str(&format!("\"{vn}\" => {{ {body} }}\n"));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            let n = &f.name;
+                            inits.push_str(&format!(
+                                "{n}: match __inner.get(\"{n}\") {{\n\
+                                     Some(__x) => ::serde::Deserialize::from_value(__x)?,\n\
+                                     None => return Err(::serde::DeError::new(\"missing field `{n}` in {name}::{vn}\")),\n\
+                                 }},\n"
+                            ));
+                        }
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => Ok({name}::{vn} {{\n{inits}}}),\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match __v {{\n\
+                             ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                                 {unit_arms}\
+                                 __other => Err(::serde::DeError::new(format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                             }},\n\
+                             ::serde::Value::Object(__entries) if __entries.len() == 1 => {{\n\
+                                 let (__tag, __inner) = &__entries[0];\n\
+                                 match __tag.as_str() {{\n\
+                                     {tagged_arms}\
+                                     __other => Err(::serde::DeError::new(format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             __other => Err(::serde::DeError::new(format!(\"expected enum value for {name}, found {{__other:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    out.parse().expect("generated Deserialize impl parses")
+}
