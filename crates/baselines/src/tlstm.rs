@@ -179,7 +179,9 @@ pub fn train_tlstm(
     use nn::optim::Adam;
     use rand::seq::SliceRandom;
     assert!(!samples.is_empty(), "training set must be non-empty");
-    let start = std::time::Instant::now();
+    let mut run = telemetry::span("baselines.train_tlstm");
+    run.record("epochs", cfg.epochs as u64);
+    run.record("samples", samples.len() as u64);
     {
         let ys: Vec<f32> = samples.iter().map(|s| normalize_seconds(s.seconds)).collect();
         let mean = ys.iter().sum::<f32>() / ys.len() as f32;
@@ -219,10 +221,7 @@ pub fn train_tlstm(
         }
         epoch_losses.push(epoch_loss / samples.len() as f64);
     }
-    raal::TrainHistory {
-        epoch_losses,
-        train_seconds: start.elapsed().as_secs_f64(),
-    }
+    raal::TrainHistory { epoch_losses, train_seconds: run.elapsed_seconds() }
 }
 
 /// Evaluates a TLSTM model against actual costs.

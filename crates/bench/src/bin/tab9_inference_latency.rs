@@ -18,7 +18,6 @@ use baselines::gpsj::{GpsjModel, GpsjParams};
 use baselines::tlstm::{train_tlstm, TlstmConfig, TlstmModel};
 use bench::{build_model, run_pipeline, section, train_config, write_tsv, HarnessOpts, Workload};
 use raal::{train, ModelConfig};
-use std::time::Instant;
 
 fn main() {
     let opts = HarnessOpts::from_env();
@@ -56,12 +55,14 @@ fn main() {
     let n = plans.len().min(100);
     println!("timing {n} plan estimates per model (best of 5 passes)\n");
 
+    // Telemetry's monotonic clock, so these numbers share the timebase of
+    // every span/histogram in the emitted event log.
     let time_it = |f: &dyn Fn()| -> f64 {
         let mut best = f64::INFINITY;
         for _ in 0..5 {
-            let t0 = Instant::now();
+            let t0 = telemetry::clock_ns();
             f();
-            best = best.min(t0.elapsed().as_secs_f64() * 1000.0);
+            best = best.min((telemetry::clock_ns() - t0) as f64 * 1e-6);
         }
         best
     };

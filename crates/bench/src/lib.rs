@@ -32,7 +32,12 @@ pub struct HarnessOpts {
 
 impl HarnessOpts {
     /// Parses `--full`, `--out <dir>` and `--seed <n>` from `std::env`.
+    ///
+    /// Also activates telemetry from `RAAL_TELEMETRY`/`RAAL_TRACE_OUT`
+    /// and stamps the run manifest, so every harness is observable
+    /// without per-binary wiring.
     pub fn from_env() -> Self {
+        telemetry::init_from_env();
         let mut opts = Self {
             full: false,
             out_dir: PathBuf::from("results"),
@@ -59,6 +64,11 @@ impl HarnessOpts {
             }
             i += 1;
         }
+        telemetry::manifest(&[
+            ("bench_full", telemetry::Value::Bool(opts.full)),
+            ("bench_seed", telemetry::Value::UInt(opts.seed)),
+            ("bench_out_dir", telemetry::Value::Str(opts.out_dir.display().to_string())),
+        ]);
         opts
     }
 }
@@ -194,6 +204,12 @@ pub fn build_model(cfg: ModelConfig) -> CostModel {
 }
 
 /// Writes a TSV file with a header row, creating the directory as needed.
+///
+/// A `<name>.manifest.json` sidecar records the run identity (run id, git
+/// sha, config) next to each result file — a sidecar rather than a TSV
+/// column so downstream TSV consumers stay untouched. It is written even
+/// when telemetry is disabled: result provenance should not depend on
+/// tracing being on.
 pub fn write_tsv(dir: &Path, name: &str, header: &[&str], rows: &[Vec<String>]) -> PathBuf {
     std::fs::create_dir_all(dir).expect("create results dir");
     let path = dir.join(name);
@@ -202,6 +218,12 @@ pub fn write_tsv(dir: &Path, name: &str, header: &[&str], rows: &[Vec<String>]) 
     for row in rows {
         writeln!(f, "{}", row.join("\t")).expect("write row");
     }
+    let manifest = telemetry::manifest_json(&[
+        ("result_file", telemetry::Value::Str(name.to_string())),
+        ("result_rows", telemetry::Value::UInt(rows.len() as u64)),
+    ]);
+    std::fs::write(dir.join(format!("{name}.manifest.json")), manifest)
+        .expect("write manifest sidecar");
     println!("  -> wrote {}", path.display());
     path
 }

@@ -425,6 +425,7 @@ impl CostModel {
     /// avoids. Agreement with the tape within 1e-5 relative error is
     /// enforced by `tests/prop_infer.rs` and the layer unit tests.
     pub fn predict_seconds(&self, plan: &EncodedPlan, resources: &[f32]) -> f64 {
+        telemetry::count("infer.predict.single", 1);
         let ctx = self.plan_context(plan);
         self.predict_with_context(&ctx, resources)
     }
@@ -445,6 +446,9 @@ impl CostModel {
     pub fn plan_context(&self, plan: &EncodedPlan) -> PlanContext {
         let n = plan.num_nodes();
         assert!(n > 0, "cannot cost an empty plan");
+        // Cache accounting: hits are derivable downstream as
+        // `infer.predict.with_context - infer.plan_context.build`.
+        telemetry::count("infer.plan_context.build", 1);
         INFER_ARENA.with(|cell| {
             let arena = &mut *cell.borrow_mut();
             let hidden = self.cfg.hidden;
@@ -458,17 +462,20 @@ impl CostModel {
             }
 
             // Plan feature layer.
-            let h = match self.cfg.plan_layer {
-                PlanLayerKind::Lstm => self
-                    .lstm
-                    .as_ref()
-                    .expect("lstm exists for Lstm kind")
-                    .infer_seq(&self.store, &xs, n, arena),
-                PlanLayerKind::Cnn => self
-                    .cnn
-                    .as_ref()
-                    .expect("cnn exists for Cnn kind")
-                    .infer_seq(&self.store, &xs, n, arena),
+            let h = {
+                let _k = telemetry::kernel_span("infer.plan_layer");
+                match self.cfg.plan_layer {
+                    PlanLayerKind::Lstm => self
+                        .lstm
+                        .as_ref()
+                        .expect("lstm exists for Lstm kind")
+                        .infer_seq(&self.store, &xs, n, arena),
+                    PlanLayerKind::Cnn => self
+                        .cnn
+                        .as_ref()
+                        .expect("cnn exists for Cnn kind")
+                        .infer_seq(&self.store, &xs, n, arena),
+                }
             };
             arena.give(xs);
 
@@ -476,6 +483,7 @@ impl CostModel {
             // `rep_i[j] / n` over nodes in order, matching the tape's
             // `mean_rows` exactly.
             let mut p = arena.take(hidden);
+            let attn_span = telemetry::kernel_span("infer.node_attention");
             if self.cfg.node_attention {
                 let k = self.cfg.latent_k;
                 let wq = self.store.value(self.wq.expect("node attention enabled")).data();
@@ -522,10 +530,12 @@ impl CostModel {
                     }
                 }
             }
+            drop(attn_span);
 
             // Resource-attention keys (`h @ Wk_res`) are resource
             // independent, so a context amortises them across a sweep.
             let keys = if self.cfg.resource_attention {
+                let _k_span = telemetry::kernel_span("infer.resource_keys");
                 let k = self.cfg.latent_k;
                 let wk_res = self
                     .store
@@ -570,6 +580,8 @@ impl CostModel {
             "stale PlanContext: the model was mutated, retrained or deserialised after \
              plan_context() — recompute the context"
         );
+        telemetry::count("infer.predict.with_context", 1);
+        let _head_span = telemetry::kernel_span("infer.head");
         let y = INFER_ARENA.with(|cell| {
             let arena = &mut *cell.borrow_mut();
             let hidden = self.cfg.hidden;

@@ -10,7 +10,6 @@ use nn::{Graph, ParamStore};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use std::time::Instant;
 
 /// Training hyperparameters.
 #[derive(Debug, Clone)]
@@ -42,6 +41,20 @@ impl Default for TrainConfig {
     }
 }
 
+impl TrainConfig {
+    /// Worker-thread count after resolving `threads == 0` ("all cores")
+    /// against the machine. Falls back to 1 when core discovery fails —
+    /// a degraded-but-correct single-worker run beats guessing a count
+    /// the container may not have.
+    pub fn resolved_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            self.threads
+        }
+    }
+}
+
 /// Loss trajectory and timing of one training run.
 #[derive(Debug, Clone)]
 pub struct TrainHistory {
@@ -61,7 +74,14 @@ impl TrainHistory {
 /// Trains a model in place on the given samples.
 pub fn train(model: &mut CostModel, samples: &[Sample], cfg: &TrainConfig) -> TrainHistory {
     assert!(!samples.is_empty(), "training set must be non-empty");
-    let start = Instant::now();
+    let threads = cfg.resolved_threads();
+    let mut run = telemetry::span("train.run");
+    run.record("epochs", cfg.epochs as u64);
+    run.record("batch_size", cfg.batch_size as u64);
+    run.record("lr", cfg.lr);
+    run.record("threads", threads as u64);
+    run.record("samples", samples.len() as u64);
+    telemetry::manifest(&[("train_threads", telemetry::Value::UInt(threads as u64))]);
     // Standardise the regression target over the training set: the
     // normalised-log labels live in a narrow band, and z-scoring them
     // speeds convergence dramatically without changing the objective.
@@ -71,36 +91,52 @@ pub fn train(model: &mut CostModel, samples: &[Sample], cfg: &TrainConfig) -> Tr
         let var = ys.iter().map(|y| (y - mean) * (y - mean)).sum::<f32>() / ys.len() as f32;
         model.set_label_stats(mean, var.sqrt());
     }
-    let threads = if cfg.threads == 0 {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
-    } else {
-        cfg.threads
-    };
     let mut adam = Adam::new(cfg.lr);
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut order: Vec<usize> = (0..samples.len()).collect();
     let mut epoch_losses = Vec::with_capacity(cfg.epochs);
 
     for epoch in 0..cfg.epochs {
+        let epoch_start_us = telemetry::clock_us();
         // Linear learning-rate decay to 20% of the initial rate.
         let frac = epoch as f32 / cfg.epochs.max(1) as f32;
         adam.lr = cfg.lr * (1.0 - 0.8 * frac);
         order.shuffle(&mut rng);
         let mut epoch_loss = 0.0;
+        let mut workers_used = 0usize;
+        let mut batches = 0usize;
         for batch in order.chunks(cfg.batch_size) {
+            let batch_start_ns = telemetry::clock_ns();
             let weight = 1.0 / batch.len() as f32;
             let (batch_loss, grads) = batch_gradients(model, samples, batch, weight, threads);
             epoch_loss += batch_loss * batch.len() as f64;
+            workers_used += grads.len();
+            batches += 1;
             merge_grads(model.store_mut(), &grads);
             model.store_mut().clip_grad_norm(cfg.clip_norm);
             adam.step(model.store_mut());
+            telemetry::observe("train.batch_ns", telemetry::clock_ns() - batch_start_ns);
         }
         epoch_losses.push(epoch_loss / samples.len() as f64);
+        if telemetry::enabled() {
+            // Utilisation = workers that actually received samples,
+            // relative to the configured pool, averaged over batches.
+            let util = workers_used as f64 / (batches.max(1) * threads) as f64;
+            telemetry::event(
+                "train.epoch",
+                &[
+                    ("epoch", telemetry::Value::UInt(epoch as u64)),
+                    ("loss", telemetry::Value::F64(epoch_loss / samples.len() as f64)),
+                    ("lr", telemetry::Value::F64(adam.lr as f64)),
+                    ("grad_norm", telemetry::Value::F64(model.store().grad_norm() as f64)),
+                    ("worker_utilization", telemetry::Value::F64(util)),
+                    ("epoch_us", telemetry::Value::UInt(telemetry::clock_us() - epoch_start_us)),
+                ],
+            );
+        }
     }
-    TrainHistory {
-        epoch_losses,
-        train_seconds: start.elapsed().as_secs_f64(),
-    }
+    run.record("final_loss", *epoch_losses.last().unwrap_or(&f64::NAN));
+    TrainHistory { epoch_losses, train_seconds: run.elapsed_seconds() }
 }
 
 /// Computes accumulated gradients for a batch, parallelised over samples.

@@ -100,6 +100,8 @@ impl Word2Vec {
 
 /// Trains skip-gram embeddings on a corpus of sentences.
 pub fn train(corpus: &[Vec<String>], cfg: &W2vConfig) -> Word2Vec {
+    let mut span = telemetry::span("encode.word2vec");
+    span.record("sentences", corpus.len() as u64);
     let mut rng = StdRng::seed_from_u64(cfg.seed);
 
     // Vocabulary.

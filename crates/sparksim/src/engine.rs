@@ -114,9 +114,17 @@ impl Engine {
 
     /// Executes a physical plan and collects true metrics.
     pub fn execute_plan(&self, plan: &PhysicalPlan) -> Result<ExecResult, EngineError> {
-        Executor::new(&self.catalog)
+        let mut span = telemetry::span("sparksim.execute_plan");
+        span.record("plan_nodes", plan.len() as u64);
+        let result = Executor::new(&self.catalog)
             .execute(plan)
-            .map_err(|e| EngineError::Exec(e.to_string()))
+            .map_err(|e| EngineError::Exec(e.to_string()));
+        if let Ok(r) = &result {
+            if let Some(root) = r.metrics.last() {
+                span.record("root_rows", root.rows_out);
+            }
+        }
+        result
     }
 
     /// `EXPLAIN`-style rendering of every candidate plan for a query.
@@ -183,6 +191,7 @@ impl Engine {
         resources: &ResourceConfig,
         seed: u64,
     ) -> Result<ObservedRun, EngineError> {
+        let _span = telemetry::span("sparksim.observe");
         let result = self.execute_plan(plan)?;
         let report = self.simulator.simulate_report(plan, &result.metrics, resources, seed);
         Ok(ObservedRun { result, report })

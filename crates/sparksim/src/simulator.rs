@@ -33,6 +33,14 @@ use serde::{Deserialize, Serialize};
 const GB: f64 = 1024.0 * 1024.0 * 1024.0;
 const MB: f64 = 1024.0 * 1024.0;
 
+/// Process-wide job-id sequence for the Spark-style event-log stream:
+/// every simulated run is one "job", like one Spark action.
+fn next_job_id() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static JOB_SEQ: AtomicU64 = AtomicU64::new(0);
+    JOB_SEQ.fetch_add(1, Ordering::Relaxed)
+}
+
 /// Simulator tunables. Defaults are calibrated so that the paper's
 /// workload sizes (a few GB) produce the tens-of-seconds query times of
 /// its Figs. 1–2.
@@ -239,6 +247,8 @@ impl CostSimulator {
         seed: u64,
     ) -> SimReport {
         assert_eq!(plan.len(), metrics.len(), "metrics must align with plan nodes");
+        let mut sim_span = telemetry::span("sparksim.simulate");
+        sim_span.record("plan_nodes", plan.len() as u64);
         let scale = self.cfg.data_scale;
 
         // ---- Placement: which executors actually fit. ----
@@ -292,8 +302,26 @@ impl CostSimulator {
         let mut gc_total = 0.0;
         let mut broadcast_overflow = false;
 
+        // Spark-mimicking event-log stream: one job per simulated run,
+        // stages in execution (leaf-first) order.
+        let job_id = if telemetry::enabled() {
+            let id = next_job_id();
+            telemetry::event(
+                "job_start",
+                &[
+                    ("job_id", telemetry::Value::UInt(id)),
+                    ("stages", telemetry::Value::UInt(stages.len() as u64)),
+                    ("executors", telemetry::Value::UInt(effective_executors as u64)),
+                    ("slots", telemetry::Value::UInt(slots as u64)),
+                ],
+            );
+            Some(id)
+        } else {
+            None
+        };
+
         // Stages were discovered root-first; execute leaf-first.
-        for stage in stages.iter().rev() {
+        for (stage_id, stage) in stages.iter().rev().enumerate() {
             let partitions = self.stage_partitions(plan, stage, metrics, scale);
             let mut cpu_ns = 0.0; // total across all tasks
             let mut disk_read = 0.0;
@@ -396,21 +424,24 @@ impl CostSimulator {
                 }
             }
             // Output: shuffle write.
+            let mut shuffle_write = 0.0;
             if let Some(sink) = stage.sink {
                 let m = &metrics[sink];
-                disk_write += m.bytes_out * scale;
+                shuffle_write = m.bytes_out * scale;
+                disk_write += shuffle_write;
                 cpu_ns += m.rows_out * scale * CPU.exchange_write;
             }
 
             // Spill: working set beyond the task's memory share goes to disk
             // once per extra merge pass.
             let spill = (working_set - task_mem_bytes).max(0.0);
+            let mut stage_spill = 0.0;
             if spill > 0.0 {
                 let passes = (working_set / task_mem_bytes).log2().ceil().max(1.0);
-                let per_stage_spill = spill * passes * partitions as f64;
-                disk_write += per_stage_spill;
-                disk_read += per_stage_spill;
-                spill_total += per_stage_spill;
+                stage_spill = spill * passes * partitions as f64;
+                disk_write += stage_spill;
+                disk_read += stage_spill;
+                spill_total += stage_spill;
             }
 
             // GC: grows with heap size and memory pressure.
@@ -428,7 +459,8 @@ impl CostSimulator {
             let net_bw = res.network_throughput_mbps * MB / stage_concurrency;
             let cache_bw = self.cfg.cache_throughput_mbps * MB / stage_concurrency;
             let cpu_pt = cpu_ns * 1e-9 / tasks as f64 * cpu_slowdown * (1.0 + gc_factor);
-            gc_total += cpu_ns * 1e-9 * gc_factor;
+            let stage_gc = cpu_ns * 1e-9 * gc_factor;
+            gc_total += stage_gc;
             let read_pt = {
                 let b = disk_read / tasks as f64;
                 (1.0 - cache_hit) * b / disk_bw + cache_hit * b / cache_bw
@@ -441,12 +473,62 @@ impl CostSimulator {
                 + waves * self.cfg.wave_overhead_s
                 + fixed_s;
             stage_seconds.push(stage_s);
+
+            if let Some(job_id) = job_id {
+                let rows: f64 = stage.nodes.iter().map(|&id| metrics[id].rows_in * scale).sum();
+                // One representative task per stage: every task in a wave
+                // is modelled identically, so a single task_end carries
+                // the full per-task breakdown.
+                telemetry::event(
+                    "task_end",
+                    &[
+                        ("job_id", telemetry::Value::UInt(job_id)),
+                        ("stage_id", telemetry::Value::UInt(stage_id as u64)),
+                        ("task_id", telemetry::Value::UInt(0)),
+                        ("seconds", telemetry::Value::F64(task_s)),
+                        ("cpu_seconds", telemetry::Value::F64(cpu_pt)),
+                        ("read_seconds", telemetry::Value::F64(read_pt)),
+                        ("write_seconds", telemetry::Value::F64(write_pt)),
+                        ("net_seconds", telemetry::Value::F64(net_pt)),
+                    ],
+                );
+                telemetry::event(
+                    "stage_completed",
+                    &[
+                        ("job_id", telemetry::Value::UInt(job_id)),
+                        ("stage_id", telemetry::Value::UInt(stage_id as u64)),
+                        ("tasks", telemetry::Value::UInt(tasks as u64)),
+                        ("waves", telemetry::Value::F64(waves)),
+                        ("seconds", telemetry::Value::F64(stage_s)),
+                        ("rows", telemetry::Value::F64(rows)),
+                        ("shuffle_read_bytes", telemetry::Value::F64(net_read)),
+                        ("shuffle_write_bytes", telemetry::Value::F64(shuffle_write)),
+                        ("spill_bytes", telemetry::Value::F64(stage_spill)),
+                        ("gc_seconds", telemetry::Value::F64(stage_gc)),
+                    ],
+                );
+            }
         }
 
         let mut seconds: f64 = self.cfg.driver_overhead_s + stage_seconds.iter().sum::<f64>();
         if self.cfg.noise_sigma > 0.0 {
             seconds *= lognormal_noise(seed, self.cfg.noise_sigma);
         }
+        if let Some(job_id) = job_id {
+            telemetry::event(
+                "job_end",
+                &[
+                    ("job_id", telemetry::Value::UInt(job_id)),
+                    ("seconds", telemetry::Value::F64(seconds)),
+                    ("spill_bytes", telemetry::Value::F64(spill_total)),
+                    ("gc_seconds", telemetry::Value::F64(gc_total)),
+                    ("effective_executors", telemetry::Value::UInt(effective_executors as u64)),
+                    ("cache_hit", telemetry::Value::F64(cache_hit)),
+                    ("broadcast_overflow", telemetry::Value::Bool(broadcast_overflow)),
+                ],
+            );
+        }
+        sim_span.record("stages", stage_seconds.len() as u64);
         SimReport {
             seconds,
             stage_seconds,

@@ -1,0 +1,55 @@
+//! The JSONL event-log schema, mirrored on Spark's event logs.
+//!
+//! Every line of a RAAL event log is one JSON object with at least
+//! `ts_us` (microseconds since the process clock origin) and `type`.
+//! The first line of a well-formed log is a `run_manifest`, which binds
+//! the relative timestamps to wall-clock time (`clock_origin_unix_ms`)
+//! and identifies the run (id, git sha, command line, config fields) —
+//! the same role `SparkListenerApplicationStart` plus the environment
+//! update play in a Spark History Server log.
+//!
+//! This module is the single source of truth for validators (the
+//! `validate_telemetry` bench binary and the telemetry tests both check
+//! against these tables); it contains no parser so the crate stays
+//! dependency-free.
+
+/// Keys every event line must carry.
+pub const COMMON_REQUIRED: &[&str] = &["ts_us", "type"];
+
+/// Required keys per event `type`.
+///
+/// * `run_manifest` — run identity: `run_id`, `git_sha`,
+///   `clock_origin_unix_ms`, plus free-form `fields` (config, resolved
+///   worker threads, resource vector, ...).
+/// * `run_manifest_update` — late manifest additions (e.g. the trainer's
+///   resolved thread count) keyed back to the same `run_id`.
+/// * `span` — a closed RAII span: `name`, emitting thread `tid`,
+///   `dur_us`, nesting `depth` (and `parent`, `null` at depth 0).
+/// * `event` — a point event; sparksim's Spark-style job/stage/task
+///   records use this type with names from [`SPARK_EVENT_NAMES`].
+/// * `counter` / `histogram` — end-of-run metric summaries emitted by
+///   `telemetry::shutdown()`.
+pub const REQUIRED_BY_TYPE: &[(&str, &[&str])] = &[
+    ("run_manifest", &["run_id", "git_sha", "clock_origin_unix_ms", "fields"]),
+    ("run_manifest_update", &["run_id", "fields"]),
+    ("span", &["name", "tid", "dur_us", "depth"]),
+    ("event", &["name", "fields"]),
+    ("counter", &["name", "value"]),
+    ("histogram", &["name", "count", "p50", "p95", "p99", "max", "mean"]),
+];
+
+/// Event names sparksim emits (`type == "event"`), mirroring the Spark
+/// listener events RAAL's training features are harvested from:
+/// `job_start`/`job_end` ≈ `SparkListenerJobStart`/`JobEnd`,
+/// `stage_completed` ≈ `SparkListenerStageCompleted` (rows, spill and
+/// shuffle bytes live in its `fields`, like a stage's task-metrics
+/// rollup), `task_end` ≈ `SparkListenerTaskEnd`.
+pub const SPARK_EVENT_NAMES: &[&str] = &["job_start", "stage_completed", "task_end", "job_end"];
+
+/// Returns the required field list for an event type, if it is known.
+pub fn required_fields(event_type: &str) -> Option<&'static [&'static str]> {
+    REQUIRED_BY_TYPE
+        .iter()
+        .find(|(t, _)| *t == event_type)
+        .map(|(_, fields)| *fields)
+}

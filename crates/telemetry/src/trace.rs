@@ -1,0 +1,44 @@
+//! Chrome `trace_event` export: completed spans become `"ph": "X"`
+//! (complete) events in the JSON object format, so a run's span tree
+//! loads directly in `chrome://tracing` / Perfetto as a flamegraph.
+
+use crate::value::escape_json_into;
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::Path;
+
+/// One completed span, buffered for trace export.
+#[derive(Debug, Clone)]
+pub(crate) struct TraceSlice {
+    pub name: &'static str,
+    pub ts_us: u64,
+    pub dur_us: u64,
+    pub tid: u64,
+}
+
+/// Writes the buffered slices as a Chrome trace JSON file.
+pub(crate) fn write_chrome_trace(
+    path: &Path,
+    slices: &[TraceSlice],
+    run_id: &str,
+) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    let mut out = String::with_capacity(64 + slices.len() * 96);
+    out.push_str("{\"traceEvents\":[");
+    // Process metadata names the trace after the run.
+    out.push_str("{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\",\"args\":{\"name\":");
+    escape_json_into(&format!("raal {run_id}"), &mut out);
+    out.push_str("}}");
+    for s in slices {
+        out.push_str(",{\"ph\":\"X\",\"pid\":1,\"cat\":\"raal\",\"name\":");
+        escape_json_into(s.name, &mut out);
+        let _ = write!(out, ",\"tid\":{},\"ts\":{},\"dur\":{}}}", s.tid, s.ts_us, s.dur_us);
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(out.as_bytes())
+}

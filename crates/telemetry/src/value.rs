@@ -1,0 +1,141 @@
+//! JSON scalar values for telemetry fields, with hand-rolled escaping so
+//! the crate stays dependency-free (the JSONL sink must not pull the
+//! vendored serde stack into every crate that bumps a counter).
+
+use std::fmt::Write as _;
+
+/// A telemetry field value — the JSON scalar subset.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer.
+    UInt(u64),
+    /// Float; non-finite values serialise as `null` (like serde_json).
+    F64(f64),
+    /// String, escaped on write.
+    Str(String),
+}
+
+impl Value {
+    /// Appends the JSON rendering of this value to `out`.
+    pub(crate) fn write_json(&self, out: &mut String) {
+        match self {
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Value::UInt(u) => {
+                let _ = write!(out, "{u}");
+            }
+            Value::F64(f) => {
+                if f.is_finite() {
+                    let _ = write!(out, "{f}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Value::Str(s) => escape_json_into(s, out),
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::UInt(v)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::UInt(v as u64)
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::UInt(v as u64)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+impl From<f32> for Value {
+    fn from(v: f32) -> Self {
+        Value::F64(v as f64)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+/// Appends `s` as a quoted, escaped JSON string to `out`.
+pub(crate) fn escape_json_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn render(v: Value) -> String {
+        let mut s = String::new();
+        v.write_json(&mut s);
+        s
+    }
+
+    #[test]
+    fn scalars_render_as_json() {
+        assert_eq!(render(Value::Bool(true)), "true");
+        assert_eq!(render(Value::Int(-3)), "-3");
+        assert_eq!(render(Value::UInt(u64::MAX)), u64::MAX.to_string());
+        assert_eq!(render(Value::F64(1.5)), "1.5");
+        assert_eq!(render(Value::F64(f64::NAN)), "null");
+        assert_eq!(render(Value::Str("a\"b\\c\nd".into())), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn control_chars_are_escaped() {
+        let mut s = String::new();
+        escape_json_into("\u{1}x\u{7f}", &mut s);
+        assert_eq!(s, "\"\\u0001x\u{7f}\"");
+    }
+}

@@ -1,0 +1,42 @@
+//! Property test: with telemetry disabled, no sequence of instrumentation
+//! calls emits a single byte — the disabled path must be a true no-op as
+//! far as the sink is concerned (hot kernels rely on this).
+
+use proptest::prelude::*;
+use telemetry::testing::capture_disabled;
+
+/// One instrumentation call, chosen by the property inputs.
+fn run_op(op: u8, payload: u64) {
+    match op % 6 {
+        0 => {
+            let mut s = telemetry::span("prop.span");
+            s.record("v", payload);
+        }
+        1 => {
+            let _k = telemetry::kernel_span("prop.kernel");
+        }
+        2 => telemetry::count("prop.counter", payload),
+        3 => telemetry::observe("prop.hist", payload),
+        4 => telemetry::event("prop.event", &[("v", telemetry::Value::UInt(payload))]),
+        _ => telemetry::manifest(&[("v", telemetry::Value::UInt(payload))]),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn disabled_telemetry_emits_nothing(
+        ops in proptest::prop::collection::vec(0u8..6, 0..40),
+        payload in 0u64..1_000_000,
+    ) {
+        let lines = capture_disabled(|| {
+            for (i, &op) in ops.iter().enumerate() {
+                run_op(op, payload.wrapping_add(i as u64));
+            }
+            telemetry::flush();
+            telemetry::shutdown();
+        });
+        prop_assert!(lines.is_empty(), "disabled run emitted: {lines:?}");
+    }
+}

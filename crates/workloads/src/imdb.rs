@@ -72,6 +72,9 @@ const COUNTRIES: [&str; 12] =
 
 /// Generates the dataset.
 pub fn generate(cfg: &ImdbConfig) -> ImdbDataset {
+    let mut span = telemetry::span("workload.generate");
+    span.record("dataset", "imdb");
+    span.record("title_rows", cfg.title_rows as u64);
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let n = cfg.title_rows.max(100);
     let n_keywords = (n / 20).max(20);

@@ -65,6 +65,9 @@ const RETURN_FLAGS: [&str; 3] = ["A", "N", "R"];
 
 /// Generates the dataset.
 pub fn generate(cfg: &TpchConfig) -> TpchDataset {
+    let mut span = telemetry::span("workload.generate");
+    span.record("dataset", "tpch");
+    span.record("customer_rows", cfg.customer_rows as u64);
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let customers = cfg.customer_rows.max(100);
     let suppliers = (customers / 15).max(10);

@@ -7,6 +7,10 @@
 //! 5. predict the cost of each candidate plan.
 //!
 //! Run with: `cargo run --release --example quickstart`
+//!
+//! Set `RAAL_TELEMETRY=1` (or `=path.jsonl`) to stream a structured
+//! event log of the whole pipeline, and `RAAL_TRACE_OUT=trace.json` for
+//! a Chrome `about://tracing` flamegraph — see README "Telemetry".
 
 use raal::dataset::{collect, CollectionConfig};
 use raal::{CostModel, ModelConfig, TrainConfig};
@@ -15,6 +19,8 @@ use sparksim::{ClusterConfig, Engine, ResourceConfig, SimulatorConfig};
 use workloads::imdb::{generate, ImdbConfig};
 
 fn main() {
+    telemetry::init_from_env();
+    telemetry::manifest(&[("example", telemetry::Value::Str("quickstart".into()))]);
     // --- 1. Data: a scaled-down IMDB standing in for the paper's 7.2 GB.
     let data = generate(&ImdbConfig { title_rows: 800, seed: 7 });
     let scale = data.simulated_scale();
@@ -83,4 +89,7 @@ fn main() {
         let pred = model.predict_seconds(&encoder.encode(plan), &features);
         println!("  plan {i}: predicted {pred:.2}s");
     }
+
+    // Flush counters/histograms and the Chrome trace, if enabled.
+    telemetry::shutdown();
 }

@@ -10,11 +10,13 @@
 //! * [`workloads`] — IMDB/TPC-H-like datasets and query generation,
 //! * [`encoding`] — plan/resource feature encoders,
 //! * [`raal`] — the deep cost model itself,
-//! * [`baselines`] — TLSTM, GPSJ and the micro-model.
+//! * [`baselines`] — TLSTM, GPSJ and the micro-model,
+//! * [`telemetry`] — structured spans, metrics and Spark-style event logs.
 
 pub use baselines;
 pub use encoding;
 pub use nn;
 pub use raal;
 pub use sparksim;
+pub use telemetry;
 pub use workloads;
