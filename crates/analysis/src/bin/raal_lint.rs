@@ -1,0 +1,146 @@
+//! `raal-lint` — the workspace source linter.
+//!
+//! ```text
+//! cargo run -p analysis --bin raal-lint [-- --root <dir>] [--update] [--strict]
+//! ```
+//!
+//! Exit codes: `0` clean (all findings grandfathered), `1` violations
+//! (a file exceeds its allowance, or `--strict` and the allowlist is
+//! stale), `2` usage / IO error.
+//!
+//! `--update` rewrites `lint-allowlist.tsv` to exactly cover the current
+//! findings — but only ever *shrinks* the total allowance; it refuses to
+//! grow it, so new violations must be fixed rather than re-grandfathered.
+
+use std::env;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use analysis::lint::{apply_allowlist, lint_root, Allowlist};
+
+const ALLOWLIST_FILE: &str = "lint-allowlist.tsv";
+
+fn usage() -> ExitCode {
+    eprintln!("usage: raal-lint [--root <dir>] [--update] [--strict]");
+    ExitCode::from(2)
+}
+
+/// Walks upward from `start` to the workspace root (identified by the
+/// allowlist file or a `Cargo.toml` with a `[workspace]` table).
+fn find_root(start: PathBuf) -> PathBuf {
+    let mut dir = start.clone();
+    loop {
+        if dir.join(ALLOWLIST_FILE).is_file() {
+            return dir;
+        }
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return dir;
+                }
+            }
+        }
+        if !dir.pop() {
+            return start;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut update = false;
+    let mut strict = false;
+    let mut argv = env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--root" => match argv.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage(),
+            },
+            "--update" => update = true,
+            "--strict" => strict = true,
+            "--help" | "-h" => {
+                println!("raal-lint: RAAL workspace source linter");
+                println!();
+                println!("  --root <dir>  workspace root (default: auto-detected from cwd)");
+                println!("  --update      rewrite {ALLOWLIST_FILE} (shrink-only ratchet)");
+                println!("  --strict      fail on stale allowlist entries too");
+                return ExitCode::SUCCESS;
+            }
+            _ => return usage(),
+        }
+    }
+    let root = root
+        .unwrap_or_else(|| find_root(env::current_dir().unwrap_or_else(|_| PathBuf::from("."))));
+
+    let violations = match lint_root(&root) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("raal-lint: scanning {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let allow_path = root.join(ALLOWLIST_FILE);
+    let allow = match Allowlist::load(&allow_path) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("raal-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if update {
+        let next = Allowlist::covering(&violations);
+        // The shrink-only ratchet applies once a baseline exists; the
+        // very first --update is allowed to grandfather the current tree.
+        let bootstrap = !allow_path.is_file();
+        if !bootstrap && next.total() > allow.total() {
+            eprintln!(
+                "raal-lint: refusing to grow the allowlist ({} -> {} sites); fix the new \
+                 violations instead:",
+                allow.total(),
+                next.total()
+            );
+            for v in &apply_allowlist(&violations, &allow).over {
+                eprintln!("  {v}");
+            }
+            return ExitCode::FAILURE;
+        }
+        if let Err(e) = std::fs::write(&allow_path, next.render()) {
+            eprintln!("raal-lint: writing {}: {e}", allow_path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "raal-lint: wrote {} ({} grandfathered sites, was {})",
+            allow_path.display(),
+            next.total(),
+            allow.total()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let outcome = apply_allowlist(&violations, &allow);
+    for v in &outcome.over {
+        eprintln!("{v}");
+    }
+    for (rule, path, allowed, actual) in &outcome.stale {
+        eprintln!(
+            "raal-lint: stale allowance [{rule}] {path}: {allowed} allowed but {actual} found — \
+             run with --update to ratchet down"
+        );
+    }
+    let failed = !outcome.over.is_empty() || (strict && !outcome.stale.is_empty());
+    println!(
+        "raal-lint: {} finding(s): {} over allowance, {} grandfathered, {} stale allowance(s)",
+        violations.len(),
+        outcome.over.len(),
+        outcome.grandfathered,
+        outcome.stale.len()
+    );
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

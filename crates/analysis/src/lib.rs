@@ -1,0 +1,35 @@
+//! Static guarantees for the RAAL workspace.
+//!
+//! This crate holds the checks that run *before* any data touches the
+//! network or any query touches the simulator:
+//!
+//! * [`shape`] — symbolic shape inference over the cost-model
+//!   architecture. A [`shape::ModelShapeSpec`] describes every layer's
+//!   parameter tensors and the dataflow between them; [`shape::check`]
+//!   propagates a symbolic `[seq, dim]` activation through the spec and
+//!   rejects any dimension mismatch with an error naming the offending
+//!   layer. `core` builds the spec from the *actual* parameter store, so
+//!   tampered checkpoints and inconsistent configs are caught at
+//!   construction / load time.
+//! * [`dag`] — structural validation of encoded plan DAGs:
+//!   acyclicity (children strictly precede parents in the bottom-up
+//!   arena), single root, no shared children, and consistency of the
+//!   signed adjacency rows (+1 child entries matched by a −1 parent
+//!   entry) used by `encoding::plan_encoder`.
+//! * [`lint`] — the `raal-lint` source scanner enforcing repo-wide
+//!   rules the compiler cannot: `// SAFETY:` comments on `unsafe`,
+//!   no `Instant::now` outside telemetry, no `unwrap()`/`expect()` in
+//!   serving-path library code, and telemetry names drawn from the
+//!   [`telemetry::schema`] registry — with an allowlist ratchet for
+//!   grandfathered sites.
+//!
+//! Run the linter with `cargo run -p analysis --bin raal-lint`.
+
+#![warn(missing_docs)]
+
+pub mod dag;
+pub mod lint;
+pub mod shape;
+
+pub use dag::{validate_children, validate_signed_rows, DagError};
+pub use shape::{check, Dim, ModelShapeSpec, ShapeError, ShapeOp, ShapeReport, Stage, SymShape};

@@ -1,0 +1,837 @@
+//! `raal-lint`: source-level enforcement of repo invariants.
+//!
+//! A zero-external-dependency linter that scans the workspace's Rust
+//! sources and enforces rules the compiler cannot:
+//!
+//! * **`unsafe-safety`** — every `unsafe` keyword (block, fn, impl) is
+//!   preceded by a `// SAFETY:` comment or a `# Safety` doc section
+//!   within the preceding lines, so each unsafe site documents the
+//!   preconditions it relies on.
+//! * **`instant-now`** — no `Instant::now` outside `crates/telemetry`;
+//!   all timing goes through the telemetry clock so event logs share one
+//!   origin.
+//! * **`unwrap-in-lib`** — no `.unwrap()` / `.expect(` in non-test
+//!   library code of `sparksim`, `nn`, `core` and `encoding`; serving
+//!   paths return typed errors instead of panicking.
+//! * **`span-names`** — telemetry span/counter/histogram/event names in
+//!   non-test code are drawn from the [`telemetry::schema`] registry, so
+//!   downstream log consumers can rely on a closed vocabulary.
+//!
+//! Grandfathered sites live in `lint-allowlist.tsv` at the repo root:
+//! one `rule<TAB>path<TAB>count` line per file. The linter fails when a
+//! file *exceeds* its allowance (the list never grows) and, in
+//! `--strict` mode, when an allowance is stale (the count can only
+//! ratchet down).
+//!
+//! The scanner is deliberately lexical: it strips comments and string
+//! literals with a small state machine rather than parsing Rust, which
+//! is robust across editions and keeps the binary dependency-free.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::ops::Range;
+use std::path::{Path, PathBuf};
+
+/// Rule id: undocumented `unsafe`.
+pub const RULE_UNSAFE: &str = "unsafe-safety";
+/// Rule id: raw `Instant::now` outside the telemetry crate.
+pub const RULE_INSTANT: &str = "instant-now";
+/// Rule id: panicking accessor in library code.
+pub const RULE_UNWRAP: &str = "unwrap-in-lib";
+/// Rule id: unregistered telemetry name.
+pub const RULE_SPAN: &str = "span-names";
+
+/// Crates whose `src/` trees must not contain `.unwrap()` / `.expect(`.
+const UNWRAP_CRATES: &[&str] = &["sparksim", "nn", "core", "encoding"];
+
+/// How many preceding lines may hold the `SAFETY:` justification.
+const SAFETY_WINDOW: usize = 8;
+
+/// One finding at a specific source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Which rule fired.
+    pub rule: &'static str,
+    /// Path relative to the workspace root, forward slashes.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.path, self.line, self.rule, self.message)
+    }
+}
+
+/// Lexically processed views of one source file, all byte-for-byte the
+/// same length as the original (newlines preserved), so offsets and
+/// line numbers agree across views.
+struct Views {
+    /// Original text.
+    raw: String,
+    /// Comments blanked to spaces; string literals kept verbatim.
+    code: String,
+    /// Comments *and* string/char literal contents blanked.
+    blanked: String,
+}
+
+/// Byte offset of the start of each line, for offset → line mapping.
+fn line_starts(text: &str) -> Vec<usize> {
+    let mut starts = vec![0usize];
+    for (i, b) in text.bytes().enumerate() {
+        if b == b'\n' {
+            starts.push(i + 1);
+        }
+    }
+    starts
+}
+
+fn line_of(starts: &[usize], offset: usize) -> usize {
+    starts.partition_point(|&s| s <= offset)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Lex {
+    Normal,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    Char,
+}
+
+/// Builds the comment-stripped and string-blanked views of `raw`.
+fn lex_views(raw: &str) -> Views {
+    let bytes = raw.as_bytes();
+    let mut code: Vec<u8> = bytes.to_vec();
+    let mut blanked: Vec<u8> = bytes.to_vec();
+    let mut state = Lex::Normal;
+    let mut i = 0;
+    let n = bytes.len();
+
+    // Blank byte `j` in the given views (newlines always survive).
+    let blank = |buf: &mut [u8], j: usize| {
+        if buf[j] != b'\n' {
+            buf[j] = b' ';
+        }
+    };
+
+    while i < n {
+        let b = bytes[i];
+        match state {
+            Lex::Normal => {
+                if b == b'/' && i + 1 < n && bytes[i + 1] == b'/' {
+                    state = Lex::LineComment;
+                    blank(&mut code, i);
+                    blank(&mut blanked, i);
+                } else if b == b'/' && i + 1 < n && bytes[i + 1] == b'*' {
+                    state = Lex::BlockComment(1);
+                    blank(&mut code, i);
+                    blank(&mut blanked, i);
+                } else if b == b'"' {
+                    state = Lex::Str;
+                } else if b == b'r' || b == b'b' {
+                    // r"..."# / br#"..."# raw strings, b"..." byte strings.
+                    let mut j = i + 1;
+                    if b == b'b' && j < n && bytes[j] == b'r' {
+                        j += 1;
+                    }
+                    if b == b'b' && j == i + 1 && j < n && bytes[j] == b'"' {
+                        state = Lex::Str;
+                        i = j;
+                    } else if bytes.get(i + 1) == Some(&b'"') && b == b'r' {
+                        state = Lex::RawStr(0);
+                        i += 1;
+                    } else if j > i + 1 || (b == b'r' && bytes.get(j).is_some_and(|&c| c == b'#')) {
+                        let mut hashes = 0u32;
+                        let mut k = j;
+                        while k < n && bytes[k] == b'#' {
+                            hashes += 1;
+                            k += 1;
+                        }
+                        if hashes > 0 && k < n && bytes[k] == b'"' {
+                            state = Lex::RawStr(hashes);
+                            i = k;
+                        }
+                    }
+                } else if b == b'\'' {
+                    // Char literal vs lifetime: 'x' or '\..' is a char.
+                    if i + 1 < n && bytes[i + 1] == b'\\' {
+                        state = Lex::Char;
+                    } else if i + 2 < n && bytes[i + 2] == b'\'' && bytes[i + 1] != b'\'' {
+                        blank(&mut blanked, i + 1);
+                        i += 2;
+                    }
+                    // Otherwise a lifetime: leave untouched.
+                }
+            }
+            Lex::LineComment => {
+                if b == b'\n' {
+                    state = Lex::Normal;
+                } else {
+                    blank(&mut code, i);
+                    blank(&mut blanked, i);
+                }
+            }
+            Lex::BlockComment(depth) => {
+                blank(&mut code, i);
+                blank(&mut blanked, i);
+                if b == b'*' && i + 1 < n && bytes[i + 1] == b'/' {
+                    blank(&mut code, i + 1);
+                    blank(&mut blanked, i + 1);
+                    i += 1;
+                    state = if depth == 1 {
+                        Lex::Normal
+                    } else {
+                        Lex::BlockComment(depth - 1)
+                    };
+                } else if b == b'/' && i + 1 < n && bytes[i + 1] == b'*' {
+                    blank(&mut code, i + 1);
+                    blank(&mut blanked, i + 1);
+                    i += 1;
+                    state = Lex::BlockComment(depth + 1);
+                }
+            }
+            Lex::Str => {
+                if b == b'\\' && i + 1 < n {
+                    blank(&mut blanked, i);
+                    blank(&mut blanked, i + 1);
+                    i += 1;
+                } else if b == b'"' {
+                    state = Lex::Normal;
+                } else {
+                    blank(&mut blanked, i);
+                }
+            }
+            Lex::RawStr(hashes) => {
+                if b == b'"' {
+                    let mut k = i + 1;
+                    let mut seen = 0u32;
+                    while seen < hashes && k < n && bytes[k] == b'#' {
+                        seen += 1;
+                        k += 1;
+                    }
+                    if seen == hashes {
+                        i = k - 1;
+                        state = Lex::Normal;
+                    } else {
+                        blank(&mut blanked, i);
+                    }
+                } else {
+                    blank(&mut blanked, i);
+                }
+            }
+            Lex::Char => {
+                if b == b'\\' && i + 1 < n {
+                    blank(&mut blanked, i);
+                    blank(&mut blanked, i + 1);
+                    i += 1;
+                } else if b == b'\'' {
+                    state = Lex::Normal;
+                } else {
+                    blank(&mut blanked, i);
+                }
+            }
+        }
+        i += 1;
+    }
+
+    Views {
+        raw: raw.to_string(),
+        code: String::from_utf8(code).expect("blanking preserves UTF-8"),
+        blanked: String::from_utf8(blanked).expect("blanking preserves UTF-8"),
+    }
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Offsets of whole-word occurrences of `word` in `text`.
+fn find_word(text: &str, word: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let bytes = text.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = text[from..].find(word) {
+        let at = from + pos;
+        let before_ok = at == 0 || !is_ident_byte(bytes[at - 1]);
+        let end = at + word.len();
+        let after_ok = end >= bytes.len() || !is_ident_byte(bytes[end]);
+        if before_ok && after_ok {
+            out.push(at);
+        }
+        from = at + word.len();
+    }
+    out
+}
+
+/// Byte ranges of `#[cfg(test)]`- or `#[test]`-gated item bodies.
+fn test_ranges(blanked: &str) -> Vec<Range<usize>> {
+    let mut ranges: Vec<Range<usize>> = Vec::new();
+    let bytes = blanked.as_bytes();
+    for marker in ["#[cfg(test)]", "#[test]"] {
+        let mut from = 0;
+        while let Some(pos) = blanked[from..].find(marker) {
+            let at = from + pos;
+            from = at + marker.len();
+            // The attribute gates the next item: scan to its `{` body
+            // (or bail at `;` — e.g. `#[cfg(test)] use ...;`).
+            let mut i = at + marker.len();
+            let mut open = None;
+            while i < bytes.len() {
+                match bytes[i] {
+                    b'{' => {
+                        open = Some(i);
+                        break;
+                    }
+                    b';' => break,
+                    _ => i += 1,
+                }
+            }
+            let Some(open) = open else { continue };
+            let mut depth = 0usize;
+            let mut close = bytes.len();
+            for (j, &b) in bytes.iter().enumerate().skip(open) {
+                if b == b'{' {
+                    depth += 1;
+                } else if b == b'}' {
+                    depth -= 1;
+                    if depth == 0 {
+                        close = j + 1;
+                        break;
+                    }
+                }
+            }
+            ranges.push(at..close);
+        }
+    }
+    ranges.sort_by_key(|r| r.start);
+    ranges
+}
+
+fn in_ranges(ranges: &[Range<usize>], offset: usize) -> bool {
+    ranges.iter().any(|r| r.contains(&offset))
+}
+
+/// Whether the path is test-only by location (integration tests and
+/// criterion benches).
+fn is_test_path(rel: &str) -> bool {
+    rel.starts_with("tests/") || rel.contains("/tests/") || rel.contains("/benches/")
+}
+
+/// The `crates/<name>/` component of a relative path, if any.
+fn crate_of(rel: &str) -> Option<&str> {
+    rel.strip_prefix("crates/").and_then(|rest| rest.split('/').next())
+}
+
+/// Recursively collects `.rs` files under `root`, skipping build
+/// artefacts, vendored stand-ins and VCS metadata.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    const SKIP: &[&str] = &["target", "vendor", ".git", ".claude", "results", "node_modules"];
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP.contains(&name.as_ref()) {
+                continue;
+            }
+            collect_rs(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints every Rust source under `root`, returning findings sorted by
+/// path and line.
+pub fn lint_root(root: &Path) -> io::Result<Vec<Violation>> {
+    let mut files = Vec::new();
+    collect_rs(root, &mut files)?;
+    files.sort();
+    let mut violations = Vec::new();
+    for path in &files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let source = fs::read_to_string(path)?;
+        lint_file(&rel, &source, &mut violations);
+    }
+    violations.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    Ok(violations)
+}
+
+/// Lints one file's source text (exposed for tests).
+pub fn lint_file(rel: &str, source: &str, out: &mut Vec<Violation>) {
+    let views = lex_views(source);
+    let starts = line_starts(source);
+    let tests = test_ranges(&views.blanked);
+    let raw_lines: Vec<&str> = views.raw.lines().collect();
+    let test_file = is_test_path(rel);
+    let krate = crate_of(rel);
+
+    rule_unsafe(rel, &views, &starts, &raw_lines, out);
+    rule_instant(rel, &views, &starts, krate, out);
+    if !test_file && krate.is_some_and(|c| UNWRAP_CRATES.contains(&c)) && rel.contains("/src/") {
+        rule_unwrap(rel, &views, &starts, &tests, out);
+    }
+    if !test_file && krate != Some("telemetry") {
+        rule_span_names(rel, &views, &starts, &tests, out);
+    }
+}
+
+/// `unsafe` must carry a nearby `SAFETY:` justification (or a `# Safety`
+/// doc section for `unsafe fn` contracts).
+fn rule_unsafe(
+    rel: &str,
+    views: &Views,
+    starts: &[usize],
+    raw_lines: &[&str],
+    out: &mut Vec<Violation>,
+) {
+    for at in find_word(&views.blanked, "unsafe") {
+        let line = line_of(starts, at); // 1-based
+                                        // Look back through the fixed window, extended across any
+                                        // contiguous run of comment/attribute lines directly above the
+                                        // `unsafe` so a long `/// # Safety` section still counts.
+        let mut lo = line.saturating_sub(SAFETY_WINDOW);
+        while lo > 0 {
+            let t = raw_lines[lo - 1].trim_start();
+            if t.starts_with("//")
+                || t.starts_with("#[")
+                || t.starts_with("/*")
+                || t.starts_with('*')
+            {
+                lo -= 1;
+            } else {
+                break;
+            }
+        }
+        let documented = raw_lines[lo..line]
+            .iter()
+            .any(|l| l.contains("SAFETY:") || l.contains("# Safety"));
+        if !documented {
+            out.push(Violation {
+                rule: RULE_UNSAFE,
+                path: rel.to_string(),
+                line,
+                message: "`unsafe` without a `// SAFETY:` comment (or `# Safety` doc) \
+                          in the preceding lines"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// Timing outside the telemetry crate goes through `telemetry::clock_ns`.
+fn rule_instant(
+    rel: &str,
+    views: &Views,
+    starts: &[usize],
+    krate: Option<&str>,
+    out: &mut Vec<Violation>,
+) {
+    if krate == Some("telemetry") {
+        return;
+    }
+    let mut from = 0;
+    while let Some(pos) = views.blanked[from..].find("Instant::now") {
+        let at = from + pos;
+        from = at + "Instant::now".len();
+        out.push(Violation {
+            rule: RULE_INSTANT,
+            path: rel.to_string(),
+            line: line_of(starts, at),
+            message: "Instant::now outside crates/telemetry — use telemetry::clock_ns() \
+                      so all timings share one origin"
+                .to_string(),
+        });
+    }
+}
+
+/// Library code in the serving path returns typed errors, not panics.
+fn rule_unwrap(
+    rel: &str,
+    views: &Views,
+    starts: &[usize],
+    tests: &[Range<usize>],
+    out: &mut Vec<Violation>,
+) {
+    for pat in [".unwrap()", ".expect("] {
+        let mut from = 0;
+        while let Some(pos) = views.blanked[from..].find(pat) {
+            let at = from + pos;
+            from = at + pat.len();
+            if in_ranges(tests, at) {
+                continue;
+            }
+            out.push(Violation {
+                rule: RULE_UNWRAP,
+                path: rel.to_string(),
+                line: line_of(starts, at),
+                message: format!(
+                    "`{}` in non-test library code — convert to a typed Result error",
+                    pat.trim_end_matches('(')
+                ),
+            });
+        }
+    }
+}
+
+/// Telemetry names come from the `telemetry::schema` registry.
+fn rule_span_names(
+    rel: &str,
+    views: &Views,
+    starts: &[usize],
+    tests: &[Range<usize>],
+    out: &mut Vec<Violation>,
+) {
+    // (call pattern, registry, registry name for the message)
+    let checks: [(&str, &[&str], &str); 5] = [
+        ("telemetry::span(", telemetry::schema::SPAN_NAMES, "SPAN_NAMES"),
+        ("telemetry::kernel_span(", telemetry::schema::SPAN_NAMES, "SPAN_NAMES"),
+        ("telemetry::count(", telemetry::schema::COUNTER_NAMES, "COUNTER_NAMES"),
+        ("telemetry::observe(", telemetry::schema::HISTOGRAM_NAMES, "HISTOGRAM_NAMES"),
+        ("telemetry::event(", telemetry::schema::EVENT_NAMES, "EVENT_NAMES"),
+    ];
+    for (pat, registry, registry_name) in checks {
+        let mut from = 0;
+        // Locate call sites in the blanked view (so the pattern inside a
+        // string or comment never matches), then read the argument from
+        // the string-preserving view.
+        while let Some(pos) = views.blanked[from..].find(pat) {
+            let at = from + pos;
+            from = at + pat.len();
+            if in_ranges(tests, at) {
+                continue;
+            }
+            // First argument must be a string literal to be checkable.
+            let rest = &views.code[at + pat.len()..];
+            let trimmed = rest.trim_start();
+            if !trimmed.starts_with('"') {
+                continue;
+            }
+            let Some(end) = trimmed[1..].find('"') else {
+                continue;
+            };
+            let name = &trimmed[1..1 + end];
+            if !registry.contains(&name) {
+                out.push(Violation {
+                    rule: RULE_SPAN,
+                    path: rel.to_string(),
+                    line: line_of(starts, at),
+                    message: format!(
+                        "telemetry name \"{name}\" is not in telemetry::schema::{registry_name} — \
+                         register it so log consumers see a closed vocabulary"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// The grandfathered-site allowlist: `(rule, path) -> allowed count`.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Allowlist {
+    entries: BTreeMap<(String, String), usize>,
+}
+
+impl Allowlist {
+    /// Parses the TSV format (`rule<TAB>path<TAB>count`, `#` comments).
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut entries = BTreeMap::new();
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split('\t');
+            let (Some(rule), Some(path), Some(count)) = (parts.next(), parts.next(), parts.next())
+            else {
+                return Err(format!("allowlist line {}: expected rule<TAB>path<TAB>count", i + 1));
+            };
+            let count: usize = count
+                .trim()
+                .parse()
+                .map_err(|_| format!("allowlist line {}: bad count '{count}'", i + 1))?;
+            entries.insert((rule.to_string(), path.to_string()), count);
+        }
+        Ok(Self { entries })
+    }
+
+    /// Loads from a file; a missing file is an empty allowlist.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        match fs::read_to_string(path) {
+            Ok(text) => Self::parse(&text),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(Self::default()),
+            Err(e) => Err(format!("reading {}: {e}", path.display())),
+        }
+    }
+
+    /// Renders the TSV format, sorted, with a header comment.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "# raal-lint allowlist: grandfathered violations, one `rule<TAB>path<TAB>count`\n\
+             # per line. The build fails if a file exceeds its allowance; counts may only\n\
+             # ratchet down (regenerate with `cargo run -p analysis --bin raal-lint -- --update`).\n",
+        );
+        for ((rule, path), count) in &self.entries {
+            out.push_str(&format!("{rule}\t{path}\t{count}\n"));
+        }
+        out
+    }
+
+    /// Builds an allowlist that exactly covers `violations`.
+    pub fn covering(violations: &[Violation]) -> Self {
+        let mut entries: BTreeMap<(String, String), usize> = BTreeMap::new();
+        for v in violations {
+            *entries.entry((v.rule.to_string(), v.path.clone())).or_default() += 1;
+        }
+        Self { entries }
+    }
+
+    /// Total allowed count across all entries.
+    pub fn total(&self) -> usize {
+        self.entries.values().sum()
+    }
+}
+
+/// Result of comparing actual findings against the allowlist.
+#[derive(Debug, Default)]
+pub struct Outcome {
+    /// Findings in files over (or absent from) their allowance. Fails
+    /// the lint.
+    pub over: Vec<Violation>,
+    /// `(rule, path, allowed, actual)` where the allowance exceeds
+    /// reality — the ratchet must be tightened.
+    pub stale: Vec<(String, String, usize, usize)>,
+    /// Findings covered by an exact allowance (grandfathered).
+    pub grandfathered: usize,
+}
+
+/// Applies the ratchet: per `(rule, path)`, actual count must not exceed
+/// the allowance; allowances above the actual count are reported stale.
+pub fn apply_allowlist(violations: &[Violation], allow: &Allowlist) -> Outcome {
+    let mut actual: BTreeMap<(String, String), Vec<&Violation>> = BTreeMap::new();
+    for v in violations {
+        actual
+            .entry((v.rule.to_string(), v.path.clone()))
+            .or_default()
+            .push(v);
+    }
+    let mut outcome = Outcome::default();
+    for (key, found) in &actual {
+        let allowed = allow.entries.get(key).copied().unwrap_or(0);
+        if found.len() > allowed {
+            outcome.over.extend(found.iter().map(|v| (*v).clone()));
+        } else {
+            outcome.grandfathered += found.len();
+            if found.len() < allowed {
+                outcome
+                    .stale
+                    .push((key.0.clone(), key.1.clone(), allowed, found.len()));
+            }
+        }
+    }
+    for (key, &allowed) in &allow.entries {
+        if !actual.contains_key(key) && allowed > 0 {
+            outcome.stale.push((key.0.clone(), key.1.clone(), allowed, 0));
+        }
+    }
+    outcome.stale.sort();
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint_str(rel: &str, src: &str) -> Vec<Violation> {
+        let mut out = Vec::new();
+        lint_file(rel, src, &mut out);
+        out
+    }
+
+    #[test]
+    fn undocumented_unsafe_is_flagged() {
+        let v =
+            lint_str("crates/nn/src/x.rs", "fn f(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, RULE_UNSAFE);
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn safety_comment_satisfies_the_rule() {
+        let v = lint_str(
+            "crates/nn/src/x.rs",
+            "fn f(p: *const u8) -> u8 {\n    // SAFETY: caller guarantees p is valid.\n    \
+             unsafe { *p }\n}\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn safety_doc_section_satisfies_the_rule() {
+        let v = lint_str(
+            "crates/nn/src/x.rs",
+            "/// # Safety\n/// `p` must be valid.\n#[inline]\npub unsafe fn f(p: *const u8) {}\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn unsafe_in_string_or_comment_is_ignored() {
+        let v = lint_str(
+            "crates/nn/src/x.rs",
+            "// this mentions unsafe code\nfn f() { let _ = \"unsafe { }\"; }\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn instant_now_flagged_outside_telemetry() {
+        let src = "fn f() { let _t = std::time::Instant::now(); }\n";
+        let v = lint_str("crates/core/src/x.rs", src);
+        assert!(v.iter().any(|v| v.rule == RULE_INSTANT));
+        let v = lint_str("crates/telemetry/src/lib.rs", src);
+        assert!(v.iter().all(|v| v.rule != RULE_INSTANT));
+    }
+
+    #[test]
+    fn unwrap_flagged_only_in_lib_code_of_listed_crates() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        assert_eq!(lint_str("crates/sparksim/src/x.rs", src).len(), 1);
+        // workloads is not on the no-panic list.
+        assert!(lint_str("crates/workloads/src/x.rs", src).is_empty());
+        // Integration tests are exempt.
+        assert!(lint_str("crates/sparksim/tests/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_inside_cfg_test_module_is_exempt() {
+        let src = "fn f() {}\n\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { \
+                   Some(1).unwrap(); }\n}\n";
+        let v = lint_str("crates/nn/src/x.rs", src);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn expect_outside_test_module_is_flagged() {
+        let src = "pub fn f(x: Option<u8>) -> u8 { x.expect(\"set\") }\n\n\
+                   #[cfg(test)]\nmod tests {}\n";
+        let v = lint_str("crates/encoding/src/x.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, RULE_UNWRAP);
+    }
+
+    #[test]
+    fn unregistered_span_name_is_flagged() {
+        let v = lint_str(
+            "crates/core/src/x.rs",
+            "fn f() { let _s = telemetry::span(\"made.up.name\"); }\n",
+        );
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, RULE_SPAN);
+        assert!(v[0].message.contains("made.up.name"));
+    }
+
+    #[test]
+    fn registered_span_name_passes() {
+        let v = lint_str(
+            "crates/core/src/x.rs",
+            "fn f() { let _s = telemetry::span(\"train.run\"); }\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn span_names_in_tests_are_unchecked() {
+        let v = lint_str(
+            "crates/core/src/x.rs",
+            "#[cfg(test)]\nmod tests {\n    fn f() { let _s = telemetry::span(\"adhoc\"); }\n}\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn dynamic_span_names_are_skipped() {
+        let v = lint_str(
+            "crates/core/src/x.rs",
+            "fn f(name: &'static str) { let _s = telemetry::span(name); }\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn multiline_event_name_is_checked() {
+        let v = lint_str(
+            "crates/core/src/x.rs",
+            "fn f() {\n    telemetry::event(\n        \"not.a.real.event\",\n        &[],\n    );\n}\n",
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn allowlist_ratchet_math() {
+        let vs = vec![
+            Violation {
+                rule: RULE_UNWRAP,
+                path: "crates/nn/src/a.rs".into(),
+                line: 1,
+                message: String::new(),
+            },
+            Violation {
+                rule: RULE_UNWRAP,
+                path: "crates/nn/src/a.rs".into(),
+                line: 2,
+                message: String::new(),
+            },
+        ];
+        // Exact allowance: grandfathered.
+        let allow = Allowlist::parse("unwrap-in-lib\tcrates/nn/src/a.rs\t2\n").unwrap();
+        let o = apply_allowlist(&vs, &allow);
+        assert!(o.over.is_empty());
+        assert_eq!(o.grandfathered, 2);
+        assert!(o.stale.is_empty());
+        // Over allowance: fails.
+        let allow = Allowlist::parse("unwrap-in-lib\tcrates/nn/src/a.rs\t1\n").unwrap();
+        assert_eq!(apply_allowlist(&vs, &allow).over.len(), 2);
+        // Stale allowance: ratchet must tighten.
+        let allow = Allowlist::parse("unwrap-in-lib\tcrates/nn/src/a.rs\t5\n").unwrap();
+        let o = apply_allowlist(&vs, &allow);
+        assert!(o.over.is_empty());
+        assert_eq!(o.stale, vec![("unwrap-in-lib".into(), "crates/nn/src/a.rs".into(), 5, 2)]);
+        // Entry for a clean file: stale.
+        let o = apply_allowlist(&[], &allow);
+        assert_eq!(o.stale.len(), 1);
+    }
+
+    #[test]
+    fn allowlist_round_trips() {
+        let a =
+            Allowlist::parse("unwrap-in-lib\tx.rs\t3\n# comment\nspan-names\ty.rs\t1\n").unwrap();
+        let b = Allowlist::parse(&a.render()).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.total(), 4);
+    }
+
+    #[test]
+    fn raw_strings_and_chars_lex_cleanly() {
+        let v = lint_str(
+            "crates/nn/src/x.rs",
+            "fn f() { let _a = r#\"x.unwrap() unsafe\"#; let _b = '\"'; let _c: &'static str = \"ok\"; }\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+}

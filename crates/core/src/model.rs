@@ -277,7 +277,7 @@ impl CostModel {
             1,
             Activation::Identity,
         );
-        Self {
+        let model = Self {
             cfg,
             store,
             lstm,
@@ -293,7 +293,92 @@ impl CostModel {
             label_std: 1.0,
             identity: next_model_identity(),
             version: 0,
+        };
+        // Static shape check before any data can touch the network: a
+        // degenerate config (zero widths, resource_dim drift, ...) fails
+        // here with a layer-level diagnostic instead of a kernel panic
+        // mid-forward.
+        if let Err(e) = model.validate_shapes() {
+            panic!("invalid model configuration: {e}");
         }
+        model
+    }
+
+    /// Runs the symbolic shape checker ([`analysis::shape`]) over this
+    /// model's architecture, using the *actual* parameter tensor shapes
+    /// from the store (not just the config), so inconsistent configs,
+    /// tampered checkpoints and out-of-band weight edits are all caught
+    /// before a forward pass. Returns the per-stage resolved shapes.
+    pub fn validate_shapes(
+        &self,
+    ) -> Result<analysis::shape::ShapeReport, analysis::shape::ShapeError> {
+        use analysis::shape::{ModelShapeSpec, ParamShape, ShapeOp, Stage};
+        let cfg = &self.cfg;
+        let mut stages = Vec::with_capacity(7);
+
+        match (cfg.plan_layer, &self.lstm, &self.cnn) {
+            (PlanLayerKind::Lstm, Some(lstm), _) => stages.push(lstm.shape_stage(&self.store)),
+            (PlanLayerKind::Cnn, _, Some(cnn)) => stages.push(cnn.shape_stage(&self.store)),
+            _ => {
+                return Err(analysis::shape::ShapeError {
+                    layer: "plan".into(),
+                    message: format!("plan layer {:?} has no registered network", cfg.plan_layer),
+                })
+            }
+        }
+
+        let param = |id: Option<ParamId>,
+                     which: &str|
+         -> Result<ParamShape, analysis::shape::ShapeError> {
+            let id = id.ok_or_else(|| analysis::shape::ShapeError {
+                layer: which.rsplit_once('.').map_or(which, |(l, _)| l).to_string(),
+                message: format!("parameter '{which}' is enabled in the config but unregistered"),
+            })?;
+            let (rows, cols) = self.store.value(id).shape();
+            Ok(ParamShape::new(self.store.name(id), rows, cols))
+        };
+
+        if cfg.node_attention {
+            stages.push(Stage::new(
+                "attn.node",
+                ShapeOp::NodeAttention { latent_k: cfg.latent_k },
+                vec![param(self.wq, "attn.node.wq")?, param(self.wk, "attn.node.wk")?],
+            ));
+        } else {
+            stages.push(Stage::new("pool.mean", ShapeOp::MeanPool, vec![]));
+        }
+
+        let mut parts = vec![("plan_pool".to_string(), cfg.hidden)];
+        if cfg.resource_attention {
+            stages.push(Stage::new(
+                "attn.res",
+                ShapeOp::ResourceAttention {
+                    resource_dim: cfg.resource_dim,
+                    latent_k: cfg.latent_k,
+                    hidden: cfg.hidden,
+                },
+                vec![param(self.wr, "attn.res.wr")?, param(self.wk_res, "attn.res.wk")?],
+            ));
+            parts.push(("resource_ctx".to_string(), cfg.hidden));
+            parts.push(("resources".to_string(), cfg.resource_dim));
+        }
+        parts.push(("plan_stats".to_string(), PLAN_STAT_FEATURES));
+        stages.push(Stage::new("head.concat", ShapeOp::Concat { parts }, vec![]));
+        stages.push(self.head1.shape_stage(&self.store));
+        stages.push(self.head2.shape_stage(&self.store));
+        stages.push(self.out.shape_stage(&self.store));
+
+        let model = match (cfg.plan_layer, cfg.node_attention, cfg.resource_attention) {
+            (PlanLayerKind::Cnn, _, _) => "RAAC",
+            (PlanLayerKind::Lstm, false, _) => "NA-LSTM",
+            (PlanLayerKind::Lstm, true, false) => "RAAL (no resources)",
+            (PlanLayerKind::Lstm, true, true) => "RAAL",
+        };
+        analysis::shape::check(&ModelShapeSpec {
+            model: model.to_string(),
+            node_input: cfg.node_dim,
+            stages,
+        })
     }
 
     /// Sets the label standardisation constants (normalised-log space).

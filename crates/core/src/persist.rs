@@ -44,10 +44,34 @@ impl ModelBundle {
     }
 
     /// Loads a bundle from JSON and restores optimizer buffers.
+    ///
+    /// Before the model is handed out, the symbolic shape checker runs
+    /// over the deserialised parameter tensors and the bundled encoder's
+    /// feature width is checked against the model's declared input — so a
+    /// corrupted or tampered checkpoint fails here with a layer-level
+    /// diagnostic (`InvalidData`), not as a kernel panic on first use.
     pub fn load(path: &Path) -> std::io::Result<Self> {
         let json = std::fs::read_to_string(path)?;
         let mut bundle: ModelBundle = serde_json::from_str(&json).map_err(std::io::Error::other)?;
         bundle.model.restore();
+        bundle.model.validate_shapes().map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("checkpoint {} failed the shape check: {e}", path.display()),
+            )
+        })?;
+        let encoder_dim = bundle.encoder().node_dim();
+        let model_dim = bundle.model.config().node_dim;
+        if encoder_dim != model_dim {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!(
+                    "checkpoint {}: bundled encoder emits {encoder_dim}-wide node features but \
+                     the model expects {model_dim}",
+                    path.display()
+                ),
+            ));
+        }
         Ok(bundle)
     }
 }

@@ -58,6 +58,16 @@ impl EncodedPlan {
     pub fn num_nodes(&self) -> usize {
         self.node_features.len()
     }
+
+    /// Structural validation of the child lists ([`analysis::dag`]):
+    /// in-range, topologically ordered (children strictly precede
+    /// parents, ruling out cycles), duplicate-free, single-parent, and a
+    /// unique root that is the last node. Use
+    /// [`PlanEncoder::validate`] to additionally cross-check the signed
+    /// structure rows.
+    pub fn validate(&self) -> Result<(), analysis::dag::DagError> {
+        analysis::dag::validate_children(&self.children)
+    }
 }
 
 /// One training record for the deep cost models.
@@ -135,11 +145,37 @@ impl PlanEncoder {
             node_features.push(row);
             children.push(plan.node(id).children.clone());
         }
-        EncodedPlan {
+        let encoded = EncodedPlan {
             node_features,
             children,
             plan_stats: plan_stats(plan),
+        };
+        // Static DAG check: a malformed physical plan (or a bug in the
+        // structure-row emission above) is an internal invariant
+        // violation — fail loudly here, before the plan can reach the
+        // model and mispredict silently.
+        if let Err(e) = self.validate(&encoded) {
+            panic!("plan encoding produced an invalid DAG: {e}");
         }
+        encoded
+    }
+
+    /// Full static validation of an encoded plan: the child-list
+    /// invariants of [`EncodedPlan::validate`] plus a cross-check that
+    /// every `+1` child entry in the signed structure rows is mirrored
+    /// by the child's `−1` parent entry (entries beyond the `max_nodes`
+    /// truncation window are exempt, matching how they are emitted).
+    pub fn validate(&self, plan: &EncodedPlan) -> Result<(), analysis::dag::DagError> {
+        if !self.cfg.structure {
+            return plan.validate();
+        }
+        let offset = self.w2v.dim() + onehot::DIM;
+        let rows: Vec<Vec<f32>> = plan
+            .node_features
+            .iter()
+            .map(|r| r[offset..offset + self.cfg.max_nodes].to_vec())
+            .collect();
+        analysis::dag::validate_signed_rows(&plan.children, &rows, self.cfg.max_nodes)
     }
 
     /// Encodes a full training sample.

@@ -85,8 +85,12 @@ pub fn matmul_into(a: &[f32], m: usize, k: usize, b: &[f32], n: usize, out: &mut
     let _k = telemetry::kernel_span("nn.matmul");
     #[cfg(target_arch = "x86_64")]
     if x86::avx2_fma_available() {
-        // SAFETY: feature support was just checked; lengths are the
-        // caller's contract (debug-asserted above, sliced inside).
+        // SAFETY: AVX2+FMA support was verified by the runtime probe on
+        // the line above. The length preconditions (`a.len() == m*k`,
+        // `b.len() == k*n`, `out.len() == m*n`) are this function's own
+        // documented contract, debug-asserted at entry and re-asserted
+        // inside the kernel. No alignment precondition exists: the
+        // kernel uses unaligned loads/stores throughout.
         unsafe { x86::matmul_into(a, m, k, b, n, out) };
         return;
     }
@@ -201,7 +205,9 @@ pub fn sigmoid_slice(xs: &mut [f32]) {
     let _k = telemetry::kernel_span("nn.sigmoid");
     #[cfg(target_arch = "x86_64")]
     if x86::avx2_fma_available() {
-        // SAFETY: feature support was just checked.
+        // SAFETY: AVX2+FMA support was verified by the runtime probe on
+        // the line above — the only precondition; the body is safe slice
+        // iteration with no pointer arithmetic.
         unsafe { x86::sigmoid_slice(xs) };
         return;
     }
@@ -216,7 +222,9 @@ pub fn tanh_slice(xs: &mut [f32]) {
     let _k = telemetry::kernel_span("nn.tanh");
     #[cfg(target_arch = "x86_64")]
     if x86::avx2_fma_available() {
-        // SAFETY: feature support was just checked.
+        // SAFETY: AVX2+FMA support was verified by the runtime probe on
+        // the line above — the only precondition; the body is safe slice
+        // iteration with no pointer arithmetic.
         unsafe { x86::tanh_slice(xs) };
         return;
     }
@@ -249,8 +257,15 @@ mod x86 {
     };
 
     /// Whether this CPU has AVX2 and FMA (`std` caches the CPUID probe).
+    ///
+    /// Always `false` under Miri (the interpreter cannot execute vendor
+    /// intrinsics) and under the `force-scalar` feature, which pins the
+    /// portable kernels for sanitizer and differential-testing runs.
     #[inline]
     pub fn avx2_fma_available() -> bool {
+        if cfg!(miri) || cfg!(feature = "force-scalar") {
+            return false;
+        }
         std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
     }
 
@@ -261,10 +276,19 @@ mod x86 {
     /// contraction differs.
     ///
     /// # Safety
-    /// Requires AVX2+FMA, `a.len() == m*k`, `b.len() == k*n` and
-    /// `out.len() == m*n`.
+    /// The CPU must support AVX2 and FMA (callers check
+    /// [`avx2_fma_available`] first), and the lengths must satisfy
+    /// `a.len() == m*k`, `b.len() == k*n` and `out.len() == m*n` —
+    /// every raw offset below (`bp.add(kk*n + j)`, `o.add(j)`) stays in
+    /// bounds exactly when those hold, which this function re-asserts in
+    /// debug builds. There is **no alignment precondition**: all vector
+    /// memory traffic uses `_mm256_loadu_ps`/`_mm256_storeu_ps`, which
+    /// accept arbitrary addresses.
     #[target_feature(enable = "avx2,fma")]
     pub unsafe fn matmul_into(a: &[f32], m: usize, k: usize, b: &[f32], n: usize, out: &mut [f32]) {
+        debug_assert_eq!(a.len(), m * k, "matmul_into lhs length");
+        debug_assert_eq!(b.len(), k * n, "matmul_into rhs length");
+        debug_assert_eq!(out.len(), m * n, "matmul_into out length");
         let bp = b.as_ptr();
         for i in 0..m {
             let a_row = &a[i * k..(i + 1) * k];
@@ -308,8 +332,11 @@ mod x86 {
     }
 
     /// # Safety
-    /// Requires AVX2+FMA. The body is the scalar loop; compiling it
-    /// with these features lets LLVM vectorise `fast_sigmoid` 8-wide.
+    /// The CPU must support AVX2+FMA (callers check
+    /// [`avx2_fma_available`] first) — the only precondition. The body
+    /// is the scalar loop over a safe slice (no raw pointers, so no
+    /// length or alignment obligations); compiling it with these
+    /// features lets LLVM vectorise `fast_sigmoid` 8-wide.
     #[target_feature(enable = "avx2,fma")]
     pub unsafe fn sigmoid_slice(xs: &mut [f32]) {
         for x in xs.iter_mut() {
@@ -318,7 +345,8 @@ mod x86 {
     }
 
     /// # Safety
-    /// Requires AVX2+FMA (see [`sigmoid_slice`]).
+    /// The CPU must support AVX2+FMA (see [`sigmoid_slice`]); no other
+    /// preconditions — safe slice iteration only.
     #[target_feature(enable = "avx2,fma")]
     pub unsafe fn tanh_slice(xs: &mut [f32]) {
         for x in xs.iter_mut() {

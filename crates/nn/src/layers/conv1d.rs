@@ -44,6 +44,22 @@ impl Conv1d {
         Self { w, b, in_dim, out_dim, width }
     }
 
+    /// Describes the convolution to the static shape checker: declared
+    /// dimensions plus the actual registered tensor shapes.
+    pub fn shape_stage(&self, store: &ParamStore) -> analysis::shape::Stage {
+        let w_name = store.name(self.w);
+        let layer = w_name.strip_suffix(".w").unwrap_or(w_name).to_string();
+        analysis::shape::Stage::new(
+            layer,
+            analysis::shape::ShapeOp::Conv1d {
+                in_dim: self.in_dim,
+                out_dim: self.out_dim,
+                width: self.width,
+            },
+            vec![super::param_shape(store, self.w), super::param_shape(store, self.b)],
+        )
+    }
+
     /// Applies the convolution with ReLU to an `n x in_dim` sequence.
     pub fn forward_seq(&self, g: &mut Graph, store: &ParamStore, xs: Var) -> Var {
         let n = g.value(xs).rows();

@@ -1,5 +1,6 @@
 //! Fully connected layer.
 
+use super::param_shape;
 use crate::graph::{Graph, Var};
 use crate::infer::{self, InferArena};
 use crate::init;
@@ -56,6 +57,19 @@ impl Dense {
     /// Parameter handles `(weight, bias)`, e.g. for inspection in tests.
     pub fn params(&self) -> (ParamId, ParamId) {
         (self.w, self.b)
+    }
+
+    /// Describes the layer to the static shape checker: declared
+    /// dimensions plus the *actual* registered tensor shapes, so a
+    /// tampered checkpoint cannot satisfy the check by construction.
+    pub fn shape_stage(&self, store: &ParamStore) -> analysis::shape::Stage {
+        let w_name = store.name(self.w);
+        let layer = w_name.strip_suffix(".w").unwrap_or(w_name).to_string();
+        analysis::shape::Stage::new(
+            layer,
+            analysis::shape::ShapeOp::Dense { in_dim: self.in_dim, out_dim: self.out_dim },
+            vec![param_shape(store, self.w), param_shape(store, self.b)],
+        )
     }
 
     /// Applies the layer to a `batch x in_dim` variable, producing

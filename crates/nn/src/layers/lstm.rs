@@ -51,6 +51,22 @@ impl LstmCell {
         Self { wx, wh, b, in_dim, hidden }
     }
 
+    /// Describes the cell to the static shape checker: declared
+    /// dimensions plus the actual registered tensor shapes.
+    pub fn shape_stage(&self, store: &ParamStore) -> analysis::shape::Stage {
+        let wx_name = store.name(self.wx);
+        let layer = wx_name.strip_suffix(".wx").unwrap_or(wx_name).to_string();
+        analysis::shape::Stage::new(
+            layer,
+            analysis::shape::ShapeOp::Lstm { in_dim: self.in_dim, hidden: self.hidden },
+            vec![
+                super::param_shape(store, self.wx),
+                super::param_shape(store, self.wh),
+                super::param_shape(store, self.b),
+            ],
+        )
+    }
+
     /// Copies the cell's parameters onto `g`'s tape for use in a sequence.
     pub fn bind<'a>(&'a self, g: &mut Graph, store: &ParamStore) -> BoundLstm<'a> {
         BoundLstm {

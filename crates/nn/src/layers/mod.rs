@@ -9,3 +9,12 @@ pub use attention::{attention_weights, dot_attention, dot_attention_into};
 pub use conv1d::Conv1d;
 pub use dense::{Activation, Dense};
 pub use lstm::{BoundLstm, LstmCell};
+
+use crate::params::{ParamId, ParamStore};
+
+/// The actual registered shape of one parameter, as the static shape
+/// checker wants it (name + rows + cols).
+pub(crate) fn param_shape(store: &ParamStore, id: ParamId) -> analysis::shape::ParamShape {
+    let (rows, cols) = store.value(id).shape();
+    analysis::shape::ParamShape::new(store.name(id), rows, cols)
+}

@@ -148,18 +148,29 @@ impl QuerySpec {
 pub struct ResolveError {
     /// Human-readable message.
     pub message: String,
+    /// Token index of the offending item in the original SQL (the same
+    /// coordinate space as [`crate::sql::parser::ParseError::position`]),
+    /// when the failure can be pinned to one.
+    pub position: Option<usize>,
 }
 
 impl fmt::Display for ResolveError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "resolve error: {}", self.message)
+        match self.position {
+            Some(p) => write!(f, "resolve error at token {p}: {}", self.message),
+            None => write!(f, "resolve error: {}", self.message),
+        }
     }
 }
 
 impl std::error::Error for ResolveError {}
 
 fn err<T>(message: impl Into<String>) -> Result<T, ResolveError> {
-    Err(ResolveError { message: message.into() })
+    Err(ResolveError { message: message.into(), position: None })
+}
+
+fn err_at<T>(position: usize, message: impl Into<String>) -> Result<T, ResolveError> {
+    Err(ResolveError { message: message.into(), position: Some(position) })
 }
 
 /// Resolves a parsed query against the catalog.
@@ -168,11 +179,11 @@ pub fn resolve(query: &Query, catalog: &Catalog) -> Result<QuerySpec, ResolveErr
     let mut bindings = Vec::with_capacity(query.tables.len());
     for t in &query.tables {
         if catalog.table(&t.name).is_none() {
-            return err(format!("unknown table '{}'", t.name));
+            return err_at(t.position, format!("unknown table '{}'", t.name));
         }
         let name = t.binding().to_string();
         if bindings.iter().any(|b: &Binding| b.name == name) {
-            return err(format!("duplicate binding '{name}'"));
+            return err_at(t.position, format!("duplicate binding '{name}'"));
         }
         bindings.push(Binding { name, table: t.name.clone() });
     }
@@ -194,9 +205,12 @@ pub fn resolve(query: &Query, catalog: &Catalog) -> Result<QuerySpec, ResolveErr
                         if *func != AggFunc::Count && *func != AggFunc::Min && *func != AggFunc::Max
                         {
                             // SUM/AVG need numeric arguments.
-                            let dt = resolver.column_type(&rc)?;
+                            let dt = resolver.column_type(&rc, c.position)?;
                             if dt == DataType::Str {
-                                return err(format!("{func}({rc}) over a string column"));
+                                return err_at(
+                                    c.position,
+                                    format!("{func}({rc}) over a string column"),
+                                );
                             }
                         }
                         Some(rc)
@@ -224,9 +238,12 @@ pub fn resolve(query: &Query, catalog: &Catalog) -> Result<QuerySpec, ResolveErr
             }
         }
     }
+    // Every list was created non-empty via `entry().or_default().push`,
+    // so the `None` (empty-conjunction) arm cannot fire; `filter_map`
+    // keeps the impossible case panic-free.
     let table_filters = table_filter_lists
         .into_iter()
-        .map(|(k, v)| (k, Expr::conjunction(v).expect("non-empty filter list")))
+        .filter_map(|(k, v)| Expr::conjunction(v).map(|e| (k, e)))
         .collect();
 
     let group_by = query
@@ -316,45 +333,73 @@ struct ColumnResolver<'a> {
 }
 
 impl ColumnResolver<'_> {
+    /// The binding's catalog table. Bindings are only created after a
+    /// successful catalog lookup in [`resolve`], so a miss here means the
+    /// catalog changed mid-resolution — reported as an error, not a panic.
+    fn bound_table(
+        &self,
+        b: &Binding,
+    ) -> Result<&std::sync::Arc<crate::storage::Table>, ResolveError> {
+        self.catalog.table(&b.table).ok_or_else(|| ResolveError {
+            message: format!("table '{}' disappeared from the catalog during resolution", b.table),
+            position: None,
+        })
+    }
+
     fn resolve_column(&self, c: &AstColumn) -> Result<ColumnRef, ResolveError> {
         match &c.qualifier {
             Some(q) => {
-                let b = self
-                    .bindings
-                    .iter()
-                    .find(|b| &b.name == q)
-                    .ok_or_else(|| ResolveError { message: format!("unknown qualifier '{q}'") })?;
-                let table = self.catalog.table(&b.table).expect("validated above");
+                let b =
+                    self.bindings
+                        .iter()
+                        .find(|b| &b.name == q)
+                        .ok_or_else(|| ResolveError {
+                            message: format!("unknown qualifier '{q}'"),
+                            position: Some(c.position),
+                        })?;
+                let table = self.bound_table(b)?;
                 if table.schema.column_index(&c.name).is_none() {
-                    return err(format!("table '{}' has no column '{}'", b.table, c.name));
+                    return err_at(
+                        c.position,
+                        format!("table '{}' has no column '{}'", b.table, c.name),
+                    );
                 }
                 Ok(ColumnRef::new(b.name.clone(), c.name.clone()))
             }
             None => {
                 let mut matches = Vec::new();
                 for b in self.bindings {
-                    let table = self.catalog.table(&b.table).expect("validated above");
+                    let table = self.bound_table(b)?;
                     if table.schema.column_index(&c.name).is_some() {
                         matches.push(b);
                     }
                 }
                 match matches.as_slice() {
                     [one] => Ok(ColumnRef::new(one.name.clone(), c.name.clone())),
-                    [] => err(format!("unknown column '{}'", c.name)),
-                    _ => err(format!("ambiguous column '{}'", c.name)),
+                    [] => err_at(c.position, format!("unknown column '{}'", c.name)),
+                    _ => err_at(c.position, format!("ambiguous column '{}'", c.name)),
                 }
             }
         }
     }
 
-    fn column_type(&self, c: &ColumnRef) -> Result<DataType, ResolveError> {
+    /// Type of an already-resolved column; `position` locates the SQL
+    /// token the caller is checking, for error attribution.
+    fn column_type(&self, c: &ColumnRef, position: usize) -> Result<DataType, ResolveError> {
         let b = self
             .bindings
             .iter()
             .find(|b| b.name == c.table)
-            .ok_or_else(|| ResolveError { message: format!("unknown binding '{}'", c.table) })?;
-        let table = self.catalog.table(&b.table).expect("validated above");
-        Ok(table.schema.column(&c.column).expect("validated above").data_type)
+            .ok_or_else(|| ResolveError {
+                message: format!("unknown binding '{}'", c.table),
+                position: Some(position),
+            })?;
+        let table = self.bound_table(b)?;
+        let column = table.schema.column(&c.column).ok_or_else(|| ResolveError {
+            message: format!("table '{}' has no column '{}'", b.table, c.column),
+            position: Some(position),
+        })?;
+        Ok(column.data_type)
     }
 
     fn resolve_expr(&self, e: &AstExpr) -> Result<Expr, ResolveError> {
@@ -529,6 +574,24 @@ mod tests {
         let cols = spec.required_columns("t");
         assert!(cols.contains(&ColumnRef::new("t", "id")));
         assert!(cols.contains(&ColumnRef::new("t", "kind_id")));
+    }
+
+    #[test]
+    fn resolve_errors_carry_source_positions() {
+        // Token 3 is `nope` in `SELECT COUNT ( * ) FROM nope` — tokens
+        // are counted the same way ParseError counts them.
+        let q = parse("SELECT COUNT(*) FROM nope").unwrap();
+        let e = resolve(&q, &catalog()).unwrap_err();
+        assert_eq!(e.position, Some(6));
+        assert!(e.to_string().contains("at token 6"), "{e}");
+
+        let q = parse("SELECT COUNT(*) FROM title WHERE title.nope = 1").unwrap();
+        let e = resolve(&q, &catalog()).unwrap_err();
+        assert_eq!(e.position, Some(8));
+
+        let q = parse("SELECT COUNT(*) FROM title WHERE bogus = 1").unwrap();
+        let e = resolve(&q, &catalog()).unwrap_err();
+        assert_eq!(e.position, Some(8));
     }
 
     #[test]

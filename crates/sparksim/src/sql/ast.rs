@@ -65,13 +65,25 @@ impl fmt::Display for AggFunc {
 }
 
 /// A table in the `FROM` list.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct TableRef {
     /// Base table name.
     pub name: String,
     /// Optional alias.
     pub alias: Option<String>,
+    /// Token index where this reference starts, for resolver errors.
+    pub position: usize,
 }
+
+// Position is provenance, not identity: two references to the same
+// table/alias are equal wherever they appear in the query.
+impl PartialEq for TableRef {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name && self.alias == other.alias
+    }
+}
+
+impl Eq for TableRef {}
 
 impl TableRef {
     /// The name queries use to reference this table's columns.
@@ -81,12 +93,32 @@ impl TableRef {
 }
 
 /// An (optionally) qualified column before alias resolution.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone)]
 pub struct AstColumn {
     /// Alias or table qualifier, when written.
     pub qualifier: Option<String>,
     /// Column name.
     pub name: String,
+    /// Token index where this column starts, for resolver errors.
+    pub position: usize,
+}
+
+// Position is provenance, not identity — keep equality and hashing on
+// the (qualifier, name) pair so positions never split otherwise-equal
+// columns in maps or assertions.
+impl PartialEq for AstColumn {
+    fn eq(&self, other: &Self) -> bool {
+        self.qualifier == other.qualifier && self.name == other.name
+    }
+}
+
+impl Eq for AstColumn {}
+
+impl std::hash::Hash for AstColumn {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.qualifier.hash(state);
+        self.name.hash(state);
+    }
 }
 
 impl fmt::Display for AstColumn {

@@ -220,6 +220,7 @@ impl Parser {
     fn table_list(&mut self) -> Result<Vec<TableRef>, ParseError> {
         let mut tables = Vec::new();
         loop {
+            let position = self.pos;
             let name = self.ident()?;
             let alias = if self.eat_kw("AS") {
                 Some(self.ident()?)
@@ -234,7 +235,7 @@ impl Parser {
             } else {
                 None
             };
-            tables.push(TableRef { name, alias });
+            tables.push(TableRef { name, alias, position });
             if !self.eat_symbol(",") {
                 break;
             }
@@ -243,12 +244,13 @@ impl Parser {
     }
 
     fn column(&mut self) -> Result<AstColumn, ParseError> {
+        let position = self.pos;
         let first = self.ident()?;
         if self.eat_symbol(".") {
             let name = self.ident()?;
-            Ok(AstColumn { qualifier: Some(first), name })
+            Ok(AstColumn { qualifier: Some(first), name, position })
         } else {
-            Ok(AstColumn { qualifier: None, name: first })
+            Ok(AstColumn { qualifier: None, name: first, position })
         }
     }
 

@@ -46,6 +46,49 @@ pub const REQUIRED_BY_TYPE: &[(&str, &[&str])] = &[
 /// rollup), `task_end` ≈ `SparkListenerTaskEnd`.
 pub const SPARK_EVENT_NAMES: &[&str] = &["job_start", "stage_completed", "task_end", "job_end"];
 
+/// The closed vocabulary of span names (both `telemetry::span` and
+/// `telemetry::kernel_span`). `raal-lint` rejects any span opened under
+/// a name missing from this table, so event-log consumers can key on
+/// span names without chasing ad-hoc strings through the codebase.
+///
+/// Phase spans cover one logical stage of a run; kernel spans (the
+/// `nn.*` / `infer.*` names) wrap individual numeric kernels and are
+/// sampled rather than always recorded.
+pub const SPAN_NAMES: &[&str] = &[
+    // Phase spans.
+    "train.run",
+    "sparksim.execute_plan",
+    "sparksim.observe",
+    "sparksim.simulate",
+    "workload.generate",
+    "encode.word2vec",
+    "baselines.train_tlstm",
+    // Kernel spans: nn primitives.
+    "nn.matmul",
+    "nn.sigmoid",
+    "nn.tanh",
+    "nn.lstm_seq",
+    "nn.conv1d_seq",
+    // Kernel spans: inference-engine stages.
+    "infer.plan_layer",
+    "infer.node_attention",
+    "infer.resource_keys",
+    "infer.head",
+];
+
+/// Registered counter names (`telemetry::count`).
+pub const COUNTER_NAMES: &[&str] =
+    &["infer.predict.single", "infer.plan_context.build", "infer.predict.with_context"];
+
+/// Registered histogram names (`telemetry::observe`).
+pub const HISTOGRAM_NAMES: &[&str] = &["train.batch_ns"];
+
+/// Registered point-event names (`telemetry::event`): the trainer's
+/// per-epoch record plus the Spark-style listener events from
+/// [`SPARK_EVENT_NAMES`].
+pub const EVENT_NAMES: &[&str] =
+    &["train.epoch", "job_start", "stage_completed", "task_end", "job_end"];
+
 /// Returns the required field list for an event type, if it is known.
 pub fn required_fields(event_type: &str) -> Option<&'static [&'static str]> {
     REQUIRED_BY_TYPE

@@ -181,12 +181,12 @@ fn inference_is_fast() {
     let model = CostModel::new(ModelConfig::raal(encoder.node_dim()));
     let encoded = encoder.encode(&collection.plan_runs[0].plan);
     let features = vec![0.5f32; 7];
-    let t0 = std::time::Instant::now();
+    let t0_ns = telemetry::clock_ns();
     let n = 100;
     for _ in 0..n {
         std::hint::black_box(model.predict_seconds(&encoded, &features));
     }
-    let per_plan_ms = t0.elapsed().as_secs_f64() * 1000.0 / n as f64;
+    let per_plan_ms = (telemetry::clock_ns() - t0_ns) as f64 / 1e6 / n as f64;
     // Generous bound (debug builds are slow): well under Spark's per-query
     // planning budget either way.
     assert!(per_plan_ms < 50.0, "inference {per_plan_ms} ms/plan too slow");
