@@ -25,7 +25,7 @@
 //!
 //! Run the linter with `cargo run -p analysis --bin raal-lint`.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod dag;
 pub mod lint;

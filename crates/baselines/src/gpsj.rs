@@ -120,6 +120,14 @@ impl GpsjModel {
     }
 }
 
+/// GPSJ is the serving-time analytical fallback: always available, no
+/// checkpoint, no deadline risk.
+impl raal::serving::FallbackModel for GpsjModel {
+    fn estimate_seconds(&self, plan: &PhysicalPlan, res: &ResourceConfig) -> f64 {
+        GpsjModel::estimate_seconds(self, plan, res)
+    }
+}
+
 /// Evaluates GPSJ against a set of (plan, resources, actual seconds)
 /// records.
 pub fn evaluate_gpsj<'a>(

@@ -2,12 +2,16 @@
 //!
 //! Usage: `validate_telemetry <events.jsonl> [--expect-pipeline]`
 //!
-//! Every line must parse as JSON and carry the fields
-//! [`telemetry::schema`] requires for its event type. With
-//! `--expect-pipeline` the log must additionally look like a full
-//! quickstart run: a `run_manifest` on the first line, training epochs,
-//! inference counters and the Spark-style job/stage event stream. CI runs
-//! this against the quickstart example's output.
+//! Every line must parse as JSON, carry the fields
+//! [`telemetry::schema`] requires for its event type, and use only
+//! names registered in the schema's vocabularies (span, counter,
+//! histogram and event name tables) — an unregistered name in a log is
+//! a name someone emitted without registering, exactly the drift the
+//! schema exists to prevent. With `--expect-pipeline` the log must
+//! additionally look like a full quickstart run: a `run_manifest` on
+//! the first line, training epochs, inference counters and the
+//! Spark-style job/stage event stream. CI runs this against the
+//! quickstart example's output.
 
 use serde::Value;
 use telemetry::schema;
@@ -57,6 +61,14 @@ fn main() {
                 fail(&format!("line {}: {ty} event missing field '{key}'", lineno + 1));
             }
         }
+        if let Some(name) = get_str(&v, "name") {
+            if !name_is_registered(ty, name) {
+                fail(&format!(
+                    "line {}: {ty} name '{name}' is not registered in telemetry::schema",
+                    lineno + 1
+                ));
+            }
+        }
         events.push(v);
     }
     if events.is_empty() {
@@ -80,7 +92,9 @@ fn main() {
         if !has(&events, "counter", "infer.") {
             fail("no inference evidence (infer.* counter)");
         }
-        for spark in schema::SPARK_EVENT_NAMES {
+        // A healthy quickstart run must show the base job/stage/task
+        // stream; the fault/recovery events only appear in fault sweeps.
+        for spark in ["job_start", "stage_completed", "task_end", "job_end"] {
             if !has(&events, "event", spark) {
                 fail(&format!("no sparksim evidence ({spark} event)"));
             }
@@ -98,6 +112,30 @@ fn main() {
     println!("ok: {} events in {path}", events.len());
     for (ty, n) in by_type {
         println!("  {ty:<22} {n}");
+    }
+}
+
+/// Checks a line's `name` against the schema vocabulary for its type.
+/// Spans also produce derived `span.<name>_us` histograms, and timed
+/// kernel spans produce `<name>_ns` histograms, so those forms are
+/// accepted whenever the base name is a registered span.
+fn name_is_registered(event_type: &str, name: &str) -> bool {
+    match event_type {
+        "span" => schema::SPAN_NAMES.contains(&name),
+        "event" => schema::EVENT_NAMES.contains(&name),
+        "counter" => schema::COUNTER_NAMES.contains(&name),
+        "histogram" => {
+            schema::HISTOGRAM_NAMES.contains(&name)
+                || name
+                    .strip_prefix("span.")
+                    .and_then(|n| n.strip_suffix("_us"))
+                    .is_some_and(|n| schema::SPAN_NAMES.contains(&n))
+                || name
+                    .strip_suffix("_ns")
+                    .is_some_and(|n| schema::SPAN_NAMES.contains(&n))
+        }
+        // Manifests and friends carry no name.
+        _ => true,
     }
 }
 

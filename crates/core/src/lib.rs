@@ -8,11 +8,13 @@
 //!   attention, resource-aware attention, dense head) and all ablations
 //!   (NA-LSTM, RAAC, ±resource attention; NE-LSTM via the encoder's
 //!   structure flag);
-//! * [`train`] — mini-batch Adam training with multi-threaded gradients;
+//! * [`mod@train`] — mini-batch Adam training with multi-threaded gradients;
 //! * [`dataset`] — the data-collection pipeline (queries → plans →
 //!   observed runs → word2vec → samples);
 //! * [`metrics`] — RE, MSE, COR and R² (Eqs. 12–15);
-//! * [`selection`] — plan selection with a trained model (Fig. 1's use).
+//! * [`selection`] — plan selection with a trained model (Fig. 1's use);
+//! * [`serving`] — production guard rails: deadlines, admission control
+//!   and graceful degradation to an analytical fallback.
 //!
 //! Quickstart: see `examples/quickstart.rs` at the workspace root.
 
@@ -23,6 +25,7 @@ pub mod metrics;
 pub mod model;
 pub mod persist;
 pub mod selection;
+pub mod serving;
 pub mod train;
 
 pub use dataset::{collect, Collection, CollectionConfig};
@@ -30,4 +33,7 @@ pub use metrics::{EvalSet, MetricSummary};
 pub use model::{CostModel, ModelConfig, PlanContext, PlanLayerKind};
 pub use persist::ModelBundle;
 pub use selection::{evaluate_selection, select_plan, SelectionOutcome};
+pub use serving::{
+    FallbackModel, FallbackReason, PredictionSource, ServingConfig, ServingModel, ServingPrediction,
+};
 pub use train::{evaluate, train, train_test_split, TrainConfig, TrainHistory};

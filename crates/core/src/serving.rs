@@ -1,0 +1,351 @@
+//! Degraded-mode serving: deadlines, admission control and an
+//! analytical fallback around the deep cost model.
+//!
+//! A trained [`CostModel`](crate::model::CostModel) is the *fast path*;
+//! production plan selection cannot afford to block on it forever or to
+//! crash when a checkpoint is corrupt. [`ServingModel`] wraps the model
+//! with three guard rails, every trip counted in telemetry:
+//!
+//! * **checkpoint validation** — a bundle that fails
+//!   [`ModelBundle::load`](crate::persist::ModelBundle::load) produces a
+//!   permanently degraded server instead of a panic
+//!   (`serving.fallback.checkpoint`);
+//! * **admission control** — plans larger than
+//!   [`ServingConfig::max_plan_nodes`] skip the network
+//!   (`serving.fallback.admission`);
+//! * **per-predict deadline** — inference runs on a dedicated worker
+//!   thread; if it misses [`ServingConfig::deadline`] the caller gets the
+//!   analytical estimate instead (`serving.fallback.deadline`), and the
+//!   next call falls back immediately while the worker is still busy
+//!   (`serving.fallback.busy`).
+//!
+//! The fallback is any [`FallbackModel`] — in this workspace the GPSJ
+//! analytical baseline (`baselines::gpsj::GpsjModel`) implements it, and
+//! plain closures work too:
+//!
+//! ```
+//! use raal::serving::{FallbackReason, PredictionSource, ServingConfig, ServingModel};
+//! use sparksim::catalog::Catalog;
+//! use sparksim::engine::Engine;
+//! use sparksim::resource::{ClusterConfig, ResourceConfig};
+//! use sparksim::schema::{ColumnDef, TableSchema};
+//! use sparksim::storage::{Column, ColumnData, Table};
+//! use sparksim::types::DataType;
+//!
+//! let mut catalog = Catalog::new();
+//! catalog.register(Table::new(
+//!     TableSchema::new("t", vec![ColumnDef::new("id", DataType::Int, false)]),
+//!     vec![Column::non_null(ColumnData::Int((0..100).collect()))],
+//! ));
+//! let engine = Engine::new(catalog);
+//! let plan = engine.plan_candidates("SELECT COUNT(*) FROM t").unwrap().remove(0);
+//!
+//! // A missing/corrupt checkpoint degrades instead of panicking.
+//! let mut serving = ServingModel::from_checkpoint(
+//!     std::path::Path::new("/nonexistent/raal.json"),
+//!     Box::new(|_plan: &sparksim::PhysicalPlan, _res: &ResourceConfig| 42.0),
+//!     ServingConfig::default(),
+//! );
+//! let pred = serving.predict(&plan, &ResourceConfig::default_for(&ClusterConfig::default()));
+//! assert_eq!(pred.seconds, 42.0);
+//! assert_eq!(pred.source, PredictionSource::Fallback(FallbackReason::Checkpoint));
+//! ```
+
+use crate::persist::ModelBundle;
+use encoding::plan_encoder::EncodedPlan;
+use encoding::PlanEncoder;
+use sparksim::plan::physical::PhysicalPlan;
+use sparksim::resource::{ClusterConfig, ResourceConfig};
+use std::path::Path;
+use std::sync::mpsc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// An always-available analytical estimator that backs up the deep
+/// model. Implementations must be cheap and total: no I/O, no panics.
+///
+/// `baselines::gpsj::GpsjModel` implements this; closures of the right
+/// shape do too via the blanket impl.
+pub trait FallbackModel {
+    /// Estimated wall-clock seconds for `plan` under `res`.
+    fn estimate_seconds(&self, plan: &PhysicalPlan, res: &ResourceConfig) -> f64;
+}
+
+impl<F> FallbackModel for F
+where
+    F: Fn(&PhysicalPlan, &ResourceConfig) -> f64,
+{
+    fn estimate_seconds(&self, plan: &PhysicalPlan, res: &ResourceConfig) -> f64 {
+        self(plan, res)
+    }
+}
+
+/// Serving-time guard-rail settings.
+#[derive(Debug, Clone)]
+pub struct ServingConfig {
+    /// Per-predict budget; a model answer that misses it is discarded in
+    /// favour of the fallback.
+    pub deadline: Duration,
+    /// Largest plan (in physical nodes) admitted to the deep model.
+    pub max_plan_nodes: usize,
+    /// Cluster used to normalise resource feature vectors.
+    pub cluster: ClusterConfig,
+}
+
+impl Default for ServingConfig {
+    fn default() -> Self {
+        Self {
+            deadline: Duration::from_millis(50),
+            max_plan_nodes: 64,
+            cluster: ClusterConfig::default(),
+        }
+    }
+}
+
+/// Why a prediction came from the fallback rather than the deep model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FallbackReason {
+    /// The checkpoint failed to load or failed shape validation.
+    Checkpoint,
+    /// The plan exceeded [`ServingConfig::max_plan_nodes`].
+    Admission,
+    /// The model did not answer within [`ServingConfig::deadline`].
+    Deadline,
+    /// The worker was still busy with a previously timed-out request.
+    Busy,
+    /// The worker thread died; the server is permanently degraded.
+    WorkerLost,
+}
+
+impl FallbackReason {
+    /// The registered telemetry counter for this reason.
+    pub fn counter(self) -> &'static str {
+        match self {
+            FallbackReason::Checkpoint => "serving.fallback.checkpoint",
+            FallbackReason::Admission => "serving.fallback.admission",
+            FallbackReason::Deadline => "serving.fallback.deadline",
+            FallbackReason::Busy => "serving.fallback.busy",
+            FallbackReason::WorkerLost => "serving.fallback.worker_lost",
+        }
+    }
+}
+
+/// Where a [`ServingPrediction`] came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredictionSource {
+    /// The deep cost model answered within its deadline.
+    Model,
+    /// The analytical fallback answered, for the given reason.
+    Fallback(FallbackReason),
+}
+
+/// One serving-time answer: always produced, never a panic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServingPrediction {
+    /// Estimated wall-clock seconds.
+    pub seconds: f64,
+    /// Which estimator produced it.
+    pub source: PredictionSource,
+}
+
+struct Request {
+    generation: u64,
+    plan: EncodedPlan,
+    resources: Vec<f32>,
+}
+
+struct Response {
+    generation: u64,
+    seconds: f64,
+}
+
+/// The deep cost model behind deadlines, admission control and an
+/// analytical fallback. See the [module docs](self) for the contract.
+pub struct ServingModel {
+    tx: Option<mpsc::Sender<Request>>,
+    rx: mpsc::Receiver<Response>,
+    worker: Option<JoinHandle<()>>,
+    encoder: Option<PlanEncoder>,
+    fallback: Box<dyn FallbackModel>,
+    cfg: ServingConfig,
+    generation: u64,
+    /// A request whose response we stopped waiting for is still in
+    /// flight; the worker must drain it before accepting new work.
+    pending: bool,
+    degraded: Option<FallbackReason>,
+}
+
+impl ServingModel {
+    /// Serves a loaded bundle. Spawns the inference worker immediately.
+    pub fn new(bundle: ModelBundle, fallback: Box<dyn FallbackModel>, cfg: ServingConfig) -> Self {
+        let encoder = bundle.encoder();
+        let model = bundle.model;
+        let (req_tx, req_rx) = mpsc::channel::<Request>();
+        let (resp_tx, resp_rx) = mpsc::channel::<Response>();
+        let worker = std::thread::spawn(move || {
+            while let Ok(req) = req_rx.recv() {
+                let seconds = model.predict_seconds(&req.plan, &req.resources);
+                if resp_tx
+                    .send(Response { generation: req.generation, seconds })
+                    .is_err()
+                {
+                    break;
+                }
+            }
+        });
+        Self {
+            tx: Some(req_tx),
+            rx: resp_rx,
+            worker: Some(worker),
+            encoder: Some(encoder),
+            fallback,
+            cfg,
+            generation: 0,
+            pending: false,
+            degraded: None,
+        }
+    }
+
+    /// Loads a checkpoint and serves it; a bundle that fails
+    /// [`ModelBundle::load`] validation yields a permanently degraded
+    /// server (every predict answered by the fallback) instead of an
+    /// error or panic.
+    pub fn from_checkpoint(
+        path: &Path,
+        fallback: Box<dyn FallbackModel>,
+        cfg: ServingConfig,
+    ) -> Self {
+        match ModelBundle::load(path) {
+            Ok(bundle) => Self::new(bundle, fallback, cfg),
+            Err(_) => Self::degraded(fallback, cfg, FallbackReason::Checkpoint),
+        }
+    }
+
+    /// A server with no deep model at all — every predict is answered by
+    /// the fallback with the given sticky reason.
+    pub fn degraded(
+        fallback: Box<dyn FallbackModel>,
+        cfg: ServingConfig,
+        reason: FallbackReason,
+    ) -> Self {
+        let (_, rx) = mpsc::channel::<Response>();
+        Self {
+            tx: None,
+            rx,
+            worker: None,
+            encoder: None,
+            fallback,
+            cfg,
+            generation: 0,
+            pending: false,
+            degraded: Some(reason),
+        }
+    }
+
+    /// True when the deep model is out of the serving path for good.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.is_some()
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ServingConfig {
+        &self.cfg
+    }
+
+    /// Adjusts the per-predict deadline at runtime (e.g. tightening
+    /// under load, loosening for batch scoring).
+    pub fn set_deadline(&mut self, deadline: Duration) {
+        self.cfg.deadline = deadline;
+    }
+
+    /// Scores a plan, never failing and never exceeding roughly one
+    /// deadline of latency: the deep model's answer if it arrives in
+    /// time, the fallback's otherwise. Increments `serving.predict`
+    /// plus either `serving.predict.model` or the per-reason
+    /// `serving.fallback.*` counter.
+    pub fn predict(&mut self, plan: &PhysicalPlan, res: &ResourceConfig) -> ServingPrediction {
+        let _span = telemetry::span("serving.predict");
+        telemetry::count("serving.predict", 1);
+        if let Some(reason) = self.degraded {
+            return self.fall_back(plan, res, reason);
+        }
+        if plan.len() > self.cfg.max_plan_nodes {
+            return self.fall_back(plan, res, FallbackReason::Admission);
+        }
+        // Drain any response from a request we previously abandoned.
+        if self.pending {
+            while let Ok(_stale) = self.rx.try_recv() {
+                self.pending = false;
+            }
+            if self.pending {
+                return self.fall_back(plan, res, FallbackReason::Busy);
+            }
+        }
+        let (encoded, features) = match &self.encoder {
+            Some(encoder) => (encoder.encode(plan), res.feature_vector(&self.cfg.cluster)),
+            None => return self.mark_lost(plan, res),
+        };
+        self.generation += 1;
+        let generation = self.generation;
+        let sent = match &self.tx {
+            Some(tx) => tx
+                .send(Request { generation, plan: encoded, resources: features })
+                .is_ok(),
+            None => false,
+        };
+        if !sent {
+            return self.mark_lost(plan, res);
+        }
+        loop {
+            match self.rx.recv_timeout(self.cfg.deadline) {
+                Ok(resp) if resp.generation == generation => {
+                    telemetry::count("serving.predict.model", 1);
+                    return ServingPrediction {
+                        seconds: resp.seconds,
+                        source: PredictionSource::Model,
+                    };
+                }
+                // A stale response from an abandoned request; keep
+                // waiting (each drained stale answer frees the worker,
+                // so this loop is bounded by the generation counter).
+                Ok(_stale) => continue,
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    self.pending = true;
+                    return self.fall_back(plan, res, FallbackReason::Deadline);
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    return self.mark_lost(plan, res);
+                }
+            }
+        }
+    }
+
+    fn mark_lost(&mut self, plan: &PhysicalPlan, res: &ResourceConfig) -> ServingPrediction {
+        self.degraded = Some(FallbackReason::WorkerLost);
+        self.tx = None;
+        self.fall_back(plan, res, FallbackReason::WorkerLost)
+    }
+
+    fn fall_back(
+        &self,
+        plan: &PhysicalPlan,
+        res: &ResourceConfig,
+        reason: FallbackReason,
+    ) -> ServingPrediction {
+        telemetry::count(reason.counter(), 1);
+        ServingPrediction {
+            seconds: self.fallback.estimate_seconds(plan, res),
+            source: PredictionSource::Fallback(reason),
+        }
+    }
+}
+
+impl Drop for ServingModel {
+    fn drop(&mut self) {
+        // Closing the request channel stops the worker loop.
+        self.tx = None;
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}

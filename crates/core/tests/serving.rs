@@ -1,0 +1,167 @@
+//! Integration tests for degraded-mode serving: every guard rail must
+//! produce a fallback answer (never a panic) and count the trip.
+
+use encoding::word2vec::{train as w2v_train, W2vConfig};
+use encoding::{EncoderConfig, PlanEncoder};
+use raal::model::{CostModel, ModelConfig};
+use raal::persist::ModelBundle;
+use raal::serving::{FallbackReason, PredictionSource, ServingConfig, ServingModel};
+use sparksim::catalog::Catalog;
+use sparksim::engine::Engine;
+use sparksim::plan::physical::PhysicalPlan;
+use sparksim::resource::{ClusterConfig, ResourceConfig};
+use sparksim::schema::{ColumnDef, TableSchema};
+use sparksim::storage::{Column, ColumnData, Table};
+use sparksim::types::DataType;
+use std::time::Duration;
+
+fn engine() -> Engine {
+    let mut catalog = Catalog::new();
+    catalog.register(Table::new(
+        TableSchema::new(
+            "t",
+            vec![
+                ColumnDef::new("id", DataType::Int, false),
+                ColumnDef::new("x", DataType::Int, false),
+            ],
+        ),
+        vec![
+            Column::non_null(ColumnData::Int((0..200).collect())),
+            Column::non_null(ColumnData::Int((0..200).map(|i| i % 10).collect())),
+        ],
+    ));
+    Engine::new(catalog)
+}
+
+fn some_plan(engine: &Engine) -> PhysicalPlan {
+    engine
+        .plan_candidates("SELECT t.x, COUNT(*) FROM t GROUP BY t.x")
+        .unwrap()
+        .remove(0)
+}
+
+fn resources() -> ResourceConfig {
+    ResourceConfig::default_for(&ClusterConfig::default())
+}
+
+fn tiny_bundle() -> ModelBundle {
+    let corpus = vec![vec!["filescan".to_string(), "hashaggregate".to_string()]];
+    let encoder = PlanEncoder::new(
+        w2v_train(&corpus, &W2vConfig { dim: 4, epochs: 1, ..Default::default() }),
+        EncoderConfig { max_nodes: 32, structure: true },
+    );
+    let model = CostModel::new(ModelConfig {
+        hidden: 8,
+        latent_k: 4,
+        head_hidden: 8,
+        ..ModelConfig::raal(encoder.node_dim())
+    });
+    ModelBundle::new(model, &encoder)
+}
+
+fn gpsj_fallback() -> Box<dyn raal::serving::FallbackModel> {
+    Box::new(|plan: &PhysicalPlan, _res: &ResourceConfig| 1.0 + plan.len() as f64)
+}
+
+#[test]
+fn corrupted_checkpoint_degrades_with_counter() {
+    let dir = std::env::temp_dir().join("raal_serving_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("corrupt.json");
+    std::fs::write(&path, "{\"not\": \"a bundle\"}").unwrap();
+
+    let engine = engine();
+    let plan = some_plan(&engine);
+    let lines = telemetry::testing::capture(|| {
+        let mut serving =
+            ServingModel::from_checkpoint(&path, gpsj_fallback(), ServingConfig::default());
+        assert!(serving.is_degraded());
+        let pred = serving.predict(&plan, &resources());
+        assert_eq!(pred.source, PredictionSource::Fallback(FallbackReason::Checkpoint));
+        assert_eq!(pred.seconds, 1.0 + plan.len() as f64);
+    });
+    assert!(
+        lines.iter().any(|l| l.contains("serving.fallback.checkpoint")),
+        "fallback counter missing from log"
+    );
+}
+
+#[test]
+fn missing_checkpoint_degrades_instead_of_panicking() {
+    let engine = engine();
+    let plan = some_plan(&engine);
+    let mut serving = ServingModel::from_checkpoint(
+        std::path::Path::new("/nonexistent/raal.json"),
+        gpsj_fallback(),
+        ServingConfig::default(),
+    );
+    let pred = serving.predict(&plan, &resources());
+    assert_eq!(pred.source, PredictionSource::Fallback(FallbackReason::Checkpoint));
+}
+
+#[test]
+fn oversized_plans_are_not_admitted() {
+    let engine = engine();
+    let plan = some_plan(&engine);
+    let cfg = ServingConfig { max_plan_nodes: 1, ..ServingConfig::default() };
+    let mut serving = ServingModel::new(tiny_bundle(), gpsj_fallback(), cfg);
+    assert!(!serving.is_degraded());
+    let pred = serving.predict(&plan, &resources());
+    assert_eq!(pred.source, PredictionSource::Fallback(FallbackReason::Admission));
+}
+
+#[test]
+fn healthy_model_answers_within_generous_deadline() {
+    let engine = engine();
+    let plan = some_plan(&engine);
+    let bundle = tiny_bundle();
+    let expected = {
+        let encoder = bundle.encoder();
+        let features = resources().feature_vector(&ClusterConfig::default());
+        bundle.model.predict_seconds(&encoder.encode(&plan), &features)
+    };
+    let cfg = ServingConfig {
+        deadline: Duration::from_secs(10),
+        ..ServingConfig::default()
+    };
+    let lines = telemetry::testing::capture(|| {
+        let mut serving = ServingModel::new(tiny_bundle(), gpsj_fallback(), cfg);
+        let pred = serving.predict(&plan, &resources());
+        assert_eq!(pred.source, PredictionSource::Model);
+        assert_eq!(pred.seconds, expected);
+    });
+    assert!(lines.iter().any(|l| l.contains("serving.predict.model")));
+}
+
+#[test]
+fn zero_deadline_falls_back_then_recovers() {
+    let engine = engine();
+    let plan = some_plan(&engine);
+    let cfg = ServingConfig {
+        deadline: Duration::ZERO,
+        ..ServingConfig::default()
+    };
+    let mut serving = ServingModel::new(tiny_bundle(), gpsj_fallback(), cfg);
+
+    // A zero deadline cannot be met: the analytical answer comes back.
+    let pred = serving.predict(&plan, &resources());
+    assert!(matches!(
+        pred.source,
+        PredictionSource::Fallback(FallbackReason::Deadline | FallbackReason::Busy)
+    ));
+    assert_eq!(pred.seconds, 1.0 + plan.len() as f64);
+
+    // Once the deadline is realistic again the worker drains the stale
+    // request and the deep model resumes answering.
+    serving.set_deadline(Duration::from_secs(10));
+    let mut recovered = false;
+    for _ in 0..50 {
+        if serving.predict(&plan, &resources()).source == PredictionSource::Model {
+            recovered = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(recovered, "serving never recovered after a deadline miss");
+    assert!(!serving.is_degraded());
+}

@@ -1,0 +1,324 @@
+//! Deterministic fault injection for the execution-time simulator.
+//!
+//! The base simulator models a fairy-tale cluster: every executor
+//! survives, every task runs at the same speed, every shuffle fetch
+//! succeeds. Real clouds are not like that, and a resource-aware cost
+//! model that never sees a straggler or a lost executor learns a
+//! systematically optimistic mapping. This module injects the three
+//! dominant cloud failure modes into [`crate::simulator::CostSimulator`]
+//! runs, together with Spark-faithful *recovery* so the injected faults
+//! cost what they would cost on a real cluster rather than simply
+//! failing the query:
+//!
+//! * **executor loss** — a stage loses executors mid-flight; their
+//!   running tasks fail and are re-run under per-task retry with capped
+//!   exponential backoff (Spark's `spark.task.maxFailures` semantics),
+//!   plus the replacement executor's spin-up delay;
+//! * **stragglers** — individual tasks run a configurable multiple
+//!   slower; with speculation enabled a backup copy launches once the
+//!   task exceeds the speculation multiplier, and the stage takes the
+//!   earlier finisher (Spark's `spark.speculation`);
+//! * **fetch failure** — a shuffle-fed stage's fetch fails and the
+//!   whole stage re-attempts (Spark's stage re-attempt on
+//!   `FetchFailedException`), capped by `max_stage_attempts`;
+//! * **spill pressure** — working sets are inflated, forcing extra
+//!   spill passes at memory sizes that would otherwise be safe.
+//!
+//! Everything is **deterministic**: faults are drawn from a splitmix64
+//! stream keyed by `(fault seed, run seed, stage, lane)`, so the same
+//! seeds reproduce the same failures, the same recovery schedule and the
+//! same telemetry event log — tests and benches stay reproducible, and a
+//! fault sweep is a pure function of its seeds.
+//!
+//! Every recovery action is bounded (retries and stage attempts are
+//! capped), so a simulated run always terminates with either a report or
+//! a typed [`FaultError`] — never a hang and never a panic.
+//!
+//! ```
+//! use sparksim::fault::FaultPlan;
+//!
+//! // The zero plan injects nothing: simulations behave exactly as if
+//! // no fault layer existed.
+//! assert!(FaultPlan::none().is_zero());
+//!
+//! // A chaos preset scales all fault classes with one intensity knob.
+//! let plan = FaultPlan::chaos(42, 0.2);
+//! assert!(!plan.is_zero());
+//! assert_eq!(plan, FaultPlan::chaos(42, 0.2)); // fully deterministic
+//! ```
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Recovery policy: how the simulated cluster reacts to injected faults.
+/// Defaults mirror Spark's out-of-the-box configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryConfig {
+    /// Attempts allowed per task before the job aborts
+    /// (`spark.task.maxFailures`, default 4).
+    pub max_task_attempts: u32,
+    /// Base delay before a failed task is re-launched, seconds.
+    pub retry_backoff_s: f64,
+    /// Cap on the exponential backoff, seconds.
+    pub max_backoff_s: f64,
+    /// Attempts allowed per stage before the job aborts
+    /// (`spark.stage.maxConsecutiveAttempts`, default 4).
+    pub max_stage_attempts: u32,
+    /// Launch backup copies of straggling tasks (`spark.speculation`).
+    pub speculation: bool,
+    /// How many times slower than the wave median a task must run before
+    /// a speculative copy launches (`spark.speculation.multiplier`).
+    pub speculation_multiplier: f64,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        Self {
+            max_task_attempts: 4,
+            retry_backoff_s: 0.5,
+            max_backoff_s: 8.0,
+            max_stage_attempts: 4,
+            speculation: true,
+            speculation_multiplier: 1.5,
+        }
+    }
+}
+
+/// A seedable, deterministic fault-injection plan for one simulated run.
+///
+/// All rates are probabilities in `[0, 1]` evaluated against the
+/// dedicated fault stream; the same `(FaultPlan, run seed)` pair always
+/// produces the same faults. [`FaultPlan::none`] injects nothing and
+/// leaves simulator output bit-identical to the fault-free path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed of the fault stream (independent of the run's noise seed).
+    pub seed: u64,
+    /// Per-stage probability that each participating executor is lost
+    /// mid-stage (its in-flight tasks fail and retry).
+    pub executor_failure_rate: f64,
+    /// Per-task probability of running `straggler_multiplier` slower.
+    pub straggler_rate: f64,
+    /// Slow-down factor for straggler tasks (≥ 1).
+    pub straggler_multiplier: f64,
+    /// Per-attempt probability that a shuffle-fed stage's fetch fails,
+    /// forcing a full stage re-attempt.
+    pub fetch_failure_rate: f64,
+    /// Multiplier (≥ 1) applied to per-task working sets, forcing spill
+    /// at memory sizes that would otherwise be safe.
+    pub spill_pressure: f64,
+    /// Recovery policy applied to the injected faults.
+    pub recovery: RecoveryConfig,
+}
+
+impl FaultPlan {
+    /// The zero plan: no faults, no behavioural change at all.
+    pub fn none() -> Self {
+        Self {
+            seed: 0,
+            executor_failure_rate: 0.0,
+            straggler_rate: 0.0,
+            straggler_multiplier: 1.0,
+            fetch_failure_rate: 0.0,
+            spill_pressure: 1.0,
+            recovery: RecoveryConfig::default(),
+        }
+    }
+
+    /// A preset that scales every fault class with one `intensity` knob
+    /// in `[0, 1]`: at `0.0` it equals [`FaultPlan::none`] (modulo seed);
+    /// at `1.0` executors drop like flies and half the tasks straggle.
+    pub fn chaos(seed: u64, intensity: f64) -> Self {
+        let i = intensity.clamp(0.0, 1.0);
+        Self {
+            seed,
+            executor_failure_rate: 0.3 * i,
+            straggler_rate: 0.5 * i,
+            straggler_multiplier: 1.0 + 4.0 * i,
+            fetch_failure_rate: 0.25 * i,
+            spill_pressure: 1.0 + i,
+            recovery: RecoveryConfig::default(),
+        }
+    }
+
+    /// Whether this plan injects nothing (all rates zero, all
+    /// multipliers 1): the simulator output is then bit-identical to a
+    /// fault-free run.
+    pub fn is_zero(&self) -> bool {
+        self.executor_failure_rate == 0.0
+            && self.straggler_rate == 0.0
+            && self.fetch_failure_rate == 0.0
+            && self.spill_pressure <= 1.0
+    }
+}
+
+/// Typed, recoverable failure of a fault-injected simulation: the
+/// injected faults exhausted the recovery policy's bounded budget. The
+/// bounded budget is also the termination proof — every retry loop in
+/// the simulator is capped by these limits.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultError {
+    /// A task failed more than `max_task_attempts` times in one stage.
+    TaskRetriesExhausted {
+        /// Stage (execution order) whose task ran out of attempts.
+        stage: usize,
+        /// Attempts consumed, equal to `max_task_attempts`.
+        attempts: u32,
+    },
+    /// A stage re-attempted more than `max_stage_attempts` times on
+    /// repeated fetch failures.
+    StageAttemptsExhausted {
+        /// Stage (execution order) that ran out of attempts.
+        stage: usize,
+        /// Attempts consumed, equal to `max_stage_attempts`.
+        attempts: u32,
+    },
+}
+
+impl fmt::Display for FaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultError::TaskRetriesExhausted { stage, attempts } => {
+                write!(f, "stage {stage}: task failed {attempts} attempts (task retry budget)")
+            }
+            FaultError::StageAttemptsExhausted { stage, attempts } => {
+                write!(f, "stage {stage}: fetch failed across {attempts} stage attempts")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultError {}
+
+/// What the injected faults did to one simulated run, alongside the
+/// resulting [`crate::simulator::SimReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultSummary {
+    /// Executors lost across all stages.
+    pub executor_failures: u32,
+    /// Task re-launches (failed attempts that were retried).
+    pub task_retries: u32,
+    /// Speculative backup copies launched for stragglers.
+    pub speculative_launches: u32,
+    /// Straggler tasks injected.
+    pub stragglers: u32,
+    /// Whole-stage re-attempts after fetch failures.
+    pub stage_reattempts: u32,
+    /// Wall-clock seconds added by faults and their recovery (before
+    /// run-level noise).
+    pub extra_seconds: f64,
+}
+
+impl FaultSummary {
+    /// A summary with all counts zero.
+    pub fn zero() -> Self {
+        Self {
+            executor_failures: 0,
+            task_retries: 0,
+            speculative_launches: 0,
+            stragglers: 0,
+            stage_reattempts: 0,
+            extra_seconds: 0.0,
+        }
+    }
+
+    /// Whether any fault actually fired during the run.
+    pub fn any(&self) -> bool {
+        self.executor_failures > 0
+            || self.task_retries > 0
+            || self.speculative_launches > 0
+            || self.stragglers > 0
+            || self.stage_reattempts > 0
+            || self.extra_seconds > 0.0
+    }
+}
+
+/// Deterministic per-lane fault stream: splitmix64 keyed by the fault
+/// seed, the run seed and a lane id, so every decision point in a run
+/// draws from its own reproducible substream regardless of evaluation
+/// order elsewhere.
+#[derive(Debug, Clone)]
+pub(crate) struct FaultRng {
+    state: u64,
+}
+
+impl FaultRng {
+    /// A stream for one decision lane. `lane` should encode the stage
+    /// and fault class so lanes never alias.
+    pub(crate) fn lane(fault_seed: u64, run_seed: u64, lane: u64) -> Self {
+        let mut state = fault_seed ^ 0x9E3779B97F4A7C15;
+        state = state.wrapping_mul(0xBF58476D1CE4E5B9) ^ run_seed;
+        state = state.wrapping_mul(0x94D049BB133111EB) ^ lane;
+        Self { state }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub(crate) fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// One Bernoulli trial.
+    pub(crate) fn chance(&mut self, p: f64) -> bool {
+        p > 0.0 && self.next_f64() < p
+    }
+}
+
+/// Capped exponential backoff before re-launching a failed task:
+/// `base · 2^(attempt−1)`, clamped to `max`. `attempt` is 1-based (the
+/// delay before attempt 2 uses `attempt = 1`).
+pub fn retry_backoff_s(recovery: &RecoveryConfig, attempt: u32) -> f64 {
+    let exp = attempt.saturating_sub(1).min(16);
+    (recovery.retry_backoff_s * f64::from(1u32 << exp)).min(recovery.max_backoff_s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_plan_is_zero() {
+        assert!(FaultPlan::none().is_zero());
+        assert!(FaultPlan::chaos(7, 0.0).is_zero());
+        assert!(!FaultPlan::chaos(7, 0.5).is_zero());
+    }
+
+    #[test]
+    fn lanes_are_deterministic_and_distinct() {
+        let mut a = FaultRng::lane(1, 2, 3);
+        let mut b = FaultRng::lane(1, 2, 3);
+        let mut c = FaultRng::lane(1, 2, 4);
+        let (xa, xb, xc) = (a.next_f64(), b.next_f64(), c.next_f64());
+        assert_eq!(xa, xb);
+        assert_ne!(xa, xc);
+        assert!((0.0..1.0).contains(&xa));
+    }
+
+    #[test]
+    fn chance_zero_never_fires_and_draws_nothing_harmful() {
+        let mut rng = FaultRng::lane(9, 9, 9);
+        for _ in 0..100 {
+            assert!(!rng.chance(0.0));
+        }
+        let mut rng = FaultRng::lane(9, 9, 9);
+        for _ in 0..100 {
+            assert!(rng.chance(1.0));
+        }
+    }
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let r = RecoveryConfig::default();
+        assert_eq!(retry_backoff_s(&r, 1), 0.5);
+        assert_eq!(retry_backoff_s(&r, 2), 1.0);
+        assert_eq!(retry_backoff_s(&r, 3), 2.0);
+        assert_eq!(retry_backoff_s(&r, 30), r.max_backoff_s);
+    }
+}

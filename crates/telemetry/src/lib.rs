@@ -40,7 +40,7 @@
 //! wall-clock durations should read the same clock so every number in a
 //! run is comparable.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod hist;
 pub mod schema;

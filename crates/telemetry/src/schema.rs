@@ -43,8 +43,22 @@ pub const REQUIRED_BY_TYPE: &[(&str, &[&str])] = &[
 /// `job_start`/`job_end` ≈ `SparkListenerJobStart`/`JobEnd`,
 /// `stage_completed` ≈ `SparkListenerStageCompleted` (rows, spill and
 /// shuffle bytes live in its `fields`, like a stage's task-metrics
-/// rollup), `task_end` ≈ `SparkListenerTaskEnd`.
-pub const SPARK_EVENT_NAMES: &[&str] = &["job_start", "stage_completed", "task_end", "job_end"];
+/// rollup), `task_end` ≈ `SparkListenerTaskEnd`. Fault injection adds
+/// the recovery events: `executor_failed` ≈ `SparkListenerExecutorRemoved`,
+/// `task_retry` (a failed `task_end` followed by a re-queued attempt),
+/// `speculative_launch` ≈ the driver cloning a slow task under
+/// `spark.speculation`, and `stage_reattempt` ≈ a stage resubmission
+/// after a `FetchFailedException`.
+pub const SPARK_EVENT_NAMES: &[&str] = &[
+    "job_start",
+    "stage_completed",
+    "task_end",
+    "job_end",
+    "executor_failed",
+    "task_retry",
+    "speculative_launch",
+    "stage_reattempt",
+];
 
 /// The closed vocabulary of span names (both `telemetry::span` and
 /// `telemetry::kernel_span`). `raal-lint` rejects any span opened under
@@ -60,6 +74,7 @@ pub const SPAN_NAMES: &[&str] = &[
     "sparksim.execute_plan",
     "sparksim.observe",
     "sparksim.simulate",
+    "serving.predict",
     "workload.generate",
     "encode.word2vec",
     "baselines.train_tlstm",
@@ -76,18 +91,40 @@ pub const SPAN_NAMES: &[&str] = &[
     "infer.head",
 ];
 
-/// Registered counter names (`telemetry::count`).
-pub const COUNTER_NAMES: &[&str] =
-    &["infer.predict.single", "infer.plan_context.build", "infer.predict.with_context"];
+/// Registered counter names (`telemetry::count`). The `serving.*`
+/// family tracks degraded-mode serving: one `serving.predict` per call,
+/// split into `serving.predict.model` (deep model answered in time) and
+/// the `serving.fallback.*` reasons (analytical-baseline answers).
+pub const COUNTER_NAMES: &[&str] = &[
+    "infer.predict.single",
+    "infer.plan_context.build",
+    "infer.predict.with_context",
+    "serving.predict",
+    "serving.predict.model",
+    "serving.fallback.checkpoint",
+    "serving.fallback.deadline",
+    "serving.fallback.admission",
+    "serving.fallback.busy",
+    "serving.fallback.worker_lost",
+];
 
 /// Registered histogram names (`telemetry::observe`).
 pub const HISTOGRAM_NAMES: &[&str] = &["train.batch_ns"];
 
 /// Registered point-event names (`telemetry::event`): the trainer's
 /// per-epoch record plus the Spark-style listener events from
-/// [`SPARK_EVENT_NAMES`].
-pub const EVENT_NAMES: &[&str] =
-    &["train.epoch", "job_start", "stage_completed", "task_end", "job_end"];
+/// [`SPARK_EVENT_NAMES`] (including the fault/recovery events).
+pub const EVENT_NAMES: &[&str] = &[
+    "train.epoch",
+    "job_start",
+    "stage_completed",
+    "task_end",
+    "job_end",
+    "executor_failed",
+    "task_retry",
+    "speculative_launch",
+    "stage_reattempt",
+];
 
 /// Returns the required field list for an event type, if it is known.
 pub fn required_fields(event_type: &str) -> Option<&'static [&'static str]> {

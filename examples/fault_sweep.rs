@@ -1,0 +1,149 @@
+//! Fault sweep: how injected failures pull real(istic) runtimes away
+//! from a model trained on a healthy cluster — and how degraded-mode
+//! serving keeps answering when the model itself fails.
+//!
+//! 1. generate a small IMDB-like dataset and train RAAL on *fault-free*
+//!    observations (the usual training regime);
+//! 2. sweep `FaultPlan::chaos` intensities and compare the model's
+//!    (fault-blind) predictions against fault-injected simulations —
+//!    the growing divergence is the optimism gap a healthy-cluster
+//!    model carries into a degraded cluster;
+//! 3. corrupt a checkpoint on purpose and serve through
+//!    [`raal::serving::ServingModel`]: predictions degrade to the GPSJ
+//!    analytical baseline instead of panicking.
+//!
+//! Run with: `cargo run --release --example fault_sweep`
+
+use baselines::gpsj::{GpsjModel, GpsjParams};
+use raal::dataset::{collect, CollectionConfig};
+use raal::persist::ModelBundle;
+use raal::serving::{PredictionSource, ServingConfig, ServingModel};
+use raal::{CostModel, ModelConfig, TrainConfig};
+use sparksim::fault::FaultPlan;
+use sparksim::plan::planner::PlannerOptions;
+use sparksim::{ClusterConfig, Engine, ResourceConfig, SimulatorConfig};
+use workloads::imdb::{generate, ImdbConfig};
+
+fn main() {
+    telemetry::init_from_env();
+    telemetry::manifest(&[("example", telemetry::Value::Str("fault_sweep".into()))]);
+
+    // --- 1. Data + a model trained on a healthy cluster.
+    let data = generate(&ImdbConfig { title_rows: 800, seed: 7 });
+    let scale = data.simulated_scale();
+    let graph = data.graph.clone();
+    let engine = Engine::with_options(
+        data.catalog,
+        PlannerOptions::scaled_to(scale),
+        ClusterConfig::default(),
+        SimulatorConfig { data_scale: scale, ..SimulatorConfig::default() },
+    );
+    let sql = "SELECT COUNT(*) FROM title t, movie_keyword mk \
+               WHERE t.id = mk.movie_id AND t.production_year > 1990";
+    let plans = engine.plan_candidates(sql).expect("valid query");
+    let plan = &plans[0];
+    let exec = engine.execute_plan(plan).expect("runs");
+    let resources = ResourceConfig::default_for(engine.simulator().cluster());
+
+    let cfg = CollectionConfig {
+        num_queries: 20,
+        resource_states_per_plan: 2,
+        runs_per_observation: 1,
+        ..CollectionConfig::default()
+    };
+    let collection = collect(&engine, &graph, &cfg);
+    let encoder = collection.build_encoder(
+        &encoding::W2vConfig { dim: 16, epochs: 2, ..Default::default() },
+        encoding::EncoderConfig::default(),
+    );
+    let samples = collection.encode(&encoder, &engine);
+    let mut model = CostModel::new(ModelConfig::raal(encoder.node_dim()));
+    let history =
+        raal::train(&mut model, &samples, &TrainConfig { epochs: 8, ..TrainConfig::default() });
+    println!(
+        "trained RAAL on {} fault-free records ({:.1}s, final loss {:.4})",
+        samples.len(),
+        history.train_seconds,
+        history.final_loss()
+    );
+
+    // --- 2. Sweep fault intensity: predicted vs fault-injected time.
+    let features = resources.feature_vector(engine.simulator().cluster());
+    let predicted = model.predict_seconds(&encoder.encode(plan), &features);
+    let clean: f64 = (0..10u64)
+        .map(|s| engine.resimulate(plan, &exec, &resources, s).seconds)
+        .sum::<f64>()
+        / 10.0;
+    println!("\nquery: {sql}");
+    println!("model prediction (trained fault-free): {predicted:.2}s");
+    println!("fault-free simulated mean:             {clean:.2}s\n");
+    println!(
+        "{:>10} {:>12} {:>10} {:>9} {:>9} {:>9} {:>8}",
+        "intensity", "simulated(s)", "vs clean", "execLost", "retries", "specul.", "aborts"
+    );
+    for intensity in [0.0, 0.05, 0.1, 0.2, 0.4] {
+        let mut total = 0.0f64;
+        let mut survived = 0u32;
+        let mut aborts = 0u32;
+        let (mut lost, mut retries, mut spec) = (0u32, 0u32, 0u32);
+        for run_seed in 0..10u64 {
+            let faults = FaultPlan::chaos(run_seed, intensity);
+            match engine.resimulate_with_faults(plan, &exec, &resources, run_seed, &faults) {
+                Ok(fr) => {
+                    total += fr.report.seconds;
+                    survived += 1;
+                    lost += fr.faults.executor_failures;
+                    retries += fr.faults.task_retries;
+                    spec += fr.faults.speculative_launches;
+                }
+                Err(_) => aborts += 1,
+            }
+        }
+        let mean = if survived > 0 {
+            total / f64::from(survived)
+        } else {
+            f64::NAN
+        };
+        println!(
+            "{:>10.2} {:>12.2} {:>9.0}% {:>9} {:>9} {:>9} {:>8}",
+            intensity,
+            mean,
+            (mean / clean - 1.0) * 100.0,
+            lost,
+            retries,
+            spec,
+            aborts
+        );
+    }
+    println!(
+        "\nEverything above the intensity-0 row is recovery cost — backoff, \
+         re-runs, speculation, stage re-attempts — that a model trained on a \
+         healthy cluster (prediction above) never saw."
+    );
+
+    // --- 3. Degraded-mode serving: a corrupt checkpoint falls back to GPSJ.
+    let dir = std::env::temp_dir().join("raal_fault_sweep");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let good = dir.join("model.json");
+    ModelBundle::new(model, &encoder).save(&good).expect("save");
+    let corrupt = dir.join("corrupt.json");
+    std::fs::write(&corrupt, "{\"model\": \"bit rot\"}").expect("write");
+
+    let gpsj = GpsjModel::new(GpsjParams { data_scale: scale, ..GpsjParams::default() });
+    println!("\nserving through ServingModel (GPSJ analytical fallback):");
+    for (label, path) in [("intact checkpoint", &good), ("corrupt checkpoint", &corrupt)] {
+        let mut serving =
+            ServingModel::from_checkpoint(path, Box::new(gpsj.clone()), ServingConfig::default());
+        let pred = serving.predict(plan, &resources);
+        let source = match pred.source {
+            PredictionSource::Model => "deep model",
+            PredictionSource::Fallback(reason) => match reason {
+                raal::serving::FallbackReason::Checkpoint => "GPSJ (checkpoint invalid)",
+                _ => "GPSJ (other)",
+            },
+        };
+        println!("  {label:<18} -> {:.2}s via {source}", pred.seconds);
+    }
+
+    telemetry::shutdown();
+}
