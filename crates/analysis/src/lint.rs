@@ -16,6 +16,10 @@
 //! * **`span-names`** — telemetry span/counter/histogram/event names in
 //!   non-test code are drawn from the [`telemetry::schema`] registry, so
 //!   downstream log consumers can rely on a closed vocabulary.
+//! * **`i8-intrinsic-safety`** — every `_mm*epi8*` intrinsic call site
+//!   (the int8 inference tier's widening loads and conversions) sits
+//!   inside a block documented by a `SAFETY` comment within the
+//!   preceding lines; `use` declarations are exempt.
 //!
 //! Grandfathered sites live in `lint-allowlist.tsv` at the repo root:
 //! one `rule<TAB>path<TAB>count` line per file. The linter fails when a
@@ -42,12 +46,20 @@ pub const RULE_INSTANT: &str = "instant-now";
 pub const RULE_UNWRAP: &str = "unwrap-in-lib";
 /// Rule id: unregistered telemetry name.
 pub const RULE_SPAN: &str = "span-names";
+/// Rule id: int8 intrinsic outside a SAFETY-documented block.
+pub const RULE_EPI8: &str = "i8-intrinsic-safety";
 
 /// Crates whose `src/` trees must not contain `.unwrap()` / `.expect(`.
 const UNWRAP_CRATES: &[&str] = &["sparksim", "nn", "core", "encoding"];
 
 /// How many preceding lines may hold the `SAFETY:` justification.
 const SAFETY_WINDOW: usize = 8;
+
+/// How many preceding lines may hold the `SAFETY` justification for an
+/// `epi8` intrinsic. Wider than [`SAFETY_WINDOW`] because the intrinsics
+/// sit deep inside kernel loop bodies, far below the block's `unsafe`
+/// boundary where the justification lives.
+const EPI8_WINDOW: usize = 40;
 
 /// One finding at a specific source location.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -318,6 +330,22 @@ fn in_ranges(ranges: &[Range<usize>], offset: usize) -> bool {
     ranges.iter().any(|r| r.contains(&offset))
 }
 
+/// Byte ranges of `use` declarations (keyword through `;`), which may
+/// span several lines for grouped imports.
+fn use_ranges(blanked: &str) -> Vec<Range<usize>> {
+    let bytes = blanked.as_bytes();
+    find_word(blanked, "use")
+        .into_iter()
+        .map(|at| {
+            let end = bytes[at..]
+                .iter()
+                .position(|&b| b == b';')
+                .map_or(bytes.len(), |p| at + p + 1);
+            at..end
+        })
+        .collect()
+}
+
 /// Whether the path is test-only by location (integration tests and
 /// criterion benches).
 fn is_test_path(rel: &str) -> bool {
@@ -381,6 +409,9 @@ pub fn lint_file(rel: &str, source: &str, out: &mut Vec<Violation>) {
 
     rule_unsafe(rel, &views, &starts, &raw_lines, out);
     rule_instant(rel, &views, &starts, krate, out);
+    if !test_file {
+        rule_epi8(rel, &views, &starts, &raw_lines, &tests, out);
+    }
     if !test_file && krate.is_some_and(|c| UNWRAP_CRATES.contains(&c)) && rel.contains("/src/") {
         rule_unwrap(rel, &views, &starts, &tests, out);
     }
@@ -427,6 +458,60 @@ fn rule_unsafe(
                 message: "`unsafe` without a `// SAFETY:` comment (or `# Safety` doc) \
                           in the preceding lines"
                     .to_string(),
+            });
+        }
+    }
+}
+
+/// int8 intrinsics (`_mm*epi8*`) must sit under a documented `SAFETY`
+/// justification: the widening i8 loads in the quantized kernels read
+/// eight bytes through raw pointers, so each call site inherits pointer
+/// validity preconditions the comment must state.
+fn rule_epi8(
+    rel: &str,
+    views: &Views,
+    starts: &[usize],
+    raw_lines: &[&str],
+    tests: &[Range<usize>],
+    out: &mut Vec<Violation>,
+) {
+    let bytes = views.blanked.as_bytes();
+    let uses = use_ranges(&views.blanked);
+    let mut from = 0;
+    while let Some(pos) = views.blanked[from..].find("_mm") {
+        let at = from + pos;
+        // Expand to the full identifier and move the cursor past it.
+        let mut end = at;
+        while end < bytes.len() && is_ident_byte(bytes[end]) {
+            end += 1;
+        }
+        from = end.max(at + 3);
+        if at > 0 && is_ident_byte(bytes[at - 1]) {
+            continue;
+        }
+        let ident = &views.blanked[at..end];
+        if !ident.contains("epi8") || in_ranges(tests, at) {
+            continue;
+        }
+        // `use core::arch::x86_64::{..., _mm256_cvtepi8_epi32, ...};` is
+        // a name import (possibly spanning lines), not a call site.
+        if in_ranges(&uses, at) {
+            continue;
+        }
+        let line = line_of(starts, at); // 1-based
+        let lo = line.saturating_sub(EPI8_WINDOW);
+        let documented = raw_lines[lo..line]
+            .iter()
+            .any(|l| l.contains("SAFETY") || l.contains("# Safety"));
+        if !documented {
+            out.push(Violation {
+                rule: RULE_EPI8,
+                path: rel.to_string(),
+                line,
+                message: format!(
+                    "`{ident}` without a `SAFETY` comment in the preceding {EPI8_WINDOW} lines — \
+                     document the pointer preconditions of the int8 kernel"
+                ),
             });
         }
     }
@@ -780,6 +865,63 @@ mod tests {
         );
         assert_eq!(v.len(), 1, "{v:?}");
         assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn undocumented_epi8_intrinsic_is_flagged() {
+        // SAFETY-less target_feature fn: the `unsafe` rule is satisfied
+        // by the doc section, but the epi8 rule still needs "SAFETY".
+        let src = "/// # Preconditions\npub fn f(p: *const i8) {\n    let _v = unsafe { \
+                   _mm256_cvtepi8_epi32(_mm_loadl_epi64(p as *const __m128i)) };\n}\n";
+        let v = lint_str("crates/nn/src/infer/quant.rs", src);
+        assert!(v.iter().any(|v| v.rule == RULE_EPI8), "{v:?}");
+        assert!(v.iter().any(|v| v.message.contains("_mm256_cvtepi8_epi32")), "{v:?}");
+    }
+
+    #[test]
+    fn safety_comment_covers_epi8_intrinsics() {
+        let src = "pub fn f(p: *const i8) {\n    // SAFETY: caller guarantees 8 readable bytes \
+                   at p.\n    let _v = unsafe { _mm256_cvtepi8_epi32(core::mem::zeroed()) };\n}\n";
+        let v = lint_str("crates/nn/src/infer/quant.rs", src);
+        assert!(v.iter().all(|v| v.rule != RULE_EPI8), "{v:?}");
+    }
+
+    #[test]
+    fn epi8_use_declaration_is_exempt() {
+        let src = "use core::arch::x86_64::_mm256_cvtepi8_epi32;\n";
+        let v = lint_str("crates/nn/src/infer/quant.rs", src);
+        assert!(v.is_empty(), "{v:?}");
+        // Grouped imports spanning lines are equally exempt.
+        let src = "use core::arch::x86_64::{\n    __m256, _mm256_cvtepi8_epi32,\n    \
+                   _mm256_fmadd_ps,\n};\n";
+        let v = lint_str("crates/nn/src/infer/quant.rs", src);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn safety_doc_section_covers_epi8_intrinsics() {
+        let src = "/// # Safety\n/// `p..p+8` must be readable.\n#[target_feature(enable = \
+                   \"avx2\")]\nunsafe fn f(p: *const i8) {\n    let _ = \
+                   _mm256_cvtepi8_epi32(core::mem::zeroed());\n}\n";
+        let v = lint_str("crates/nn/src/infer/quant.rs", src);
+        assert!(v.iter().all(|v| v.rule != RULE_EPI8), "{v:?}");
+    }
+
+    #[test]
+    fn epi8_in_tests_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { let _ = \
+                   unsafe { _mm256_cvtepi8_epi32(core::mem::zeroed()) }; }\n}\n";
+        let v = lint_str("crates/nn/src/infer/quant.rs", src);
+        assert!(v.iter().all(|v| v.rule != RULE_EPI8), "{v:?}");
+    }
+
+    #[test]
+    fn non_epi8_intrinsics_are_not_flagged_by_epi8_rule() {
+        let src = "fn f() {\n    // SAFETY: fine.\n    let _ = unsafe { \
+                   _mm256_fmadd_ps(core::mem::zeroed(), core::mem::zeroed(), \
+                   core::mem::zeroed()) };\n}\n";
+        let v = lint_str("crates/nn/src/x.rs", src);
+        assert!(v.iter().all(|v| v.rule != RULE_EPI8), "{v:?}");
     }
 
     #[test]

@@ -30,7 +30,10 @@ pub mod train;
 
 pub use dataset::{collect, Collection, CollectionConfig};
 pub use metrics::{EvalSet, MetricSummary};
-pub use model::{CostModel, ModelConfig, PlanContext, PlanLayerKind};
+pub use model::{
+    thread_arena_stats, CostModel, FrozenModel, ModelConfig, PlanContext, PlanLayerKind,
+    QuantizedWeights,
+};
 pub use persist::ModelBundle;
 pub use selection::{evaluate_selection, select_plan, SelectionOutcome};
 pub use serving::{

@@ -17,6 +17,7 @@
 //! ([`normalize_seconds`]) with MSE loss, as in the paper.
 
 use encoding::plan_encoder::{EncodedPlan, PLAN_STAT_FEATURES};
+use nn::infer::quant::{self, QuantizedMatrix};
 use nn::infer::{self, InferArena};
 use nn::layers::{dot_attention, dot_attention_into, Activation, Conv1d, Dense, LstmCell};
 use nn::{Graph, ParamId, ParamStore, Tensor, Var};
@@ -25,6 +26,7 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Which network models the node sequence (the plan feature layer).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -187,6 +189,11 @@ pub struct PlanContext {
     keys: Vec<f32>,
     /// Plan-level statistic features.
     stats: Vec<f32>,
+    /// Whether the context was computed through the int8 weight tier.
+    /// Quantized contexts price with the quantized head and vice versa;
+    /// mixing the tiers would silently blend two error budgets, so it
+    /// panics instead.
+    quantized: bool,
 }
 
 impl PlanContext {
@@ -512,7 +519,31 @@ impl CostModel {
     pub fn predict_seconds(&self, plan: &EncodedPlan, resources: &[f32]) -> f64 {
         telemetry::count("infer.predict.single", 1);
         let ctx = self.plan_context(plan);
-        self.predict_with_context(&ctx, resources)
+        let y = self.predict_with_context(&ctx, resources);
+        self.recycle_context(ctx);
+        y
+    }
+
+    /// [`CostModel::predict_seconds`] through the int8 weight tier: every
+    /// matmul uses the quantized snapshot `q` (built once by
+    /// [`CostModel::quantize`]); biases, activations and the attention
+    /// softmax stay f32. Agreement with the f32 fast path within the
+    /// quantization error budget is enforced by `tests/quant_infer.rs`.
+    ///
+    /// # Panics
+    /// Panics if `q` is stale (built by a different model instance or
+    /// before a mutation).
+    pub fn predict_seconds_quant(
+        &self,
+        plan: &EncodedPlan,
+        resources: &[f32],
+        q: &QuantizedWeights,
+    ) -> f64 {
+        telemetry::count("infer.quant.predict", 1);
+        let ctx = self.plan_context_impl(plan, Some(q));
+        let y = self.predict_with_context_impl(&ctx, resources, Some(q));
+        self.recycle_context(ctx);
+        y
     }
 
     /// Reference implementation of [`CostModel::predict_seconds`] on the
@@ -529,8 +560,30 @@ impl CostModel {
     /// `plan`: plan-layer hidden states, node-aware attention pooling and
     /// the projected resource-attention keys. See [`PlanContext`].
     pub fn plan_context(&self, plan: &EncodedPlan) -> PlanContext {
+        self.plan_context_impl(plan, None)
+    }
+
+    /// [`CostModel::plan_context`] through the int8 weight tier; the
+    /// returned context is marked quantized and must be priced with
+    /// [`CostModel::predict_with_context_quant`].
+    pub fn plan_context_quant(&self, plan: &EncodedPlan, q: &QuantizedWeights) -> PlanContext {
+        self.plan_context_impl(plan, Some(q))
+    }
+
+    /// F32 data of a projection the config guarantees is registered.
+    fn proj(&self, id: Option<ParamId>, which: &str) -> &[f32] {
+        match id {
+            Some(id) => self.store.value(id).data(),
+            None => panic!("{which} enabled in the config but unregistered"),
+        }
+    }
+
+    fn plan_context_impl(&self, plan: &EncodedPlan, qw: Option<&QuantizedWeights>) -> PlanContext {
         let n = plan.num_nodes();
         assert!(n > 0, "cannot cost an empty plan");
+        if let Some(qw) = qw {
+            qw.assert_current(self);
+        }
         // Cache accounting: hits are derivable downstream as
         // `infer.predict.with_context - infer.plan_context.build`.
         telemetry::count("infer.plan_context.build", 1);
@@ -550,16 +603,26 @@ impl CostModel {
             let h = {
                 let _k = telemetry::kernel_span("infer.plan_layer");
                 match self.cfg.plan_layer {
-                    PlanLayerKind::Lstm => self
-                        .lstm
-                        .as_ref()
-                        .expect("lstm exists for Lstm kind")
-                        .infer_seq(&self.store, &xs, n, arena),
-                    PlanLayerKind::Cnn => self
-                        .cnn
-                        .as_ref()
-                        .expect("cnn exists for Cnn kind")
-                        .infer_seq(&self.store, &xs, n, arena),
+                    PlanLayerKind::Lstm => match &self.lstm {
+                        Some(lstm) => lstm.infer_seq_with(
+                            &self.store,
+                            &xs,
+                            n,
+                            arena,
+                            qw.and_then(|qw| qw.lstm.as_ref()).map(|(wx, wh)| (wx, wh)),
+                        ),
+                        None => panic!("lstm exists for Lstm kind"),
+                    },
+                    PlanLayerKind::Cnn => match &self.cnn {
+                        Some(cnn) => cnn.infer_seq_with(
+                            &self.store,
+                            &xs,
+                            n,
+                            arena,
+                            qw.and_then(|qw| qw.cnn.as_ref()),
+                        ),
+                        None => panic!("cnn exists for Cnn kind"),
+                    },
                 }
             };
             arena.give(xs);
@@ -571,12 +634,30 @@ impl CostModel {
             let attn_span = telemetry::kernel_span("infer.node_attention");
             if self.cfg.node_attention {
                 let k = self.cfg.latent_k;
-                let wq = self.store.value(self.wq.expect("node attention enabled")).data();
-                let wk = self.store.value(self.wk.expect("node attention enabled")).data();
                 let mut q_all = arena.take(n * k);
                 let mut k_all = arena.take(n * k);
-                infer::matmul_into(&h, n, hidden, wq, k, &mut q_all);
-                infer::matmul_into(&h, n, hidden, wk, k, &mut k_all);
+                match qw.and_then(|qw| qw.wq.as_ref()) {
+                    Some(qm) => quant::matmul_q8_into(&h, n, hidden, qm, &mut q_all),
+                    None => infer::matmul_into(
+                        &h,
+                        n,
+                        hidden,
+                        self.proj(self.wq, "attn.node.wq"),
+                        k,
+                        &mut q_all,
+                    ),
+                }
+                match qw.and_then(|qw| qw.wk.as_ref()) {
+                    Some(qm) => quant::matmul_q8_into(&h, n, hidden, qm, &mut k_all),
+                    None => infer::matmul_into(
+                        &h,
+                        n,
+                        hidden,
+                        self.proj(self.wk, "attn.node.wk"),
+                        k,
+                        &mut k_all,
+                    ),
+                }
                 let mut scores = arena.take(0);
                 let mut ctx = arena.take(hidden);
                 for i in 0..n {
@@ -622,17 +703,25 @@ impl CostModel {
             let keys = if self.cfg.resource_attention {
                 let _k_span = telemetry::kernel_span("infer.resource_keys");
                 let k = self.cfg.latent_k;
-                let wk_res = self
-                    .store
-                    .value(self.wk_res.expect("resource attention enabled"))
-                    .data();
                 let mut keys = arena.take(n * k);
-                infer::matmul_into(&h, n, hidden, wk_res, k, &mut keys);
+                match qw.and_then(|qw| qw.wk_res.as_ref()) {
+                    Some(qm) => quant::matmul_q8_into(&h, n, hidden, qm, &mut keys),
+                    None => infer::matmul_into(
+                        &h,
+                        n,
+                        hidden,
+                        self.proj(self.wk_res, "attn.res.wk"),
+                        k,
+                        &mut keys,
+                    ),
+                }
                 keys
             } else {
                 Vec::new()
             };
 
+            let mut stats = arena.take(plan.plan_stats.len());
+            stats.copy_from_slice(&plan.plan_stats);
             PlanContext {
                 model_identity: self.identity,
                 model_version: self.version,
@@ -640,9 +729,26 @@ impl CostModel {
                 h,
                 p,
                 keys,
-                stats: plan.plan_stats.clone(),
+                stats,
+                quantized: qw.is_some(),
             }
         })
+    }
+
+    /// Returns a context's scratch buffers to the calling thread's
+    /// inference arena. Purely an allocation-traffic optimisation — a
+    /// context that is simply dropped is still correct, it just costs
+    /// the next `plan_context` call fresh allocations.
+    pub fn recycle_context(&self, ctx: PlanContext) {
+        INFER_ARENA.with(|cell| {
+            let arena = &mut *cell.borrow_mut();
+            arena.give(ctx.h);
+            arena.give(ctx.p);
+            arena.give(ctx.stats);
+            if !ctx.keys.is_empty() {
+                arena.give(ctx.keys);
+            }
+        });
     }
 
     /// Whether `ctx` was computed by this exact model state (same
@@ -660,11 +766,45 @@ impl CostModel {
     /// [`CostModel::set_label_stats`], [`CostModel::restore`]) or a serde
     /// round trip.
     pub fn predict_with_context(&self, ctx: &PlanContext, resources: &[f32]) -> f64 {
+        self.predict_with_context_impl(ctx, resources, None)
+    }
+
+    /// [`CostModel::predict_with_context`] through the int8 weight tier.
+    ///
+    /// # Panics
+    /// Panics if the context is stale, if `q` is stale, or if the
+    /// context was not built through the quantized tier
+    /// ([`CostModel::plan_context_quant`]) — mixing the f32 and int8
+    /// tiers inside one prediction would blend two error budgets.
+    pub fn predict_with_context_quant(
+        &self,
+        ctx: &PlanContext,
+        resources: &[f32],
+        q: &QuantizedWeights,
+    ) -> f64 {
+        self.predict_with_context_impl(ctx, resources, Some(q))
+    }
+
+    fn predict_with_context_impl(
+        &self,
+        ctx: &PlanContext,
+        resources: &[f32],
+        qw: Option<&QuantizedWeights>,
+    ) -> f64 {
         assert!(
             self.context_is_current(ctx),
             "stale PlanContext: the model was mutated, retrained or deserialised after \
              plan_context() — recompute the context"
         );
+        assert_eq!(
+            ctx.quantized,
+            qw.is_some(),
+            "PlanContext tier mismatch: a context must be priced through the same weight \
+             tier (f32 or int8) it was built with"
+        );
+        if let Some(qw) = qw {
+            qw.assert_current(self);
+        }
         telemetry::count("infer.predict.with_context", 1);
         let _head_span = telemetry::kernel_span("infer.head");
         let y = INFER_ARENA.with(|cell| {
@@ -684,9 +824,20 @@ impl CostModel {
                     "resource vector width mismatch"
                 );
                 let k = self.cfg.latent_k;
-                let wr = self.store.value(self.wr.expect("resource attention enabled")).data();
                 let mut q = arena.take(k);
-                infer::matmul_into(resources, 1, self.cfg.resource_dim, wr, k, &mut q);
+                match qw.and_then(|qw| qw.wr.as_ref()) {
+                    Some(qm) => {
+                        quant::matmul_q8_into(resources, 1, self.cfg.resource_dim, qm, &mut q)
+                    }
+                    None => infer::matmul_into(
+                        resources,
+                        1,
+                        self.cfg.resource_dim,
+                        self.proj(self.wr, "attn.res.wr"),
+                        k,
+                        &mut q,
+                    ),
+                }
                 let mut scores = arena.take(0);
                 {
                     let (m_slot, _) = features[at..].split_at_mut(hidden);
@@ -712,9 +863,13 @@ impl CostModel {
             debug_assert_eq!(at + ctx.stats.len(), self.head1.in_dim);
 
             // Prediction head.
-            let z1 = self.head1.infer(&self.store, &features, 1, arena);
-            let z2 = self.head2.infer(&self.store, &z1, 1, arena);
-            let out = self.out.infer(&self.store, &z2, 1, arena);
+            let z1 = self
+                .head1
+                .infer_with(&self.store, &features, 1, arena, qw.map(|q| &q.head1));
+            let z2 = self
+                .head2
+                .infer_with(&self.store, &z1, 1, arena, qw.map(|q| &q.head2));
+            let out = self.out.infer_with(&self.store, &z2, 1, arena, qw.map(|q| &q.out));
             let y = out[0] * self.label_std + self.label_mean;
             arena.give(features);
             arena.give(z1);
@@ -727,10 +882,20 @@ impl CostModel {
 
     /// Predicts a batch of `(plan, resources)` pairs, sharding the work
     /// across `std::thread::available_parallelism()` scoped threads (the
-    /// same pattern the trainer uses for batch gradients). Each thread
-    /// reuses its own inference arena, so large batches run
+    /// same pattern the trainer uses for batch gradients). Each shard
+    /// runs through [`CostModel::predict_packed`], so within a shard the
+    /// K candidate plans share one batched head matmul per layer, and
+    /// each thread reuses its own inference arena — large batches run
     /// allocation-free after warmup.
     pub fn predict_batch(&self, items: &[(&EncodedPlan, &[f32])]) -> Vec<f64> {
+        self.predict_batch_with(items, None)
+    }
+
+    pub(crate) fn predict_batch_with(
+        &self,
+        items: &[(&EncodedPlan, &[f32])],
+        qw: Option<&QuantizedWeights>,
+    ) -> Vec<f64> {
         if items.is_empty() {
             return Vec::new();
         }
@@ -739,20 +904,133 @@ impl CostModel {
             .unwrap_or(1)
             .min(items.len());
         if threads <= 1 {
-            return items.iter().map(|(p, r)| self.predict_seconds(p, r)).collect();
+            return self.predict_packed_with(items, qw);
         }
         let chunk = items.len().div_ceil(threads);
         let mut out = vec![0.0f64; items.len()];
         std::thread::scope(|scope| {
             for (slots, shard) in out.chunks_mut(chunk).zip(items.chunks(chunk)) {
                 scope.spawn(move || {
-                    for (slot, (plan, res)) in slots.iter_mut().zip(shard.iter()) {
-                        *slot = self.predict_seconds(plan, res);
-                    }
+                    let got = self.predict_packed_with(shard, qw);
+                    slots.copy_from_slice(&got);
                 });
             }
         });
         out
+    }
+
+    /// Scores K candidate plans as *one* batched matmul per head layer
+    /// (cross-plan GEMM packing) on the calling thread: the per-plan
+    /// contexts and attention are computed item by item (they have
+    /// ragged shapes), then the K head-input feature rows are packed
+    /// into a single `K x head_in` matrix so `head1`/`head2`/`out` each
+    /// run once instead of K times. Every head matmul computes its rows
+    /// independently in the same accumulation order as the `rows = 1`
+    /// kernel, so each result is bit-identical to
+    /// [`CostModel::predict_seconds`] on the same item.
+    pub fn predict_packed(&self, items: &[(&EncodedPlan, &[f32])]) -> Vec<f64> {
+        self.predict_packed_with(items, None)
+    }
+
+    pub(crate) fn predict_packed_with(
+        &self,
+        items: &[(&EncodedPlan, &[f32])],
+        qw: Option<&QuantizedWeights>,
+    ) -> Vec<f64> {
+        if items.is_empty() {
+            return Vec::new();
+        }
+        telemetry::count("infer.predict.packed", items.len() as u64);
+        let kcount = items.len();
+        let hidden = self.cfg.hidden;
+        let head_in = self.head1.in_dim;
+        let ctxs: Vec<PlanContext> = items
+            .iter()
+            .map(|(plan, _)| self.plan_context_impl(plan, qw))
+            .collect();
+        let ys = INFER_ARENA.with(|cell| {
+            let arena = &mut *cell.borrow_mut();
+            let mut features = arena.take(kcount * head_in);
+            if self.cfg.resource_attention {
+                let k = self.cfg.latent_k;
+                let rdim = self.cfg.resource_dim;
+                // Pack the K resource vectors and project them with one
+                // matmul (`K x rdim @ rdim x k`); each row's accumulation
+                // is independent, so row i equals the single-item `q`.
+                let mut rvecs = arena.take(kcount * rdim);
+                for (row, (_, res)) in rvecs.chunks_mut(rdim).zip(items.iter()) {
+                    assert_eq!(res.len(), rdim, "resource vector width mismatch");
+                    row.copy_from_slice(res);
+                }
+                let mut qs = arena.take(kcount * k);
+                match qw.and_then(|qw| qw.wr.as_ref()) {
+                    Some(qm) => quant::matmul_q8_into(&rvecs, kcount, rdim, qm, &mut qs),
+                    None => infer::matmul_into(
+                        &rvecs,
+                        kcount,
+                        rdim,
+                        self.proj(self.wr, "attn.res.wr"),
+                        k,
+                        &mut qs,
+                    ),
+                }
+                let mut scores = arena.take(0);
+                for (i, ctx) in ctxs.iter().enumerate() {
+                    let frow = &mut features[i * head_in..(i + 1) * head_in];
+                    frow[..hidden].copy_from_slice(&ctx.p);
+                    {
+                        let (m_slot, _) = frow[hidden..].split_at_mut(hidden);
+                        dot_attention_into(
+                            &qs[i * k..(i + 1) * k],
+                            &ctx.keys,
+                            &ctx.h,
+                            k,
+                            hidden,
+                            None,
+                            ctx.n,
+                            &mut scores,
+                            m_slot,
+                        );
+                    }
+                    frow[2 * hidden..2 * hidden + rdim].copy_from_slice(items[i].1);
+                    frow[2 * hidden + rdim..].copy_from_slice(&ctx.stats);
+                }
+                arena.give(rvecs);
+                arena.give(qs);
+                arena.give(scores);
+            } else {
+                for (i, ctx) in ctxs.iter().enumerate() {
+                    let frow = &mut features[i * head_in..(i + 1) * head_in];
+                    frow[..hidden].copy_from_slice(&ctx.p);
+                    frow[hidden..].copy_from_slice(&ctx.stats);
+                }
+            }
+
+            // One batched matmul per head layer for all K plans.
+            let _head_span = telemetry::kernel_span("infer.head");
+            let z1 =
+                self.head1
+                    .infer_with(&self.store, &features, kcount, arena, qw.map(|q| &q.head1));
+            let z2 = self
+                .head2
+                .infer_with(&self.store, &z1, kcount, arena, qw.map(|q| &q.head2));
+            let out = self
+                .out
+                .infer_with(&self.store, &z2, kcount, arena, qw.map(|q| &q.out));
+            let ys: Vec<f64> = out
+                .iter()
+                .map(|&o| denormalize_seconds(o * self.label_std + self.label_mean))
+                .collect();
+            arena.give(features);
+            arena.give(z1);
+            arena.give(z2);
+            arena.give(out);
+            ys
+        });
+        for ctx in ctxs {
+            self.recycle_context(ctx);
+        }
+        ys
     }
 
     /// Restores internal optimizer buffers after deserialisation.
@@ -760,6 +1038,240 @@ impl CostModel {
         self.version += 1;
         self.store.restore_state();
     }
+
+    /// Snapshots every matmul weight to int8 with per-row scales
+    /// ([`nn::infer::quant::QuantizedMatrix`]). Called once at freeze /
+    /// checkpoint-load time — never in the prediction hot loop. Biases
+    /// and label statistics stay f32 and are read from the model at
+    /// predict time, so the snapshot holds only the code matrices.
+    pub fn quantize(&self) -> QuantizedWeights {
+        let q8 = |id: Option<ParamId>| -> Option<QuantizedMatrix> {
+            id.map(|id| {
+                let t = self.store.value(id);
+                let (rows, cols) = t.shape();
+                QuantizedMatrix::quantize(t.data(), rows, cols)
+            })
+        };
+        QuantizedWeights {
+            model_identity: self.identity,
+            model_version: self.version,
+            lstm: self.lstm.as_ref().map(|l| l.quantize_weights(&self.store)),
+            cnn: self.cnn.as_ref().map(|c| c.quantize_weights(&self.store)),
+            wq: q8(self.wq),
+            wk: q8(self.wk),
+            wr: q8(self.wr),
+            wk_res: q8(self.wk_res),
+            head1: self.head1.quantize_weights(&self.store),
+            head2: self.head2.quantize_weights(&self.store),
+            out: self.out.quantize_weights(&self.store),
+        }
+    }
+
+    /// Runs the static shape checker over an int8 snapshot: every
+    /// quantized matrix must mirror the architecture's declared f32
+    /// shape and carry exactly one scale per row. Catches a snapshot
+    /// taken from a different architecture (or corrupted in transit)
+    /// before a kernel can read out of bounds.
+    pub fn validate_quantized(
+        &self,
+        q: &QuantizedWeights,
+    ) -> Result<(), analysis::shape::ShapeError> {
+        if q.model_identity != self.identity || q.model_version != self.version {
+            return Err(analysis::shape::ShapeError {
+                layer: "quant".into(),
+                message: "stale QuantizedWeights: snapshot was built by a different model \
+                          instance or before a mutation"
+                    .into(),
+            });
+        }
+        let cfg = &self.cfg;
+        let mut pairs: Vec<(analysis::shape::ParamShape, analysis::shape::QuantParamShape)> =
+            Vec::new();
+        let mut push = |name: &str, rows: usize, cols: usize, qm: &QuantizedMatrix| {
+            pairs.push((
+                analysis::shape::ParamShape::new(name, rows, cols),
+                analysis::shape::QuantParamShape {
+                    name: name.to_string(),
+                    rows: qm.rows(),
+                    cols: qm.cols(),
+                    scales: qm.scales().len(),
+                },
+            ));
+        };
+        if let Some((wx, wh)) = &q.lstm {
+            push("plan.lstm.wx", cfg.node_dim, 4 * cfg.hidden, wx);
+            push("plan.lstm.wh", cfg.hidden, 4 * cfg.hidden, wh);
+        }
+        if let Some(cw) = &q.cnn {
+            push("plan.cnn.w", 3 * cfg.node_dim, cfg.hidden, cw);
+        }
+        if let Some(qm) = &q.wq {
+            push("attn.node.wq", cfg.hidden, cfg.latent_k, qm);
+        }
+        if let Some(qm) = &q.wk {
+            push("attn.node.wk", cfg.hidden, cfg.latent_k, qm);
+        }
+        if let Some(qm) = &q.wr {
+            push("attn.res.wr", cfg.resource_dim, cfg.latent_k, qm);
+        }
+        if let Some(qm) = &q.wk_res {
+            push("attn.res.wk", cfg.hidden, cfg.latent_k, qm);
+        }
+        push("head.1.w", self.head1.in_dim, self.head1.out_dim, &q.head1);
+        push("head.2.w", self.head2.in_dim, self.head2.out_dim, &q.head2);
+        push("head.out.w", self.out.in_dim, self.out.out_dim, &q.out);
+        for (src, mirror) in &pairs {
+            analysis::shape::check_quant_mirror(src, mirror)?;
+        }
+        Ok(())
+    }
+}
+
+/// Int8 snapshot of every matmul weight of a [`CostModel`], built once
+/// by [`CostModel::quantize`]. Like a [`PlanContext`], a snapshot is
+/// pinned to the exact `(identity, version)` model state that produced
+/// it and panics when used after a mutation or against a different
+/// instance.
+#[derive(Debug, Clone)]
+pub struct QuantizedWeights {
+    model_identity: u64,
+    model_version: u64,
+    lstm: Option<(QuantizedMatrix, QuantizedMatrix)>,
+    cnn: Option<QuantizedMatrix>,
+    wq: Option<QuantizedMatrix>,
+    wk: Option<QuantizedMatrix>,
+    wr: Option<QuantizedMatrix>,
+    wk_res: Option<QuantizedMatrix>,
+    head1: QuantizedMatrix,
+    head2: QuantizedMatrix,
+    out: QuantizedMatrix,
+}
+
+impl QuantizedWeights {
+    /// Total bytes held by the int8 code matrices (excluding scales) —
+    /// the footprint a replica shares instead of copying.
+    pub fn code_bytes(&self) -> usize {
+        let m = |qm: &QuantizedMatrix| qm.rows() * qm.cols();
+        let mut total = m(&self.head1) + m(&self.head2) + m(&self.out);
+        if let Some((wx, wh)) = &self.lstm {
+            total += m(wx) + m(wh);
+        }
+        for qm in [&self.cnn, &self.wq, &self.wk, &self.wr, &self.wk_res]
+            .into_iter()
+            .flatten()
+        {
+            total += m(qm);
+        }
+        total
+    }
+
+    fn assert_current(&self, model: &CostModel) {
+        assert!(
+            self.model_identity == model.identity && self.model_version == model.version,
+            "stale QuantizedWeights: the model was mutated, retrained or deserialised after \
+             quantize() — rebuild the snapshot"
+        );
+    }
+}
+
+/// An immutable, `Arc`-shared inference handle: one [`CostModel`] plus
+/// its int8 weight snapshot, frozen together at construction.
+///
+/// `Clone` is a reference-count bump — every replica shares the same
+/// f32 weights *and* the same quantized codes, so N serving replicas
+/// hold one copy of the model, not N. The handle is `Send + Sync`
+/// (asserted at compile time in the tests): the inner model is never
+/// mutated after freezing, and the per-thread scratch arenas keep
+/// concurrent predictions independent.
+#[derive(Debug, Clone)]
+pub struct FrozenModel {
+    inner: Arc<FrozenInner>,
+}
+
+#[derive(Debug)]
+struct FrozenInner {
+    model: CostModel,
+    quant: QuantizedWeights,
+}
+
+impl FrozenModel {
+    /// Quantizes and freezes a model. Runs the quantized shape check
+    /// ([`CostModel::validate_quantized`]) so a malformed snapshot can
+    /// never reach a kernel.
+    ///
+    /// # Panics
+    /// Panics if the freshly built snapshot fails the shape check
+    /// (which indicates a bug in the architecture wiring, not bad data).
+    pub fn freeze(model: CostModel) -> Self {
+        let quant = model.quantize();
+        if let Err(e) = model.validate_quantized(&quant) {
+            panic!("quantized weight snapshot failed the shape check: {e}");
+        }
+        Self { inner: Arc::new(FrozenInner { model, quant }) }
+    }
+
+    /// The shared underlying model (read-only).
+    pub fn model(&self) -> &CostModel {
+        &self.inner.model
+    }
+
+    /// The shared int8 weight snapshot.
+    pub fn quantized_weights(&self) -> &QuantizedWeights {
+        &self.inner.quant
+    }
+
+    /// Number of live handles sharing this model's weights.
+    pub fn replicas(&self) -> usize {
+        Arc::strong_count(&self.inner)
+    }
+
+    /// Quantized-tier prediction (the serving default).
+    pub fn predict_seconds(&self, plan: &EncodedPlan, resources: &[f32]) -> f64 {
+        self.inner
+            .model
+            .predict_seconds_quant(plan, resources, &self.inner.quant)
+    }
+
+    /// F32 fast-path prediction through the shared model.
+    pub fn predict_seconds_f32(&self, plan: &EncodedPlan, resources: &[f32]) -> f64 {
+        self.inner.model.predict_seconds(plan, resources)
+    }
+
+    /// Quantized-tier [`CostModel::plan_context`] for what-if sweeps.
+    pub fn plan_context(&self, plan: &EncodedPlan) -> PlanContext {
+        self.inner.model.plan_context_quant(plan, &self.inner.quant)
+    }
+
+    /// Prices a quantized context against one resource configuration.
+    pub fn predict_with_context(&self, ctx: &PlanContext, resources: &[f32]) -> f64 {
+        self.inner
+            .model
+            .predict_with_context_quant(ctx, resources, &self.inner.quant)
+    }
+
+    /// Returns a context's buffers to the thread-local arena.
+    pub fn recycle_context(&self, ctx: PlanContext) {
+        self.inner.model.recycle_context(ctx);
+    }
+
+    /// Quantized cross-plan packed scoring on the calling thread
+    /// (see [`CostModel::predict_packed`]).
+    pub fn predict_packed(&self, items: &[(&EncodedPlan, &[f32])]) -> Vec<f64> {
+        self.inner.model.predict_packed_with(items, Some(&self.inner.quant))
+    }
+
+    /// Quantized threaded batch prediction (packed per shard).
+    pub fn predict_batch(&self, items: &[(&EncodedPlan, &[f32])]) -> Vec<f64> {
+        self.inner.model.predict_batch_with(items, Some(&self.inner.quant))
+    }
+}
+
+/// Snapshot of the calling thread's inference-arena statistics — the
+/// thread-local scratch pool behind every tape-free prediction on this
+/// thread. Lets callers (and the serving tests) assert that a warmed
+/// prediction loop has genuinely stopped allocating.
+pub fn thread_arena_stats() -> nn::ArenaStats {
+    INFER_ARENA.with(|cell| cell.borrow().stats())
 }
 
 fn node_matrix(plan: &EncodedPlan) -> Tensor {

@@ -2,7 +2,7 @@
 //! produced its inputs (the word2vec table and encoder configuration) —
 //! everything needed to score plans in a fresh process.
 
-use crate::model::CostModel;
+use crate::model::{CostModel, FrozenModel};
 use encoding::word2vec::Word2Vec;
 use encoding::{EncoderConfig, PlanEncoder};
 use serde::{Deserialize, Serialize};
@@ -74,6 +74,20 @@ impl ModelBundle {
         }
         Ok(bundle)
     }
+
+    /// Consumes the bundle into a serving-ready pair: the model frozen
+    /// (quantized once, [`FrozenModel::freeze`]) plus its encoder.
+    pub fn freeze(self) -> (FrozenModel, PlanEncoder) {
+        let encoder = self.encoder();
+        (FrozenModel::freeze(self.model), encoder)
+    }
+
+    /// [`ModelBundle::load`] followed by [`ModelBundle::freeze`]: the
+    /// one-call path from a checkpoint on disk to shareable quantized
+    /// weights, used by replicas that never train.
+    pub fn load_frozen(path: &Path) -> std::io::Result<(FrozenModel, PlanEncoder)> {
+        Ok(Self::load(path)?.freeze())
+    }
 }
 
 #[cfg(test)]
@@ -119,5 +133,35 @@ mod tests {
     #[test]
     fn load_missing_file_is_io_error() {
         assert!(ModelBundle::load(Path::new("/nonexistent/raal.json")).is_err());
+    }
+
+    #[test]
+    fn load_frozen_round_trips_quantized_predictions() {
+        let encoder = tiny_encoder();
+        let model = CostModel::new(ModelConfig {
+            hidden: 8,
+            latent_k: 4,
+            head_hidden: 8,
+            ..ModelConfig::raal(encoder.node_dim())
+        });
+        let plan = EncodedPlan {
+            node_features: vec![vec![0.25; encoder.node_dim()]; 3],
+            children: vec![vec![], vec![0], vec![1]],
+            plan_stats: vec![0.3; PLAN_STAT_FEATURES],
+        };
+        let res = vec![0.5f32; 7];
+
+        let dir = std::env::temp_dir().join("raal_persist_test");
+        let path = dir.join("frozen.json");
+        ModelBundle::new(model, &encoder).save(&path).unwrap();
+        let (frozen, enc) = ModelBundle::load_frozen(&path).unwrap();
+        // The quantized and f32 tiers of the same frozen handle must
+        // agree with themselves across calls, and the encoder survives.
+        assert_eq!(frozen.predict_seconds(&plan, &res), frozen.predict_seconds(&plan, &res));
+        assert_eq!(
+            frozen.predict_seconds_f32(&plan, &res),
+            frozen.model().predict_seconds(&plan, &res)
+        );
+        assert_eq!(enc.node_dim(), encoder.node_dim());
     }
 }

@@ -51,6 +51,7 @@
 //! assert_eq!(pred.source, PredictionSource::Fallback(FallbackReason::Checkpoint));
 //! ```
 
+use crate::model::FrozenModel;
 use crate::persist::ModelBundle;
 use encoding::plan_encoder::EncodedPlan;
 use encoding::PlanEncoder;
@@ -90,6 +91,10 @@ pub struct ServingConfig {
     pub max_plan_nodes: usize,
     /// Cluster used to normalise resource feature vectors.
     pub cluster: ClusterConfig,
+    /// Serve predictions through the int8 weight tier (the default).
+    /// Disable to pin the f32 fast path, e.g. while calibrating the
+    /// quantization error budget against production traffic.
+    pub quantized: bool,
 }
 
 impl Default for ServingConfig {
@@ -98,6 +103,7 @@ impl Default for ServingConfig {
             deadline: Duration::from_millis(50),
             max_plan_nodes: 64,
             cluster: ClusterConfig::default(),
+            quantized: true,
         }
     }
 }
@@ -150,13 +156,15 @@ pub struct ServingPrediction {
 
 struct Request {
     generation: u64,
-    plan: EncodedPlan,
+    /// The K candidate plans of one serving call; the worker scores them
+    /// as a single packed batch (one head matmul per layer).
+    plans: Vec<EncodedPlan>,
     resources: Vec<f32>,
 }
 
 struct Response {
     generation: u64,
-    seconds: f64,
+    seconds: Vec<f64>,
 }
 
 /// The deep cost model behind deadlines, admission control and an
@@ -166,6 +174,10 @@ pub struct ServingModel {
     rx: mpsc::Receiver<Response>,
     worker: Option<JoinHandle<()>>,
     encoder: Option<PlanEncoder>,
+    /// The frozen (`Arc`-shared, quantized-at-load) model; the worker
+    /// thread holds a clone of the same handle, so both see one copy of
+    /// the weights.
+    model: Option<FrozenModel>,
     fallback: Box<dyn FallbackModel>,
     cfg: ServingConfig,
     generation: u64,
@@ -176,15 +188,29 @@ pub struct ServingModel {
 }
 
 impl ServingModel {
-    /// Serves a loaded bundle. Spawns the inference worker immediately.
+    /// Serves a loaded bundle. Quantizes and freezes the model once
+    /// ([`FrozenModel::freeze`]) and spawns the inference worker
+    /// immediately; the worker shares the frozen weights by reference
+    /// count, not by copy.
     pub fn new(bundle: ModelBundle, fallback: Box<dyn FallbackModel>, cfg: ServingConfig) -> Self {
         let encoder = bundle.encoder();
-        let model = bundle.model;
+        let frozen = FrozenModel::freeze(bundle.model);
+        let worker_model = frozen.clone();
+        let quantized = cfg.quantized;
         let (req_tx, req_rx) = mpsc::channel::<Request>();
         let (resp_tx, resp_rx) = mpsc::channel::<Response>();
         let worker = std::thread::spawn(move || {
             while let Ok(req) = req_rx.recv() {
-                let seconds = model.predict_seconds(&req.plan, &req.resources);
+                let items: Vec<(&EncodedPlan, &[f32])> =
+                    req.plans.iter().map(|p| (p, req.resources.as_slice())).collect();
+                // Packed scoring on the worker thread itself: the worker's
+                // arena is reused across requests, so a warmed serving
+                // loop performs no inference-scratch allocation.
+                let seconds = if quantized {
+                    worker_model.predict_packed(&items)
+                } else {
+                    worker_model.model().predict_packed(&items)
+                };
                 if resp_tx
                     .send(Response { generation: req.generation, seconds })
                     .is_err()
@@ -198,6 +224,7 @@ impl ServingModel {
             rx: resp_rx,
             worker: Some(worker),
             encoder: Some(encoder),
+            model: Some(frozen),
             fallback,
             cfg,
             generation: 0,
@@ -234,12 +261,20 @@ impl ServingModel {
             rx,
             worker: None,
             encoder: None,
+            model: None,
             fallback,
             cfg,
             generation: 0,
             pending: false,
             degraded: Some(reason),
         }
+    }
+
+    /// The frozen model handle, when the server is healthy. Cloning it
+    /// is a reference-count bump — replicas share one copy of the
+    /// weights ([`FrozenModel`]).
+    pub fn model(&self) -> Option<&FrozenModel> {
+        self.model.as_ref()
     }
 
     /// True when the deep model is out of the serving path for good.
@@ -264,13 +299,44 @@ impl ServingModel {
     /// plus either `serving.predict.model` or the per-reason
     /// `serving.fallback.*` counter.
     pub fn predict(&mut self, plan: &PhysicalPlan, res: &ResourceConfig) -> ServingPrediction {
+        let mut out = self.predict_many(&[plan], res);
+        debug_assert_eq!(out.len(), 1);
+        out.remove(0)
+    }
+
+    /// Scores K candidate plans under one resource configuration in a
+    /// single worker round trip: the admitted plans are shipped together
+    /// and the worker prices them as one packed batch (one head matmul
+    /// per layer, [`crate::model::CostModel::predict_packed`]), so
+    /// candidate selection pays one deadline, not K. Oversized plans
+    /// fall back individually (`serving.fallback.admission`); a deadline
+    /// miss falls back for every admitted plan. Increments
+    /// `serving.predict` once per plan.
+    pub fn predict_many(
+        &mut self,
+        plans: &[&PhysicalPlan],
+        res: &ResourceConfig,
+    ) -> Vec<ServingPrediction> {
         let _span = telemetry::span("serving.predict");
-        telemetry::count("serving.predict", 1);
-        if let Some(reason) = self.degraded {
-            return self.fall_back(plan, res, reason);
+        telemetry::count("serving.predict", plans.len() as u64);
+        if plans.is_empty() {
+            return Vec::new();
         }
-        if plan.len() > self.cfg.max_plan_nodes {
-            return self.fall_back(plan, res, FallbackReason::Admission);
+        if let Some(reason) = self.degraded {
+            return plans.iter().map(|p| self.fall_back(p, res, reason)).collect();
+        }
+        // Per-plan admission: oversized plans are answered analytically,
+        // the rest ride in one batch.
+        let mut out: Vec<Option<ServingPrediction>> = plans
+            .iter()
+            .map(|p| {
+                (p.len() > self.cfg.max_plan_nodes)
+                    .then(|| self.fall_back(p, res, FallbackReason::Admission))
+            })
+            .collect();
+        let admitted: Vec<usize> = (0..plans.len()).filter(|&i| out[i].is_none()).collect();
+        if admitted.is_empty() {
+            return out.into_iter().flatten().collect();
         }
         // Drain any response from a request we previously abandoned.
         if self.pending {
@@ -278,32 +344,36 @@ impl ServingModel {
                 self.pending = false;
             }
             if self.pending {
-                return self.fall_back(plan, res, FallbackReason::Busy);
+                return self.resolve_all(out, plans, res, FallbackReason::Busy);
             }
         }
         let (encoded, features) = match &self.encoder {
-            Some(encoder) => (encoder.encode(plan), res.feature_vector(&self.cfg.cluster)),
-            None => return self.mark_lost(plan, res),
+            Some(encoder) => (
+                admitted.iter().map(|&i| encoder.encode(plans[i])).collect::<Vec<_>>(),
+                res.feature_vector(&self.cfg.cluster),
+            ),
+            None => return self.mark_lost(out, plans, res),
         };
         self.generation += 1;
         let generation = self.generation;
         let sent = match &self.tx {
             Some(tx) => tx
-                .send(Request { generation, plan: encoded, resources: features })
+                .send(Request { generation, plans: encoded, resources: features })
                 .is_ok(),
             None => false,
         };
         if !sent {
-            return self.mark_lost(plan, res);
+            return self.mark_lost(out, plans, res);
         }
         loop {
             match self.rx.recv_timeout(self.cfg.deadline) {
                 Ok(resp) if resp.generation == generation => {
-                    telemetry::count("serving.predict.model", 1);
-                    return ServingPrediction {
-                        seconds: resp.seconds,
-                        source: PredictionSource::Model,
-                    };
+                    telemetry::count("serving.predict.model", admitted.len() as u64);
+                    for (&i, &seconds) in admitted.iter().zip(resp.seconds.iter()) {
+                        out[i] =
+                            Some(ServingPrediction { seconds, source: PredictionSource::Model });
+                    }
+                    return out.into_iter().flatten().collect();
                 }
                 // A stale response from an abandoned request; keep
                 // waiting (each drained stale answer frees the worker,
@@ -311,19 +381,41 @@ impl ServingModel {
                 Ok(_stale) => continue,
                 Err(mpsc::RecvTimeoutError::Timeout) => {
                     self.pending = true;
-                    return self.fall_back(plan, res, FallbackReason::Deadline);
+                    return self.resolve_all(out, plans, res, FallbackReason::Deadline);
                 }
                 Err(mpsc::RecvTimeoutError::Disconnected) => {
-                    return self.mark_lost(plan, res);
+                    return self.mark_lost(out, plans, res);
                 }
             }
         }
     }
 
-    fn mark_lost(&mut self, plan: &PhysicalPlan, res: &ResourceConfig) -> ServingPrediction {
+    /// Fills every unresolved slot with a fallback answer for `reason`.
+    fn resolve_all(
+        &self,
+        out: Vec<Option<ServingPrediction>>,
+        plans: &[&PhysicalPlan],
+        res: &ResourceConfig,
+        reason: FallbackReason,
+    ) -> Vec<ServingPrediction> {
+        out.into_iter()
+            .zip(plans.iter())
+            .map(|(slot, plan)| match slot {
+                Some(p) => p,
+                None => self.fall_back(plan, res, reason),
+            })
+            .collect()
+    }
+
+    fn mark_lost(
+        &mut self,
+        out: Vec<Option<ServingPrediction>>,
+        plans: &[&PhysicalPlan],
+        res: &ResourceConfig,
+    ) -> Vec<ServingPrediction> {
         self.degraded = Some(FallbackReason::WorkerLost);
         self.tx = None;
-        self.fall_back(plan, res, FallbackReason::WorkerLost)
+        self.resolve_all(out, plans, res, FallbackReason::WorkerLost)
     }
 
     fn fall_back(

@@ -1,0 +1,316 @@
+//! The quantized inference tier's accuracy and resource contracts:
+//!
+//! * int8 predictions stay within a relative-error budget of the f32
+//!   path across random plans and every model variant (the gate the
+//!   ISSUE pins the quantized tier behind);
+//! * packed/batched scoring agrees with per-item scoring bit-for-bit;
+//! * mixing tiers (an f32 context with quantized weights) panics
+//!   instead of silently mispricing;
+//! * `FrozenModel` is a shareable `Send + Sync` handle and replicas
+//!   share one weight copy;
+//! * a warmed serving loop stops allocating inference scratch;
+//! * fig1-style plan selection ranks plans the same in both tiers.
+
+use encoding::plan_encoder::{EncodedPlan, PLAN_STAT_FEATURES};
+use encoding::word2vec::W2vConfig;
+use encoding::EncoderConfig;
+use proptest::prelude::*;
+use raal::dataset::{collect, CollectionConfig};
+use raal::model::{CostModel, FrozenModel, ModelConfig};
+use raal::train::{train, TrainConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sparksim::resource::ResourceConfig;
+use workloads::imdb;
+
+const NODE_DIM: usize = 10;
+
+/// Same random-plan generator as `prop_infer.rs`: a chain backbone with
+/// extra child edges, so attention sees leaves and multi-child joins.
+fn random_plan(rng: &mut StdRng, n: usize) -> EncodedPlan {
+    let node_features = (0..n)
+        .map(|_| (0..NODE_DIM).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+        .collect();
+    let children = (0..n)
+        .map(|i| {
+            if i == 0 {
+                return Vec::new();
+            }
+            let mut kids = vec![i - 1];
+            for j in 0..i - 1 {
+                if rng.gen_bool(0.3) {
+                    kids.push(j);
+                }
+            }
+            kids
+        })
+        .collect();
+    EncodedPlan {
+        node_features,
+        children,
+        plan_stats: (0..PLAN_STAT_FEATURES).map(|_| rng.gen_range(0.0f32..1.0)).collect(),
+    }
+}
+
+fn variant(idx: usize) -> ModelConfig {
+    let cfg = match idx % 4 {
+        0 => ModelConfig::raal(NODE_DIM),
+        1 => ModelConfig::na_lstm(NODE_DIM),
+        2 => ModelConfig::raac(NODE_DIM),
+        _ => ModelConfig::raal(NODE_DIM).without_resources(),
+    };
+    ModelConfig { hidden: 12, latent_k: 6, head_hidden: 10, ..cfg }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    /// The accuracy gate on the quantized tier: int8 predictions track
+    /// the f32 path within a small relative error in normalised label
+    /// space. Per-row scales bound each weight's quantization error by
+    /// scale/2 (≲ 0.4% of the row maximum); the budget below leaves
+    /// headroom for that error compounding through the LSTM recurrence,
+    /// two attention softmaxes and the three head layers.
+    #[test]
+    fn quantized_predictions_within_relative_error_budget(
+        n in 1usize..9,
+        seed in 0u64..1_000_000,
+        variant_idx in 0usize..4,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let plan = random_plan(&mut rng, n);
+        let cfg = ModelConfig { seed: seed ^ 0x5eed, ..variant(variant_idx) };
+        let resources: Vec<f32> =
+            (0..cfg.resource_dim).map(|_| rng.gen_range(0.0f32..1.0)).collect();
+        let model = CostModel::new(cfg);
+        let f32_pred = model.predict_seconds(&plan, &resources);
+
+        let frozen = FrozenModel::freeze(model);
+        let q_pred = frozen.predict_seconds(&plan, &resources);
+        prop_assert_eq!(frozen.predict_seconds_f32(&plan, &resources), f32_pred);
+
+        // Compare in the space the model actually regresses (normalised
+        // log-seconds): relative error there is what plan ranking sees.
+        // Untrained Xavier-random nets are the worst case for int8 —
+        // a 2000-model scan put the error at ≤0.11 absolute / ≤8%
+        // relative — so the gate sits at 15% with a unit floor.
+        let (yq, yf) = ((1.0 + q_pred).ln(), (1.0 + f32_pred).ln());
+        let rel = (yq - yf).abs() / yf.abs().max(1.0);
+        prop_assert!(
+            rel <= 0.15,
+            "quant={q_pred} f32={f32_pred} rel={rel} n={n} variant={variant_idx}"
+        );
+
+        // Context path agreement within the quantized tier itself.
+        let ctx = frozen.plan_context(&plan);
+        prop_assert_eq!(frozen.predict_with_context(&ctx, &resources), q_pred);
+        frozen.recycle_context(ctx);
+    }
+
+    /// Packed K-plan scoring is bit-identical to per-item scoring in
+    /// both tiers: head matmuls accumulate each row independently in
+    /// the same order at any row count.
+    #[test]
+    fn packed_batch_matches_per_item_in_both_tiers(
+        k in 1usize..6,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let plans: Vec<EncodedPlan> =
+            (0..k).map(|i| random_plan(&mut rng, 2 + (i % 6))).collect();
+        let cfg = ModelConfig {
+            seed: seed ^ 0xba7c4,
+            hidden: 12,
+            latent_k: 6,
+            head_hidden: 10,
+            ..ModelConfig::raal(NODE_DIM)
+        };
+        let resources: Vec<f32> =
+            (0..cfg.resource_dim).map(|_| rng.gen_range(0.0f32..1.0)).collect();
+        let frozen = FrozenModel::freeze(CostModel::new(cfg));
+        let items: Vec<(&EncodedPlan, &[f32])> =
+            plans.iter().map(|p| (p, resources.as_slice())).collect();
+
+        let packed = frozen.predict_packed(&items);
+        let batched = frozen.predict_batch(&items);
+        for (i, plan) in plans.iter().enumerate() {
+            let single = frozen.predict_seconds(plan, &resources);
+            prop_assert_eq!(packed[i], single, "packed row {} diverged", i);
+            prop_assert_eq!(batched[i], single, "batch row {} diverged", i);
+        }
+    }
+}
+
+#[test]
+#[should_panic(expected = "tier mismatch")]
+fn f32_context_with_quantized_weights_panics() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let plan = random_plan(&mut rng, 4);
+    let cfg = ModelConfig {
+        hidden: 12,
+        latent_k: 6,
+        head_hidden: 10,
+        ..ModelConfig::raal(NODE_DIM)
+    };
+    let resources: Vec<f32> = vec![0.5; cfg.resource_dim];
+    let frozen = FrozenModel::freeze(CostModel::new(cfg));
+    // An f32-tier context fed to the quantized predictor must panic,
+    // not silently mix projection spaces.
+    let ctx = frozen.model().plan_context(&plan);
+    let _ = frozen.predict_with_context(&ctx, &resources);
+}
+
+#[test]
+fn frozen_model_is_send_sync_and_shares_weights() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<FrozenModel>();
+
+    let cfg = ModelConfig {
+        hidden: 12,
+        latent_k: 6,
+        head_hidden: 10,
+        ..ModelConfig::raal(NODE_DIM)
+    };
+    let frozen = FrozenModel::freeze(CostModel::new(cfg));
+    assert_eq!(frozen.replicas(), 1);
+    let replica = frozen.clone();
+    assert_eq!(frozen.replicas(), 2);
+
+    // Replicas answer from the same weights, concurrently.
+    let mut rng = StdRng::seed_from_u64(11);
+    let plan = random_plan(&mut rng, 5);
+    let resources: Vec<f32> = vec![0.5; frozen.model().config().resource_dim];
+    let expected = frozen.predict_seconds(&plan, &resources);
+    let got = std::thread::spawn(move || replica.predict_seconds(&plan, &resources))
+        .join()
+        .unwrap();
+    assert_eq!(got, expected);
+    assert_eq!(frozen.replicas(), 1);
+}
+
+/// The arena contract the serving loop relies on: after a warm-up
+/// prediction sizes the thread-local pool, further predictions on
+/// same-shaped inputs perform no fresh inference-scratch allocations
+/// and the arena's high-water mark stays put.
+#[test]
+fn warmed_predictions_reuse_arena_scratch() {
+    let mut rng = StdRng::seed_from_u64(23);
+    let plan = random_plan(&mut rng, 6);
+    let cfg = ModelConfig {
+        hidden: 12,
+        latent_k: 6,
+        head_hidden: 10,
+        ..ModelConfig::raal(NODE_DIM)
+    };
+    let resources: Vec<f32> = vec![0.5; cfg.resource_dim];
+    let frozen = FrozenModel::freeze(CostModel::new(cfg));
+
+    // Run on a dedicated thread so this test owns its thread-local arena.
+    let stats = std::thread::spawn(move || {
+        for _ in 0..3 {
+            let _ = frozen.predict_seconds(&plan, &resources);
+            let _ = frozen.model().predict_seconds(&plan, &resources);
+        }
+        let warm = raal::thread_arena_stats();
+        for _ in 0..32 {
+            let _ = frozen.predict_seconds(&plan, &resources);
+            let _ = frozen.model().predict_seconds(&plan, &resources);
+        }
+        (warm, raal::thread_arena_stats())
+    })
+    .join()
+    .unwrap();
+    let (warm, done) = stats;
+    assert!(done.takes > warm.takes, "the steady-state loop never touched the arena");
+    assert_eq!(
+        done.fresh_allocs, warm.fresh_allocs,
+        "steady-state predictions allocated fresh scratch: {done:?} after warm-up {warm:?}"
+    );
+    assert_eq!(
+        done.high_water_len, warm.high_water_len,
+        "arena high-water mark moved in steady state"
+    );
+}
+
+/// The end-to-end accuracy gate from the ISSUE: quantization must not
+/// change which plan fig1-style selection picks. A trained model ranks
+/// a join query's candidates in both tiers; the quantized tier must
+/// agree on every pairwise order unless the f32 costs are a near-tie
+/// (within 5%), in which case either order is acceptable.
+#[test]
+fn plan_selection_ranking_survives_quantization() {
+    let data = imdb::generate(&imdb::ImdbConfig { title_rows: 400, seed: 5 });
+    let scale = data.simulated_scale();
+    let graph = data.graph.clone();
+    let sim_cfg = sparksim::SimulatorConfig {
+        data_scale: scale,
+        ..sparksim::SimulatorConfig::default()
+    };
+    let engine = sparksim::Engine::with_options(
+        data.catalog,
+        sparksim::plan::planner::PlannerOptions::default(),
+        sparksim::ClusterConfig::default(),
+        sim_cfg,
+    );
+    let cfg = CollectionConfig {
+        num_queries: 10,
+        resource_states_per_plan: 2,
+        runs_per_observation: 1,
+        threads: 2,
+        ..Default::default()
+    };
+    let coll = collect(&engine, &graph, &cfg);
+    let encoder = coll.build_encoder(
+        &W2vConfig { dim: 8, epochs: 1, ..Default::default() },
+        EncoderConfig::default(),
+    );
+    let samples = coll.encode(&encoder, &engine);
+    let mut model = CostModel::new(ModelConfig {
+        hidden: 16,
+        latent_k: 8,
+        head_hidden: 16,
+        ..ModelConfig::raal(encoder.node_dim())
+    });
+    train(
+        &mut model,
+        &samples,
+        &TrainConfig {
+            epochs: 2,
+            batch_size: 16,
+            threads: 2,
+            ..Default::default()
+        },
+    );
+
+    let plans = engine
+        .plan_candidates("SELECT COUNT(*) FROM title t, movie_keyword mk WHERE t.id = mk.movie_id")
+        .unwrap();
+    assert!(plans.len() >= 2, "join query should enumerate several candidates");
+    let res = ResourceConfig::default_for(engine.simulator().cluster());
+    let features = res.feature_vector(engine.simulator().cluster());
+    let encoded: Vec<_> = plans.iter().map(|p| encoder.encode(p)).collect();
+    let items: Vec<_> = encoded.iter().map(|e| (e, features.as_slice())).collect();
+
+    let f32_costs = model.predict_batch(&items);
+    let frozen = FrozenModel::freeze(model);
+    let q_costs = frozen.predict_packed(&items);
+
+    for i in 0..f32_costs.len() {
+        for j in i + 1..f32_costs.len() {
+            let near_tie = (f32_costs[i] - f32_costs[j]).abs()
+                <= 0.05 * f32_costs[i].max(f32_costs[j]).max(1e-9);
+            if near_tie {
+                continue;
+            }
+            assert_eq!(
+                f32_costs[i] < f32_costs[j],
+                q_costs[i] < q_costs[j],
+                "quantization flipped the order of plans {i} ({} vs {}) and {j} ({} vs {})",
+                f32_costs[i],
+                q_costs[i],
+                f32_costs[j],
+                q_costs[j],
+            );
+        }
+    }
+}

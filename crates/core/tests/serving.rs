@@ -30,6 +30,19 @@ fn engine() -> Engine {
             Column::non_null(ColumnData::Int((0..200).map(|i| i % 10).collect())),
         ],
     ));
+    catalog.register(Table::new(
+        TableSchema::new(
+            "u",
+            vec![
+                ColumnDef::new("t_id", DataType::Int, false),
+                ColumnDef::new("y", DataType::Int, false),
+            ],
+        ),
+        vec![
+            Column::non_null(ColumnData::Int((0..400).map(|i| i % 200).collect())),
+            Column::non_null(ColumnData::Int((0..400).map(|i| i % 7).collect())),
+        ],
+    ));
     Engine::new(catalog)
 }
 
@@ -114,11 +127,14 @@ fn oversized_plans_are_not_admitted() {
 fn healthy_model_answers_within_generous_deadline() {
     let engine = engine();
     let plan = some_plan(&engine);
-    let bundle = tiny_bundle();
+    // Serving quantizes at freeze time by default, so the reference
+    // answer comes from an identically-seeded frozen (quantized) model.
     let expected = {
+        let bundle = tiny_bundle();
         let encoder = bundle.encoder();
         let features = resources().feature_vector(&ClusterConfig::default());
-        bundle.model.predict_seconds(&encoder.encode(&plan), &features)
+        let frozen = raal::model::FrozenModel::freeze(bundle.model);
+        frozen.predict_seconds(&encoder.encode(&plan), &features)
     };
     let cfg = ServingConfig {
         deadline: Duration::from_secs(10),
@@ -131,6 +147,41 @@ fn healthy_model_answers_within_generous_deadline() {
         assert_eq!(pred.seconds, expected);
     });
     assert!(lines.iter().any(|l| l.contains("serving.predict.model")));
+}
+
+#[test]
+fn predict_many_scores_candidates_in_one_trip_with_per_plan_admission() {
+    let engine = engine();
+    let candidates = engine
+        .plan_candidates("SELECT t.x, COUNT(*) FROM t, u WHERE t.id = u.t_id GROUP BY t.x")
+        .unwrap();
+    assert!(candidates.len() >= 2, "need at least two candidate plans");
+    let refs: Vec<&PhysicalPlan> = candidates.iter().collect();
+    // Admit nothing larger than the smallest candidate: mixed batches
+    // must answer oversized plans analytically and the rest by model.
+    let max_nodes = refs.iter().map(|p| p.len()).min().unwrap();
+    let cfg = ServingConfig {
+        deadline: Duration::from_secs(10),
+        max_plan_nodes: max_nodes,
+        ..ServingConfig::default()
+    };
+    let mut serving = ServingModel::new(tiny_bundle(), gpsj_fallback(), cfg);
+    let preds = serving.predict_many(&refs, &resources());
+    assert_eq!(preds.len(), refs.len());
+    for (plan, pred) in refs.iter().zip(&preds) {
+        if plan.len() > max_nodes {
+            assert_eq!(pred.source, PredictionSource::Fallback(FallbackReason::Admission));
+            assert_eq!(pred.seconds, 1.0 + plan.len() as f64);
+        } else {
+            assert_eq!(pred.source, PredictionSource::Model);
+        }
+    }
+    // Batched answers agree with one-at-a-time serving.
+    for (plan, pred) in refs.iter().zip(&preds) {
+        let single = serving.predict(plan, &resources());
+        assert_eq!(single.seconds, pred.seconds);
+        assert_eq!(single.source, pred.source);
+    }
 }
 
 #[test]

@@ -26,6 +26,8 @@
 
 use crate::layers::Activation;
 
+pub mod quant;
+
 /// A recycling pool of `f32` scratch buffers for tape-free inference.
 ///
 /// `take(len)` hands out a zeroed buffer of the requested length, reusing
@@ -34,9 +36,31 @@ use crate::layers::Activation;
 /// after the first pass). Buffers are returned with [`InferArena::give`];
 /// forgetting to return one is not an error, it just costs a future
 /// allocation.
+///
+/// The arena keeps allocation statistics ([`InferArena::stats`]) so
+/// callers — the serving layer in particular — can assert that a warmed
+/// loop has genuinely stopped touching the heap.
 #[derive(Debug, Default)]
 pub struct InferArena {
     free: Vec<Vec<f32>>,
+    takes: u64,
+    fresh_allocs: u64,
+    high_water_len: usize,
+}
+
+/// Allocation statistics of an [`InferArena`], read via
+/// [`InferArena::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Total number of `take` calls.
+    pub takes: u64,
+    /// `take` calls that had to touch the heap (empty free list, or a
+    /// pooled buffer whose capacity was below the requested length).
+    pub fresh_allocs: u64,
+    /// Largest buffer length ever requested — the scratch high-water mark.
+    pub high_water_len: usize,
+    /// Buffers currently sitting in the free list.
+    pub pooled: usize,
 }
 
 /// Upper bound on pooled buffers, so a pathological caller cannot grow
@@ -51,13 +75,21 @@ impl InferArena {
 
     /// Takes a zero-filled buffer of length `len`.
     pub fn take(&mut self, len: usize) -> Vec<f32> {
+        self.takes += 1;
+        self.high_water_len = self.high_water_len.max(len);
         match self.free.pop() {
             Some(mut buf) => {
+                if buf.capacity() < len {
+                    self.note_fresh_alloc();
+                }
                 buf.clear();
                 buf.resize(len, 0.0);
                 buf
             }
-            None => vec![0.0; len],
+            None => {
+                self.note_fresh_alloc();
+                vec![0.0; len]
+            }
         }
     }
 
@@ -66,6 +98,21 @@ impl InferArena {
         if self.free.len() < MAX_POOLED {
             self.free.push(buf);
         }
+    }
+
+    /// Current allocation statistics.
+    pub fn stats(&self) -> ArenaStats {
+        ArenaStats {
+            takes: self.takes,
+            fresh_allocs: self.fresh_allocs,
+            high_water_len: self.high_water_len,
+            pooled: self.free.len(),
+        }
+    }
+
+    fn note_fresh_alloc(&mut self) {
+        self.fresh_allocs += 1;
+        telemetry::count("infer.arena.alloc", 1);
     }
 }
 

@@ -3,6 +3,7 @@
 //! layer).
 
 use crate::graph::{Graph, Var};
+use crate::infer::quant::{self, QuantizedMatrix};
 use crate::infer::{self, InferArena};
 use crate::init;
 use crate::params::{ParamId, ParamStore};
@@ -102,6 +103,21 @@ impl Conv1d {
         n: usize,
         arena: &mut InferArena,
     ) -> Vec<f32> {
+        self.infer_seq_with(store, xs, n, arena, None)
+    }
+
+    /// [`Conv1d::infer_seq`] with an optional int8 weight snapshot: when
+    /// given, each window's affine map runs through the i8 kernel (bias
+    /// and ReLU stay f32). The snapshot must come from this layer's
+    /// current kernel tensor ([`Conv1d::quantize_weights`]).
+    pub fn infer_seq_with(
+        &self,
+        store: &ParamStore,
+        xs: &[f32],
+        n: usize,
+        arena: &mut InferArena,
+        qw: Option<&QuantizedMatrix>,
+    ) -> Vec<f32> {
         assert!(n > 0, "Conv1d sequence must be non-empty");
         assert_eq!(xs.len(), n * self.in_dim, "Conv1d input length mismatch");
         let _k = telemetry::kernel_span("nn.conv1d_seq");
@@ -122,13 +138,27 @@ impl Conv1d {
                 }
             }
             let row = &mut out[t * self.out_dim..(t + 1) * self.out_dim];
-            infer::matmul_into(&flat, 1, self.width * self.in_dim, w, self.out_dim, row);
+            match qw {
+                Some(qw) => quant::matmul_q8_into(&flat, 1, self.width * self.in_dim, qw, row),
+                None => {
+                    infer::matmul_into(&flat, 1, self.width * self.in_dim, w, self.out_dim, row)
+                }
+            }
             for (o, &bias) in row.iter_mut().zip(b.iter()) {
                 *o = (*o + bias).max(0.0);
             }
         }
         arena.give(flat);
         out
+    }
+
+    /// Snapshots the kernel matrix to int8 (the bias stays f32).
+    pub fn quantize_weights(&self, store: &ParamStore) -> QuantizedMatrix {
+        QuantizedMatrix::quantize(
+            store.value(self.w).data(),
+            self.width * self.in_dim,
+            self.out_dim,
+        )
     }
 }
 

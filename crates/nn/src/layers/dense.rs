@@ -2,6 +2,7 @@
 
 use super::param_shape;
 use crate::graph::{Graph, Var};
+use crate::infer::quant::{self, QuantizedMatrix};
 use crate::infer::{self, InferArena};
 use crate::init;
 use crate::params::{ParamId, ParamStore};
@@ -101,11 +102,31 @@ impl Dense {
         rows: usize,
         arena: &mut InferArena,
     ) -> Vec<f32> {
+        self.infer_with(store, x, rows, arena, None)
+    }
+
+    /// [`Dense::infer`] with an optional int8 weight snapshot: when `qw`
+    /// is given the affine map runs through the i8 kernel (the bias and
+    /// the activation stay f32). `qw` must have been quantized from this
+    /// layer's current weight tensor.
+    pub fn infer_with(
+        &self,
+        store: &ParamStore,
+        x: &[f32],
+        rows: usize,
+        arena: &mut InferArena,
+        qw: Option<&QuantizedMatrix>,
+    ) -> Vec<f32> {
         assert_eq!(x.len(), rows * self.in_dim, "dense layer input width mismatch");
-        let w = store.value(self.w).data();
         let b = store.value(self.b).data();
         let mut out = arena.take(rows * self.out_dim);
-        infer::matmul_into(x, rows, self.in_dim, w, self.out_dim, &mut out);
+        match qw {
+            Some(qw) => quant::matmul_q8_into(x, rows, self.in_dim, qw, &mut out),
+            None => {
+                let w = store.value(self.w).data();
+                infer::matmul_into(x, rows, self.in_dim, w, self.out_dim, &mut out);
+            }
+        }
         for r in 0..rows {
             let row = &mut out[r * self.out_dim..(r + 1) * self.out_dim];
             for (o, &bias) in row.iter_mut().zip(b.iter()) {
@@ -114,6 +135,11 @@ impl Dense {
         }
         infer::activate(&mut out, self.activation);
         out
+    }
+
+    /// Snapshots the weight matrix to int8 (the bias stays f32).
+    pub fn quantize_weights(&self, store: &ParamStore) -> QuantizedMatrix {
+        QuantizedMatrix::quantize(store.value(self.w).data(), self.in_dim, self.out_dim)
     }
 }
 

@@ -5,6 +5,7 @@
 //! with `c' = f ⊙ c + i ⊙ g` and `h' = o ⊙ tanh(c')`.
 
 use crate::graph::{Graph, Var};
+use crate::infer::quant::{self, QuantizedMatrix};
 use crate::infer::{self, InferArena};
 use crate::init;
 use crate::params::{ParamId, ParamStore};
@@ -112,6 +113,22 @@ impl LstmCell {
         n: usize,
         arena: &mut InferArena,
     ) -> Vec<f32> {
+        self.infer_seq_with(store, xs, n, arena, None)
+    }
+
+    /// [`LstmCell::infer_seq`] with an optional int8 snapshot of
+    /// `(Wx, Wh)`: when given, both gate matmuls run through the i8
+    /// kernel (the bias and the recurrent state stay f32). The snapshot
+    /// must come from this cell's current weight tensors
+    /// ([`LstmCell::quantize_weights`]).
+    pub fn infer_seq_with(
+        &self,
+        store: &ParamStore,
+        xs: &[f32],
+        n: usize,
+        arena: &mut InferArena,
+        qw: Option<(&QuantizedMatrix, &QuantizedMatrix)>,
+    ) -> Vec<f32> {
         assert!(n > 0, "LSTM sequence must be non-empty");
         assert_eq!(xs.len(), n * self.in_dim, "LSTM input length mismatch");
         let _k = telemetry::kernel_span("nn.lstm_seq");
@@ -129,8 +146,16 @@ impl LstmCell {
         let mut out = arena.take(n * hidden);
         for t in 0..n {
             let x_t = &xs[t * self.in_dim..(t + 1) * self.in_dim];
-            infer::matmul_into(x_t, 1, self.in_dim, wx, gates, &mut xz);
-            infer::matmul_into(&h, 1, hidden, wh, gates, &mut hz);
+            match qw {
+                Some((qwx, qwh)) => {
+                    quant::matmul_q8_into(x_t, 1, self.in_dim, qwx, &mut xz);
+                    quant::matmul_q8_into(&h, 1, hidden, qwh, &mut hz);
+                }
+                None => {
+                    infer::matmul_into(x_t, 1, self.in_dim, wx, gates, &mut xz);
+                    infer::matmul_into(&h, 1, hidden, wh, gates, &mut hz);
+                }
+            }
             // z = (x@Wx + h@Wh) + b, associated exactly like the tape.
             for j in 0..gates {
                 xz[j] = (xz[j] + hz[j]) + b[j];
@@ -157,6 +182,15 @@ impl LstmCell {
         arena.give(hz);
         arena.give(ct);
         out
+    }
+
+    /// Snapshots `(Wx, Wh)` to int8 (the bias stays f32).
+    pub fn quantize_weights(&self, store: &ParamStore) -> (QuantizedMatrix, QuantizedMatrix) {
+        let gates = 4 * self.hidden;
+        (
+            QuantizedMatrix::quantize(store.value(self.wx).data(), self.in_dim, gates),
+            QuantizedMatrix::quantize(store.value(self.wh).data(), self.hidden, gates),
+        )
     }
 }
 

@@ -43,6 +43,7 @@ pub mod params;
 pub mod tensor;
 
 pub use graph::{Gradients, Graph, Var};
-pub use infer::InferArena;
+pub use infer::quant::QuantizedMatrix;
+pub use infer::{ArenaStats, InferArena};
 pub use params::{ParamId, ParamStore};
 pub use tensor::Tensor;

@@ -89,6 +89,8 @@ pub const SPAN_NAMES: &[&str] = &[
     "infer.node_attention",
     "infer.resource_keys",
     "infer.head",
+    // Kernel spans: quantized tier.
+    "infer.quant.matmul",
 ];
 
 /// Registered counter names (`telemetry::count`). The `serving.*`
@@ -99,6 +101,10 @@ pub const COUNTER_NAMES: &[&str] = &[
     "infer.predict.single",
     "infer.plan_context.build",
     "infer.predict.with_context",
+    "infer.predict.packed",
+    "infer.quant.build",
+    "infer.quant.predict",
+    "infer.arena.alloc",
     "serving.predict",
     "serving.predict.model",
     "serving.fallback.checkpoint",
@@ -109,7 +115,7 @@ pub const COUNTER_NAMES: &[&str] = &[
 ];
 
 /// Registered histogram names (`telemetry::observe`).
-pub const HISTOGRAM_NAMES: &[&str] = &["train.batch_ns"];
+pub const HISTOGRAM_NAMES: &[&str] = &["train.batch_ns", "infer.predict_ns"];
 
 /// Registered point-event names (`telemetry::event`): the trainer's
 /// per-epoch record plus the Spark-style listener events from

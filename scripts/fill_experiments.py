@@ -23,7 +23,7 @@ TABLES = [
     (
         "Table IX addendum — inference engine (tape vs fast path vs PlanContext)",
         "tab9_engine_breakdown.tsv",
-        6,
+        8,
     ),
     ("Extension — cold start", "ext_coldstart.tsv", 5),
     ("Extension — simulator ablation", "ext_sim_ablation.tsv", 7),
