@@ -1,0 +1,265 @@
+//! Concurrency correctness tooling: the lock-acquisition-order graph
+//! behind `raal-lint`'s `lock-order` rule, and a front door to the
+//! workspace's schedule-exploring model checker.
+//!
+//! ## Static side: lock-order graphs
+//!
+//! A deadlock needs a cycle: thread 1 holds A and wants B while thread 2
+//! holds B and wants A. The classic prevention is a global acquisition
+//! order, and the classic *check* is a graph: every function contributes
+//! an edge `X → Y` for each lock Y it (potentially) acquires while X is
+//! (potentially) held; any cycle in the workspace-wide graph is a
+//! potential inversion. [`LockOrderGraph`] is that graph. The linter
+//! feeds it lexically extracted per-function acquisition sequences
+//! (`crate::lint`, which owns the source scanning) and turns each
+//! reported [`Cycle`] into a finding.
+//!
+//! The analysis is deliberately over-approximate: it does not track
+//! guard drops, so `lock(A); drop(a); lock(B)` still contributes
+//! `A → B`. That errs on the side of flagging — a shrink-only allowlist
+//! entry is the escape hatch for a false positive, and the model checker
+//! is the oracle for whether a flagged order can actually deadlock.
+//!
+//! ## Dynamic side: the model checker
+//!
+//! The deterministic schedule explorer lives in [`raal_sync::model`]
+//! (it must sit below every crate that uses the sync shim); this module
+//! re-exports it so analysis consumers have one import path for both
+//! halves:
+//!
+//! ```
+//! use analysis::conc::{explore, McConfig};
+//!
+//! explore("counter-handoff", McConfig::default(), || {
+//!     // concurrent scenario built on raal_sync primitives
+//! });
+//! ```
+
+use std::collections::{BTreeMap, BTreeSet};
+
+pub use raal_sync::model::{
+    check, explore, replay, Config as McConfig, Failure as McFailure, FailureKind as McFailureKind,
+    Report as McReport,
+};
+
+/// Where one lock-order edge was observed: the function whose body
+/// acquires the two locks, and the site of the *second* acquisition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Witness {
+    /// Workspace-relative path of the file.
+    pub path: String,
+    /// 1-based line of the later acquisition.
+    pub line: usize,
+    /// Name of the function containing the sequence.
+    pub function: String,
+}
+
+/// One potential lock-order inversion: a cycle in the acquisition-order
+/// graph, with one witness edge per step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cycle {
+    /// The lock keys around the cycle, starting from the
+    /// lexicographically smallest (for deterministic reporting);
+    /// `nodes[i]` is acquired while `nodes[i-1]` is held, wrapping.
+    pub nodes: Vec<String>,
+    /// `witnesses[i]` observed the edge `nodes[i] → nodes[(i+1) % n]`.
+    pub witnesses: Vec<Witness>,
+}
+
+impl Cycle {
+    /// Renders `a → b → a` for messages.
+    pub fn describe(&self) -> String {
+        let mut s = self.nodes.join(" → ");
+        if let Some(first) = self.nodes.first() {
+            s.push_str(" → ");
+            s.push_str(first);
+        }
+        s
+    }
+}
+
+/// The workspace-wide lock-acquisition-order graph. Nodes are lock
+/// keys (the linter uses `crate::receiver-expression`); a directed edge
+/// `A → B` records that some function acquires B while A may be held.
+#[derive(Debug, Default)]
+pub struct LockOrderGraph {
+    /// Edge → the first witness that contributed it (one is enough for
+    /// a report; determinism comes from insertion checks, not counts).
+    edges: BTreeMap<(String, String), Witness>,
+}
+
+impl LockOrderGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one function's acquisition sequence: `sites` are the lock
+    /// keys in source order, each with the 1-based line of its
+    /// acquisition. Every ordered pair of *distinct* keys contributes an
+    /// edge (over-approximating guard lifetimes); repeat acquisitions of
+    /// the same key add nothing.
+    pub fn add_sequence(&mut self, function: &str, path: &str, sites: &[(String, usize)]) {
+        for (i, (held, _)) in sites.iter().enumerate() {
+            for (later, line) in sites.iter().skip(i + 1) {
+                if held == later {
+                    continue;
+                }
+                self.edges
+                    .entry((held.clone(), later.clone()))
+                    .or_insert_with(|| Witness {
+                        path: path.to_string(),
+                        line: *line,
+                        function: function.to_string(),
+                    });
+            }
+        }
+    }
+
+    /// Number of distinct edges (for reporting / tests).
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Every elementary cycle reachable in the graph, deduplicated by
+    /// node set and reported deterministically (nodes rotated so the
+    /// smallest key leads, cycles sorted by their node lists). For the
+    /// sizes a lint pass produces (tens of nodes) the DFS is plenty.
+    pub fn cycles(&self) -> Vec<Cycle> {
+        let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+        for (from, to) in self.edges.keys() {
+            adj.entry(from).or_default().push(to);
+        }
+        for nexts in adj.values_mut() {
+            nexts.sort_unstable();
+        }
+
+        let mut found: BTreeMap<BTreeSet<String>, Cycle> = BTreeMap::new();
+        let nodes: Vec<&str> = adj.keys().copied().collect();
+        for &start in &nodes {
+            // DFS from each node; a path returning to `start` is a cycle.
+            let mut stack: Vec<(&str, usize)> = vec![(start, 0)];
+            let mut path: Vec<&str> = vec![start];
+            let mut on_path: BTreeSet<&str> = [start].into();
+            while let Some((node, next_idx)) = stack.last_mut() {
+                let nexts = adj.get(*node).map(Vec::as_slice).unwrap_or(&[]);
+                if *next_idx >= nexts.len() {
+                    on_path.remove(*node);
+                    path.pop();
+                    stack.pop();
+                    continue;
+                }
+                let next = nexts[*next_idx];
+                *next_idx += 1;
+                if next == start {
+                    self.record_cycle(&path, &mut found);
+                } else if !on_path.contains(next) && next > start {
+                    // Only extend through nodes larger than `start`: each
+                    // cycle is then discovered exactly once, from its
+                    // smallest node.
+                    stack.push((next, 0));
+                    path.push(next);
+                    on_path.insert(next);
+                }
+            }
+        }
+        found.into_values().collect()
+    }
+
+    fn record_cycle(&self, path: &[&str], found: &mut BTreeMap<BTreeSet<String>, Cycle>) {
+        let key: BTreeSet<String> = path.iter().map(|s| s.to_string()).collect();
+        if found.contains_key(&key) {
+            return;
+        }
+        let nodes: Vec<String> = path.iter().map(|s| s.to_string()).collect();
+        let n = nodes.len();
+        let witnesses: Vec<Witness> = (0..n)
+            .map(|i| {
+                let edge = (nodes[i].clone(), nodes[(i + 1) % n].clone());
+                self.edges.get(&edge).cloned().unwrap_or_else(|| Witness {
+                    path: String::new(),
+                    line: 0,
+                    function: String::new(),
+                })
+            })
+            .collect();
+        found.insert(key, Cycle { nodes, witnesses });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(g: &mut LockOrderGraph, f: &str, locks: &[&str]) {
+        let sites: Vec<(String, usize)> = locks
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (l.to_string(), i + 1))
+            .collect();
+        g.add_sequence(f, "crates/x/src/lib.rs", &sites);
+    }
+
+    #[test]
+    fn consistent_order_has_no_cycles() {
+        let mut g = LockOrderGraph::new();
+        seq(&mut g, "f", &["a", "b"]);
+        seq(&mut g, "g", &["a", "b", "c"]);
+        seq(&mut g, "h", &["b", "c"]);
+        assert!(g.cycles().is_empty());
+    }
+
+    #[test]
+    fn two_lock_inversion_is_one_cycle() {
+        let mut g = LockOrderGraph::new();
+        seq(&mut g, "f", &["a", "b"]);
+        seq(&mut g, "g", &["b", "a"]);
+        let cycles = g.cycles();
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(cycles[0].nodes, vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(cycles[0].describe(), "a → b → a");
+        assert_eq!(cycles[0].witnesses.len(), 2);
+        assert_eq!(cycles[0].witnesses[0].function, "f");
+        assert_eq!(cycles[0].witnesses[1].function, "g");
+    }
+
+    #[test]
+    fn three_way_rotation_is_detected_once() {
+        let mut g = LockOrderGraph::new();
+        seq(&mut g, "f", &["a", "b"]);
+        seq(&mut g, "g", &["b", "c"]);
+        seq(&mut g, "h", &["c", "a"]);
+        let cycles = g.cycles();
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(cycles[0].nodes.len(), 3);
+        assert_eq!(cycles[0].nodes[0], "a");
+    }
+
+    #[test]
+    fn non_adjacent_acquisitions_still_form_edges() {
+        // f holds a (maybe) while taking c: lock(a); lock(b); lock(c).
+        let mut g = LockOrderGraph::new();
+        seq(&mut g, "f", &["a", "b", "c"]);
+        seq(&mut g, "g", &["c", "a"]);
+        let cycles = g.cycles();
+        // Both a→c→a (from the non-adjacent pair) and a→b→c→a exist.
+        assert!(cycles.iter().any(|c| c.nodes == ["a", "c"]), "{cycles:?}");
+        assert!(cycles.iter().any(|c| c.nodes == ["a", "b", "c"]), "{cycles:?}");
+    }
+
+    #[test]
+    fn repeat_acquisitions_of_one_lock_are_not_self_edges() {
+        let mut g = LockOrderGraph::new();
+        seq(&mut g, "f", &["a", "a", "a"]);
+        assert_eq!(g.edge_count(), 0);
+        assert!(g.cycles().is_empty());
+    }
+
+    #[test]
+    fn checker_reexport_is_callable() {
+        // The conc front door drives the same explorer raal_sync exposes.
+        let report = check(McConfig::default(), || {}).expect("empty scenario passes");
+        assert_eq!(report.schedules, 1);
+        assert!(report.complete);
+    }
+}

@@ -19,14 +19,20 @@
 //! * [`lint`] — the `raal-lint` source scanner enforcing repo-wide
 //!   rules the compiler cannot: `// SAFETY:` comments on `unsafe`,
 //!   no `Instant::now` outside telemetry, no `unwrap()`/`expect()` in
-//!   serving-path library code, and telemetry names drawn from the
-//!   [`telemetry::schema`] registry — with an allowlist ratchet for
-//!   grandfathered sites.
+//!   serving-path library code, telemetry names drawn from the
+//!   [`telemetry::schema`] registry, lock-acquisition-order consistency
+//!   across the workspace, and `// ORDERING:` justifications on relaxed
+//!   atomics — with an allowlist ratchet for grandfathered sites.
+//! * [`conc`] — concurrency correctness: the [`conc::LockOrderGraph`]
+//!   behind the lock-order lint rule, plus a re-export of the
+//!   `raal_sync` deterministic schedule explorer ([`conc::check`] /
+//!   [`conc::explore`]) used by the workspace's model-check tests.
 //!
 //! Run the linter with `cargo run -p analysis --bin raal-lint`.
 
 #![deny(missing_docs)]
 
+pub mod conc;
 pub mod dag;
 pub mod lint;
 pub mod shape;

@@ -151,6 +151,8 @@ pub struct CostModel {
 static MODEL_IDENTITY: AtomicU64 = AtomicU64::new(1);
 
 fn next_model_identity() -> u64 {
+    // ORDERING: Relaxed — a unique-id counter needs only atomicity of
+    // the increment; nothing else is published through this operation.
     MODEL_IDENTITY.fetch_add(1, Ordering::Relaxed)
 }
 
@@ -436,26 +438,26 @@ impl CostModel {
         assert!(n > 0, "cannot cost an empty plan");
         let x = g.input(node_matrix(plan));
 
-        // Plan feature layer.
-        let h = match self.cfg.plan_layer {
-            PlanLayerKind::Lstm => self
-                .lstm
-                .as_ref()
-                .expect("lstm exists for Lstm kind")
-                .forward_seq(g, &self.store, x),
-            PlanLayerKind::Cnn => {
-                self.cnn
-                    .as_ref()
-                    .expect("cnn exists for Cnn kind")
-                    .forward_seq(g, &self.store, x)
-            }
+        // Plan feature layer. The constructor builds exactly the layer
+        // matching `cfg.plan_layer` and `validate_shapes` re-checks the
+        // pairing on load, so the mismatched arms cannot be reached
+        // through any public path.
+        let h = match (self.cfg.plan_layer, &self.lstm, &self.cnn) {
+            (PlanLayerKind::Lstm, Some(lstm), _) => lstm.forward_seq(g, &self.store, x),
+            (PlanLayerKind::Cnn, _, Some(cnn)) => cnn.forward_seq(g, &self.store, x),
+            (kind, _, _) => unreachable!("no layer weights for plan_layer {kind:?}"),
         };
 
         // Node-aware attention (Eq. 8–9): each node attends over its
         // children; the plan representation pools the enriched rows.
-        let p = if self.cfg.node_attention {
-            let wq = g.param(&self.store, self.wq.expect("node attention enabled"));
-            let wk = g.param(&self.store, self.wk.expect("node attention enabled"));
+        // Missing attention weights with the flag set cannot happen via
+        // the constructor; if a hand-edited checkpoint produces it, mean
+        // pooling (the attention-off path) is the graceful answer.
+        let p = if let (true, Some((wq_id, wk_id))) =
+            (self.cfg.node_attention, self.wq.zip(self.wk))
+        {
+            let wq = g.param(&self.store, wq_id);
+            let wk = g.param(&self.store, wk_id);
             let q_all = g.matmul(h, wq);
             let k_all = g.matmul(h, wk);
             let mut reps = Vec::with_capacity(n);
@@ -483,11 +485,13 @@ impl CostModel {
         // Resource-aware attention (Eq. 10–11): the resource vector
         // queries the node hidden states.
         let stats = g.input(Tensor::row(&plan.plan_stats));
-        let features = if self.cfg.resource_attention {
+        let features = if let (true, Some((wr_id, wk_res_id))) =
+            (self.cfg.resource_attention, self.wr.zip(self.wk_res))
+        {
             assert_eq!(resources.len(), self.cfg.resource_dim, "resource vector width mismatch");
             let rvec = g.input(Tensor::row(resources));
-            let wr = g.param(&self.store, self.wr.expect("resource attention enabled"));
-            let wk_res = g.param(&self.store, self.wk_res.expect("resource attention enabled"));
+            let wr = g.param(&self.store, wr_id);
+            let wk_res = g.param(&self.store, wk_res_id);
             let q = g.matmul(rvec, wr);
             let keys = g.matmul(h, wk_res);
             let m = dot_attention(g, q, keys, h);

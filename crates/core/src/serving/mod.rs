@@ -51,15 +51,17 @@
 //! assert_eq!(pred.source, PredictionSource::Fallback(FallbackReason::Checkpoint));
 //! ```
 
+pub mod handoff;
+
 use crate::model::FrozenModel;
 use crate::persist::ModelBundle;
 use encoding::plan_encoder::EncodedPlan;
 use encoding::PlanEncoder;
+use handoff::Handoff;
+use raal_sync::mpsc::RecvTimeoutError;
 use sparksim::plan::physical::PhysicalPlan;
 use sparksim::resource::{ClusterConfig, ResourceConfig};
 use std::path::Path;
-use std::sync::mpsc;
-use std::thread::JoinHandle;
 use std::time::Duration;
 
 /// An always-available analytical estimator that backs up the deep
@@ -170,15 +172,16 @@ struct Response {
 /// The deep cost model behind deadlines, admission control and an
 /// analytical fallback. See the [module docs](self) for the contract.
 pub struct ServingModel {
-    tx: Option<mpsc::Sender<Request>>,
-    rx: mpsc::Receiver<Response>,
-    worker: Option<JoinHandle<()>>,
+    /// The inference worker behind its request/response channels; `None`
+    /// once the server is degraded (no worker was ever spawned, or it
+    /// was lost and torn down).
+    handoff: Option<Handoff<Request, Response>>,
     encoder: Option<PlanEncoder>,
     /// The frozen (`Arc`-shared, quantized-at-load) model; the worker
     /// thread holds a clone of the same handle, so both see one copy of
     /// the weights.
     model: Option<FrozenModel>,
-    fallback: Box<dyn FallbackModel>,
+    fallback: Box<dyn FallbackModel + Send>,
     cfg: ServingConfig,
     generation: u64,
     /// A request whose response we stopped waiting for is still in
@@ -192,37 +195,30 @@ impl ServingModel {
     /// ([`FrozenModel::freeze`]) and spawns the inference worker
     /// immediately; the worker shares the frozen weights by reference
     /// count, not by copy.
-    pub fn new(bundle: ModelBundle, fallback: Box<dyn FallbackModel>, cfg: ServingConfig) -> Self {
+    pub fn new(
+        bundle: ModelBundle,
+        fallback: Box<dyn FallbackModel + Send>,
+        cfg: ServingConfig,
+    ) -> Self {
         let encoder = bundle.encoder();
         let frozen = FrozenModel::freeze(bundle.model);
         let worker_model = frozen.clone();
         let quantized = cfg.quantized;
-        let (req_tx, req_rx) = mpsc::channel::<Request>();
-        let (resp_tx, resp_rx) = mpsc::channel::<Response>();
-        let worker = std::thread::spawn(move || {
-            while let Ok(req) = req_rx.recv() {
-                let items: Vec<(&EncodedPlan, &[f32])> =
-                    req.plans.iter().map(|p| (p, req.resources.as_slice())).collect();
-                // Packed scoring on the worker thread itself: the worker's
-                // arena is reused across requests, so a warmed serving
-                // loop performs no inference-scratch allocation.
-                let seconds = if quantized {
-                    worker_model.predict_packed(&items)
-                } else {
-                    worker_model.model().predict_packed(&items)
-                };
-                if resp_tx
-                    .send(Response { generation: req.generation, seconds })
-                    .is_err()
-                {
-                    break;
-                }
-            }
+        let handoff = Handoff::spawn(move |req: Request| {
+            let items: Vec<(&EncodedPlan, &[f32])> =
+                req.plans.iter().map(|p| (p, req.resources.as_slice())).collect();
+            // Packed scoring on the worker thread itself: the worker's
+            // arena is reused across requests, so a warmed serving
+            // loop performs no inference-scratch allocation.
+            let seconds = if quantized {
+                worker_model.predict_packed(&items)
+            } else {
+                worker_model.model().predict_packed(&items)
+            };
+            Response { generation: req.generation, seconds }
         });
         Self {
-            tx: Some(req_tx),
-            rx: resp_rx,
-            worker: Some(worker),
+            handoff: Some(handoff),
             encoder: Some(encoder),
             model: Some(frozen),
             fallback,
@@ -239,7 +235,7 @@ impl ServingModel {
     /// error or panic.
     pub fn from_checkpoint(
         path: &Path,
-        fallback: Box<dyn FallbackModel>,
+        fallback: Box<dyn FallbackModel + Send>,
         cfg: ServingConfig,
     ) -> Self {
         match ModelBundle::load(path) {
@@ -251,15 +247,12 @@ impl ServingModel {
     /// A server with no deep model at all — every predict is answered by
     /// the fallback with the given sticky reason.
     pub fn degraded(
-        fallback: Box<dyn FallbackModel>,
+        fallback: Box<dyn FallbackModel + Send>,
         cfg: ServingConfig,
         reason: FallbackReason,
     ) -> Self {
-        let (_, rx) = mpsc::channel::<Response>();
         Self {
-            tx: None,
-            rx,
-            worker: None,
+            handoff: None,
             encoder: None,
             model: None,
             fallback,
@@ -340,8 +333,10 @@ impl ServingModel {
         }
         // Drain any response from a request we previously abandoned.
         if self.pending {
-            while let Ok(_stale) = self.rx.try_recv() {
-                self.pending = false;
+            if let Some(handoff) = &self.handoff {
+                while handoff.try_recv().is_ok() {
+                    self.pending = false;
+                }
             }
             if self.pending {
                 return self.resolve_all(out, plans, res, FallbackReason::Busy);
@@ -356,17 +351,21 @@ impl ServingModel {
         };
         self.generation += 1;
         let generation = self.generation;
-        let sent = match &self.tx {
-            Some(tx) => tx
-                .send(Request { generation, plans: encoded, resources: features })
-                .is_ok(),
+        let sent = match &self.handoff {
+            Some(handoff) => {
+                handoff.send(Request { generation, plans: encoded, resources: features })
+            }
             None => false,
         };
         if !sent {
             return self.mark_lost(out, plans, res);
         }
         loop {
-            match self.rx.recv_timeout(self.cfg.deadline) {
+            let received = match &self.handoff {
+                Some(handoff) => handoff.recv_timeout(self.cfg.deadline),
+                None => Err(RecvTimeoutError::Disconnected),
+            };
+            match received {
                 Ok(resp) if resp.generation == generation => {
                     telemetry::count("serving.predict.model", admitted.len() as u64);
                     for (&i, &seconds) in admitted.iter().zip(resp.seconds.iter()) {
@@ -379,11 +378,11 @@ impl ServingModel {
                 // waiting (each drained stale answer frees the worker,
                 // so this loop is bounded by the generation counter).
                 Ok(_stale) => continue,
-                Err(mpsc::RecvTimeoutError::Timeout) => {
+                Err(RecvTimeoutError::Timeout) => {
                     self.pending = true;
                     return self.resolve_all(out, plans, res, FallbackReason::Deadline);
                 }
-                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                Err(RecvTimeoutError::Disconnected) => {
                     return self.mark_lost(out, plans, res);
                 }
             }
@@ -414,7 +413,9 @@ impl ServingModel {
         res: &ResourceConfig,
     ) -> Vec<ServingPrediction> {
         self.degraded = Some(FallbackReason::WorkerLost);
-        self.tx = None;
+        // Tearing down the handoff closes the request channel and joins
+        // the (dead or dying) worker thread.
+        self.handoff = None;
         self.resolve_all(out, plans, res, FallbackReason::WorkerLost)
     }
 
@@ -428,16 +429,6 @@ impl ServingModel {
         ServingPrediction {
             seconds: self.fallback.estimate_seconds(plan, res),
             source: PredictionSource::Fallback(reason),
-        }
-    }
-}
-
-impl Drop for ServingModel {
-    fn drop(&mut self) {
-        // Closing the request channel stops the worker loop.
-        self.tx = None;
-        if let Some(worker) = self.worker.take() {
-            let _ = worker.join();
         }
     }
 }

@@ -1,0 +1,136 @@
+//! Model-check suite for the serving worker handoff. Compiled only in
+//! the model-check configuration (`RUSTFLAGS="--cfg raal_model_check"`),
+//! where `raal_sync` swaps its std re-exports for schedule-explored
+//! twins: these tests run the *production* [`Handoff`] code — the same
+//! channel protocol `ServingModel::predict_many` drives — across every
+//! thread interleaving up to the preemption bound, with trivial work
+//! functions standing in for inference.
+//!
+//! A plain `cargo test` compiles this file to nothing; CI runs it in the
+//! dedicated model-check job. See DESIGN.md §14 for how to write and
+//! replay these tests.
+#![cfg(raal_model_check)]
+
+use raal::serving::handoff::Handoff;
+use raal_sync::model::{check, explore, replay, Config, FailureKind};
+use raal_sync::mpsc::RecvTimeoutError;
+use raal_sync::sync::Mutex;
+use raal_sync::thread;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn cfg() -> Config {
+    Config {
+        max_preemptions: 2,
+        max_schedules: 200_000,
+        max_steps: 10_000,
+    }
+}
+
+/// The deadline path of `predict_many`, end to end: ship a request,
+/// wait with a timeout (which the explorer treats as a nondeterministic
+/// branch — both "response arrived" and "deadline missed" schedules are
+/// covered), and on a miss drain the stale response the way the serving
+/// state machine does before its next send. No interleaving may
+/// deadlock, lose the response, or deliver a wrong value.
+#[test]
+fn worker_handoff_delivers_or_stays_in_flight() {
+    explore("serving-worker-handoff", cfg(), || {
+        let h = Handoff::spawn(|x: u32| x + 1);
+        assert!(h.send(1));
+        match h.recv_timeout(Duration::from_millis(5)) {
+            Ok(v) => assert_eq!(v, 2),
+            Err(RecvTimeoutError::Timeout) => {
+                // Deadline missed: the request is still in flight. The
+                // caller drains it opportunistically, exactly like
+                // predict_many's pending-response bookkeeping.
+                if let Ok(v) = h.try_recv() {
+                    assert_eq!(v, 2);
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                panic!("worker exited while the handoff handle was live")
+            }
+        }
+        // Dropping the handoff closes the request channel and joins the
+        // worker — in every schedule, including mid-work ones.
+    });
+}
+
+/// Tearing the handoff down while a request is mid-work must terminate:
+/// the drop path closes the request channel, the worker finishes the
+/// request it holds, fails or succeeds its last response send, and
+/// exits; join completes either way.
+#[test]
+fn drop_with_request_in_flight_never_deadlocks() {
+    explore("serving-drop-in-flight", cfg(), || {
+        let h = Handoff::spawn(|x: u32| x);
+        assert!(h.send(7));
+        drop(h);
+    });
+}
+
+/// FIFO survives deadline misses: with two requests and a worker that
+/// echoes them, the successful receives — whether from `recv_timeout`
+/// or a stale-response drain — must form a prefix-ordered subsequence
+/// of the request order. A stale response can be *delayed* past a
+/// deadline, never reordered or duplicated.
+#[test]
+fn stale_drain_preserves_response_order() {
+    explore("serving-stale-drain", cfg(), || {
+        let h = Handoff::spawn(|x: u32| x);
+        let mut seen = Vec::new();
+        assert!(h.send(1));
+        match h.recv_timeout(Duration::from_millis(5)) {
+            Ok(v) => seen.push(v),
+            Err(RecvTimeoutError::Timeout) => {
+                if let Ok(v) = h.try_recv() {
+                    seen.push(v);
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => panic!("worker died"),
+        }
+        assert!(h.send(2));
+        if let Ok(v) = h.recv_timeout(Duration::from_millis(5)) {
+            seen.push(v);
+        }
+        assert!(
+            seen.is_empty() || seen == [1] || seen == [1, 2],
+            "responses reordered or duplicated: {seen:?}"
+        );
+    });
+}
+
+/// The injected-deadlock regression: an intentionally inverted lock
+/// order MUST make the checker fail with a deadlock report, and the
+/// seed it prints MUST deterministically replay the same failure. If
+/// this test ever passes the inverted program, the model checker has
+/// lost its teeth — CI runs it to keep the gate honest (raal-lint's
+/// `lock-order` rule is the static half of the same regression).
+#[test]
+fn injected_deadlock_fails_the_checker_and_replays_by_seed() {
+    let run = || {
+        let a = Arc::new(Mutex::new(()));
+        let b = Arc::new(Mutex::new(()));
+        let (a2, b2) = (a.clone(), b.clone());
+        let t = thread::spawn(move || {
+            let _g1 = b2.lock().unwrap();
+            let _g2 = a2.lock().unwrap();
+        });
+        let _g1 = a.lock().unwrap();
+        let _g2 = b.lock().unwrap();
+        drop(_g2);
+        drop(_g1);
+        t.join().unwrap();
+    };
+    let failure = check(cfg(), run).expect_err("inverted lock order must be caught");
+    assert!(
+        matches!(failure.kind, FailureKind::Deadlock(_)),
+        "unexpected failure: {failure}"
+    );
+    assert!(failure.seed.starts_with("mc1:"), "unprintable seed: {}", failure.seed);
+
+    let replayed =
+        replay(cfg(), &failure.seed, run).expect_err("printed seed must reproduce the deadlock");
+    assert!(matches!(replayed.kind, FailureKind::Deadlock(_)), "replay diverged: {replayed}");
+}

@@ -72,7 +72,7 @@ fn tiny_bundle() -> ModelBundle {
     ModelBundle::new(model, &encoder)
 }
 
-fn gpsj_fallback() -> Box<dyn raal::serving::FallbackModel> {
+fn gpsj_fallback() -> Box<dyn raal::serving::FallbackModel + Send> {
     Box::new(|plan: &PhysicalPlan, _res: &ResourceConfig| 1.0 + plan.len() as f64)
 }
 
@@ -182,6 +182,62 @@ fn predict_many_scores_candidates_in_one_trip_with_per_plan_admission() {
         assert_eq!(single.seconds, pred.seconds);
         assert_eq!(single.source, pred.source);
     }
+}
+
+#[test]
+fn drop_with_requests_in_flight_joins_the_worker() {
+    let engine = engine();
+    let plan = some_plan(&engine);
+    let cfg = ServingConfig {
+        deadline: Duration::ZERO,
+        ..ServingConfig::default()
+    };
+    let mut serving = ServingModel::new(tiny_bundle(), gpsj_fallback(), cfg);
+    // Each zero-deadline predict abandons its request mid-inference;
+    // fire several so the worker is busy when the model is dropped.
+    for _ in 0..3 {
+        let pred = serving.predict(&plan, &resources());
+        assert!(matches!(pred.source, PredictionSource::Fallback(_)));
+    }
+    // Dropping must close the request channel and join the worker —
+    // completion of this test is the assertion (a lost-wakeup or
+    // missed close would hang here; the model-check suite proves the
+    // same property across all bounded interleavings).
+    drop(serving);
+}
+
+#[test]
+fn shutdown_from_a_scoped_thread_with_predict_traffic() {
+    let engine = engine();
+    let plan = some_plan(&engine);
+    let cfg = ServingConfig {
+        deadline: Duration::from_millis(1),
+        ..ServingConfig::default()
+    };
+    let mut serving = ServingModel::new(tiny_bundle(), gpsj_fallback(), cfg);
+    // Hammer predicts from another thread (tight deadline: a mix of
+    // model answers and in-flight misses), then drop on this one while
+    // the worker may be mid-request.
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            for _ in 0..20 {
+                let pred = serving.predict(&plan, &resources());
+                assert!(pred.seconds.is_finite());
+            }
+        });
+    });
+    drop(serving);
+}
+
+#[test]
+fn dropping_a_degraded_model_is_trivially_clean() {
+    let serving = ServingModel::from_checkpoint(
+        std::path::Path::new("/nonexistent/raal.json"),
+        gpsj_fallback(),
+        ServingConfig::default(),
+    );
+    assert!(serving.is_degraded());
+    drop(serving); // no worker to join
 }
 
 #[test]

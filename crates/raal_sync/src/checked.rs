@@ -1,0 +1,831 @@
+//! Model-check-aware synchronisation primitives.
+//!
+//! Every type here mirrors its `std::sync` counterpart's API. Outside a
+//! model run ([`model::active`] false) each operation delegates
+//! straight to std. Inside [`model::check`], every
+//! operation becomes a *switch point* where the schedule explorer may
+//! preempt the thread, and blocking is mediated by the explorer's
+//! scheduler instead of the OS — which is what lets the explorer
+//! enumerate interleavings and detect deadlocks deterministically.
+//!
+//! The workspace never names this module directly: code imports from
+//! [`crate::sync`], [`crate::mpsc`], [`crate::atomic`] and
+//! [`crate::thread`], which alias std in normal builds and these types
+//! under `cfg(raal_model_check)`.
+//!
+//! Two std facilities are deliberately *not* shimmed: `Once`/`OnceLock`
+//! (init-once values — no interesting interleavings once initialised,
+//! and the explorer's own driver relies on them being dependable) and
+//! `RwLock` (nothing in the workspace uses one yet; add it here first
+//! if that changes).
+
+use crate::model::{self, Ctx, Reason};
+use std::collections::VecDeque;
+use std::mem::ManuallyDrop;
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+use std::sync::{Arc, LockResult, PoisonError, TryLockError, TryLockResult};
+use std::time::Duration;
+
+/// Address-derived id for model bookkeeping: stable for the object's
+/// lifetime, which is all the per-schedule maps need.
+fn addr_id<T: ?Sized>(p: *const T) -> u64 {
+    p as *const () as usize as u64
+}
+
+// ------------------------------------------------------------------ sync
+
+/// Model-check-aware `std::sync::Mutex`.
+pub mod sync {
+    use super::*;
+
+    /// A mutual-exclusion lock; API-compatible with [`std::sync::Mutex`].
+    /// Under a model run, acquisition order is decided by the schedule
+    /// explorer and contention is bookkept so deadlocks are detected.
+    pub struct Mutex<T: ?Sized> {
+        inner: std::sync::Mutex<T>,
+    }
+
+    impl<T> Mutex<T> {
+        /// Creates the lock (usable in statics, like std's).
+        pub const fn new(value: T) -> Self {
+            Self { inner: std::sync::Mutex::new(value) }
+        }
+
+        /// Consumes the lock, returning the inner value.
+        pub fn into_inner(self) -> LockResult<T> {
+            self.inner.into_inner()
+        }
+    }
+
+    impl<T: ?Sized> Mutex<T> {
+        fn id(&self) -> u64 {
+            addr_id(&self.inner)
+        }
+
+        /// Takes the underlying std guard once model bookkeeping has
+        /// granted exclusivity (so it cannot block among model threads).
+        fn grab_std_guard(&self) -> std::sync::MutexGuard<'_, T> {
+            match self.inner.try_lock() {
+                Ok(g) => g,
+                Err(TryLockError::Poisoned(p)) => p.into_inner(),
+                // A non-model thread holds it; fall back to an OS wait.
+                Err(TryLockError::WouldBlock) => {
+                    self.inner.lock().unwrap_or_else(|e| e.into_inner())
+                }
+            }
+        }
+
+        /// Acquires the lock, blocking (schedule-wise under a model)
+        /// until it is free. Poisoning mirrors std: a panic while the
+        /// lock was held poisons it.
+        pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+            match model::ctx() {
+                Some(ctx) => {
+                    ctx.sched.switch_point(ctx.tid);
+                    let poisoned = loop {
+                        let (acquired, poisoned) = ctx.sched.try_acquire(ctx.tid, self.id());
+                        if acquired {
+                            break poisoned;
+                        }
+                        ctx.sched.block_on(ctx.tid, Reason::Lock(self.id()), false);
+                    };
+                    let guard = MutexGuard {
+                        inner: ManuallyDrop::new(self.grab_std_guard()),
+                        lock: self,
+                        model: Some(ctx),
+                    };
+                    if poisoned {
+                        Err(PoisonError::new(guard))
+                    } else {
+                        Ok(guard)
+                    }
+                }
+                None => match self.inner.lock() {
+                    Ok(g) => Ok(MutexGuard {
+                        inner: ManuallyDrop::new(g),
+                        lock: self,
+                        model: None,
+                    }),
+                    Err(p) => Err(PoisonError::new(MutexGuard {
+                        inner: ManuallyDrop::new(p.into_inner()),
+                        lock: self,
+                        model: None,
+                    })),
+                },
+            }
+        }
+
+        /// Attempts the lock without blocking.
+        pub fn try_lock(&self) -> TryLockResult<MutexGuard<'_, T>> {
+            match model::ctx() {
+                Some(ctx) => {
+                    ctx.sched.switch_point(ctx.tid);
+                    let (acquired, poisoned) = ctx.sched.try_acquire(ctx.tid, self.id());
+                    if !acquired {
+                        return Err(TryLockError::WouldBlock);
+                    }
+                    let guard = MutexGuard {
+                        inner: ManuallyDrop::new(self.grab_std_guard()),
+                        lock: self,
+                        model: Some(ctx),
+                    };
+                    if poisoned {
+                        Err(TryLockError::Poisoned(PoisonError::new(guard)))
+                    } else {
+                        Ok(guard)
+                    }
+                }
+                None => match self.inner.try_lock() {
+                    Ok(g) => Ok(MutexGuard {
+                        inner: ManuallyDrop::new(g),
+                        lock: self,
+                        model: None,
+                    }),
+                    Err(TryLockError::Poisoned(p)) => {
+                        Err(TryLockError::Poisoned(PoisonError::new(MutexGuard {
+                            inner: ManuallyDrop::new(p.into_inner()),
+                            lock: self,
+                            model: None,
+                        })))
+                    }
+                    Err(TryLockError::WouldBlock) => Err(TryLockError::WouldBlock),
+                },
+            }
+        }
+
+        /// Mutable access without locking (exclusive borrow proves
+        /// no contention).
+        pub fn get_mut(&mut self) -> LockResult<&mut T> {
+            self.inner.get_mut()
+        }
+    }
+
+    impl<T: Default> Default for Mutex<T> {
+        fn default() -> Self {
+            Self::new(T::default())
+        }
+    }
+
+    impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            self.inner.fmt(f)
+        }
+    }
+
+    /// Guard for [`Mutex`]; releasing it (drop) wakes model threads
+    /// blocked on the lock.
+    pub struct MutexGuard<'a, T: ?Sized> {
+        inner: ManuallyDrop<std::sync::MutexGuard<'a, T>>,
+        lock: &'a Mutex<T>,
+        model: Option<Ctx>,
+    }
+
+    impl<'a, T: ?Sized> MutexGuard<'a, T> {
+        /// Dismantles the guard without running its `Drop` (the caller
+        /// takes over release bookkeeping — used by [`Condvar::wait`]).
+        fn into_parts(mut self) -> (std::sync::MutexGuard<'a, T>, &'a Mutex<T>, Option<Ctx>) {
+            // SAFETY: `self` is forgotten immediately after, so the std
+            // guard is moved out exactly once and our Drop never runs.
+            let inner = unsafe { ManuallyDrop::take(&mut self.inner) };
+            let lock = self.lock;
+            let model = self.model.take();
+            std::mem::forget(self);
+            (inner, lock, model)
+        }
+    }
+
+    impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.inner
+        }
+    }
+
+    impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.inner
+        }
+    }
+
+    impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+        fn drop(&mut self) {
+            // SAFETY: the guard is dropped exactly once here; into_parts
+            // forgets `self` so the two paths cannot both run.
+            unsafe { ManuallyDrop::drop(&mut self.inner) };
+            if let Some(ctx) = &self.model {
+                ctx.sched.release(self.lock.id(), std::thread::panicking());
+            }
+        }
+    }
+
+    /// Result of a [`Condvar::wait_timeout`]; mirrors
+    /// `std::sync::WaitTimeoutResult` (which has no public constructor,
+    /// hence this twin).
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct WaitTimeoutResult(pub(super) bool);
+
+    impl WaitTimeoutResult {
+        /// True when the wait ended by timeout rather than notify.
+        pub fn timed_out(&self) -> bool {
+            self.0
+        }
+    }
+
+    /// Model-check-aware `std::sync::Condvar`. Notifying with no
+    /// waiters is a no-op — the lost-wakeup behaviour whose downstream
+    /// deadlock the explorer reports.
+    pub struct Condvar {
+        inner: std::sync::Condvar,
+    }
+
+    impl Condvar {
+        /// Creates the condvar (usable in statics).
+        pub const fn new() -> Self {
+            Self { inner: std::sync::Condvar::new() }
+        }
+
+        fn id(&self) -> u64 {
+            addr_id(&self.inner)
+        }
+
+        /// Releases the guard's mutex, waits for a notification, then
+        /// re-acquires. A waiter that is never notified deadlocks the
+        /// model (that is the point).
+        pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+            match guard.model.clone() {
+                Some(ctx) => {
+                    // Enqueue before releasing the mutex so a notify
+                    // between release and block cannot be lost.
+                    ctx.sched.cv_enqueue(ctx.tid, self.id());
+                    let lock = guard.lock;
+                    drop(guard);
+                    ctx.sched.block_on(ctx.tid, Reason::Condvar(self.id()), false);
+                    lock.lock()
+                }
+                None => {
+                    let (std_guard, lock, _) = guard.into_parts();
+                    match self.inner.wait(std_guard) {
+                        Ok(g) => Ok(MutexGuard { inner: ManuallyDrop::new(g), lock, model: None }),
+                        Err(p) => Err(PoisonError::new(MutexGuard {
+                            inner: ManuallyDrop::new(p.into_inner()),
+                            lock,
+                            model: None,
+                        })),
+                    }
+                }
+            }
+        }
+
+        /// [`Condvar::wait`] with a deadline. Under a model the timeout
+        /// is a nondeterministic branch: it may fire immediately (even
+        /// if a notify was coming) and it fires whenever the model would
+        /// otherwise be idle — so a timed wait never deadlocks.
+        pub fn wait_timeout<'a, T>(
+            &self,
+            guard: MutexGuard<'a, T>,
+            dur: Duration,
+        ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+            match guard.model.clone() {
+                Some(ctx) => {
+                    let lock = guard.lock;
+                    if ctx.sched.nondet(ctx.tid, 2) == 1 {
+                        // Timeout fires before the wait even starts.
+                        drop(guard);
+                        return pack(lock.lock(), WaitTimeoutResult(true));
+                    }
+                    ctx.sched.cv_enqueue(ctx.tid, self.id());
+                    drop(guard);
+                    let timed_out = ctx.sched.block_on(ctx.tid, Reason::Condvar(self.id()), true);
+                    if timed_out {
+                        // The notify may have raced the timeout; if we
+                        // are no longer queued it claimed us first.
+                        ctx.sched.cv_dequeue(ctx.tid, self.id());
+                    }
+                    pack(lock.lock(), WaitTimeoutResult(timed_out))
+                }
+                None => {
+                    let (std_guard, lock, _) = guard.into_parts();
+                    match self.inner.wait_timeout(std_guard, dur) {
+                        Ok((g, t)) => Ok((
+                            MutexGuard { inner: ManuallyDrop::new(g), lock, model: None },
+                            WaitTimeoutResult(t.timed_out()),
+                        )),
+                        Err(p) => {
+                            let (g, t) = p.into_inner();
+                            Err(PoisonError::new((
+                                MutexGuard { inner: ManuallyDrop::new(g), lock, model: None },
+                                WaitTimeoutResult(t.timed_out()),
+                            )))
+                        }
+                    }
+                }
+            }
+        }
+
+        /// Wakes one waiter (FIFO under a model).
+        pub fn notify_one(&self) {
+            match model::ctx() {
+                Some(ctx) => {
+                    ctx.sched.switch_point(ctx.tid);
+                    ctx.sched.cv_notify(self.id(), 1);
+                }
+                None => self.inner.notify_one(),
+            }
+        }
+
+        /// Wakes every waiter.
+        pub fn notify_all(&self) {
+            match model::ctx() {
+                Some(ctx) => {
+                    ctx.sched.switch_point(ctx.tid);
+                    ctx.sched.cv_notify(self.id(), usize::MAX);
+                }
+                None => self.inner.notify_all(),
+            }
+        }
+    }
+
+    impl Default for Condvar {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    fn pack<'a, T>(
+        lr: LockResult<MutexGuard<'a, T>>,
+        t: WaitTimeoutResult,
+    ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+        match lr {
+            Ok(g) => Ok((g, t)),
+            Err(p) => Err(PoisonError::new((p.into_inner(), t))),
+        }
+    }
+}
+
+// ------------------------------------------------------------------ mpsc
+
+/// Model-check-aware `std::sync::mpsc` (unbounded channels only, which
+/// is all the workspace uses). Error types are std's own, so calling
+/// code matches on the same enums either way.
+pub mod mpsc {
+    use super::*;
+    use crate::model::Sched;
+
+    struct Chan<T> {
+        q: std::sync::Mutex<VecDeque<T>>,
+        senders: std::sync::atomic::AtomicUsize,
+        recv_alive: std::sync::atomic::AtomicBool,
+        /// The scheduler of the model the channel was created in; wakes
+        /// must reach it even from threads outside the model.
+        sched: Arc<Sched>,
+    }
+
+    impl<T> Chan<T> {
+        fn id(&self) -> u64 {
+            addr_id(self)
+        }
+    }
+
+    enum SenderInner<T> {
+        Std(std::sync::mpsc::Sender<T>),
+        Model(Arc<Chan<T>>),
+    }
+
+    enum ReceiverInner<T> {
+        Std(std::sync::mpsc::Receiver<T>),
+        Model(Arc<Chan<T>>),
+    }
+
+    /// Sending half; clonable like std's.
+    pub struct Sender<T> {
+        inner: SenderInner<T>,
+    }
+
+    /// Receiving half.
+    pub struct Receiver<T> {
+        inner: ReceiverInner<T>,
+    }
+
+    /// Creates a channel: std's outside a model, an explorer-mediated
+    /// queue inside one.
+    pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+        match model::ctx() {
+            Some(ctx) => {
+                let chan = Arc::new(Chan {
+                    q: std::sync::Mutex::new(VecDeque::new()),
+                    senders: std::sync::atomic::AtomicUsize::new(1),
+                    recv_alive: std::sync::atomic::AtomicBool::new(true),
+                    sched: ctx.sched,
+                });
+                (
+                    Sender { inner: SenderInner::Model(chan.clone()) },
+                    Receiver { inner: ReceiverInner::Model(chan) },
+                )
+            }
+            None => {
+                let (tx, rx) = std::sync::mpsc::channel();
+                (
+                    Sender { inner: SenderInner::Std(tx) },
+                    Receiver { inner: ReceiverInner::Std(rx) },
+                )
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a value; errs (returning it) once the receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            match &self.inner {
+                SenderInner::Std(tx) => tx.send(value),
+                SenderInner::Model(chan) => {
+                    if let Some(ctx) = model::ctx() {
+                        ctx.sched.switch_point(ctx.tid);
+                    }
+                    if !chan.recv_alive.load(Ordering::SeqCst) {
+                        return Err(SendError(value));
+                    }
+                    chan.q.lock().unwrap_or_else(|e| e.into_inner()).push_back(value);
+                    let id = chan.id();
+                    chan.sched.wake(move |r| r == Reason::Recv(id));
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            match &self.inner {
+                SenderInner::Std(tx) => Sender { inner: SenderInner::Std(tx.clone()) },
+                SenderInner::Model(chan) => {
+                    chan.senders.fetch_add(1, Ordering::SeqCst);
+                    Sender { inner: SenderInner::Model(chan.clone()) }
+                }
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if let SenderInner::Model(chan) = &self.inner {
+                if chan.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+                    // Last sender gone: blocked receivers must observe
+                    // the disconnect.
+                    let id = chan.id();
+                    chan.sched.wake(move |r| r == Reason::Recv(id));
+                }
+            }
+        }
+    }
+
+    /// The model context, which receive paths require (a model-created
+    /// channel cannot block a non-model thread).
+    fn recv_ctx() -> Ctx {
+        match model::ctx() {
+            Some(ctx) => ctx,
+            None => panic!("model-channel receive from outside the model run"),
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a value or disconnection.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            match &self.inner {
+                ReceiverInner::Std(rx) => rx.recv(),
+                ReceiverInner::Model(chan) => {
+                    let ctx = recv_ctx();
+                    ctx.sched.switch_point(ctx.tid);
+                    loop {
+                        if let Some(v) =
+                            chan.q.lock().unwrap_or_else(|e| e.into_inner()).pop_front()
+                        {
+                            return Ok(v);
+                        }
+                        if chan.senders.load(Ordering::SeqCst) == 0 {
+                            return Err(RecvError);
+                        }
+                        ctx.sched.block_on(ctx.tid, Reason::Recv(chan.id()), false);
+                    }
+                }
+            }
+        }
+
+        /// Blocks with a deadline. Under a model the timeout is a
+        /// nondeterministic branch (fires now / keeps waiting) and also
+        /// fires whenever the model would otherwise be idle — timed
+        /// receives never deadlock, matching reality.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            match &self.inner {
+                ReceiverInner::Std(rx) => rx.recv_timeout(timeout),
+                ReceiverInner::Model(chan) => {
+                    let ctx = recv_ctx();
+                    ctx.sched.switch_point(ctx.tid);
+                    loop {
+                        if let Some(v) =
+                            chan.q.lock().unwrap_or_else(|e| e.into_inner()).pop_front()
+                        {
+                            return Ok(v);
+                        }
+                        if chan.senders.load(Ordering::SeqCst) == 0 {
+                            return Err(RecvTimeoutError::Disconnected);
+                        }
+                        if ctx.sched.nondet(ctx.tid, 2) == 1 {
+                            return Err(RecvTimeoutError::Timeout);
+                        }
+                        if ctx.sched.block_on(ctx.tid, Reason::Recv(chan.id()), true) {
+                            return Err(RecvTimeoutError::Timeout);
+                        }
+                    }
+                }
+            }
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            match &self.inner {
+                ReceiverInner::Std(rx) => rx.try_recv(),
+                ReceiverInner::Model(chan) => {
+                    if let Some(ctx) = model::ctx() {
+                        ctx.sched.switch_point(ctx.tid);
+                    }
+                    if let Some(v) = chan.q.lock().unwrap_or_else(|e| e.into_inner()).pop_front() {
+                        return Ok(v);
+                    }
+                    if chan.senders.load(Ordering::SeqCst) == 0 {
+                        Err(TryRecvError::Disconnected)
+                    } else {
+                        Err(TryRecvError::Empty)
+                    }
+                }
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            if let ReceiverInner::Model(chan) = &self.inner {
+                chan.recv_alive.store(false, Ordering::SeqCst);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- atomic
+
+/// Model-check-aware atomics. Under a model every access is a switch
+/// point and executes sequentially consistent regardless of the
+/// requested ordering (see the [`model`] docs); outside a
+/// model the requested ordering is used verbatim.
+pub mod atomic {
+    use super::*;
+    pub use std::sync::atomic::Ordering;
+
+    fn touch() {
+        if let Some(ctx) = model::ctx() {
+            ctx.sched.switch_point(ctx.tid);
+        }
+    }
+
+    fn eff(order: Ordering) -> Ordering {
+        if model::active() {
+            Ordering::SeqCst
+        } else {
+            order
+        }
+    }
+
+    /// Failure ordering compatible with `compare_exchange`'s success
+    /// ordering rules (no Release/AcqRel on loads).
+    fn eff_fail(order: Ordering) -> Ordering {
+        if model::active() {
+            Ordering::SeqCst
+        } else {
+            order
+        }
+    }
+
+    macro_rules! atomic_int {
+        ($(#[$doc:meta])* $name:ident, $std:ty, $prim:ty) => {
+            $(#[$doc])*
+            #[derive(Debug, Default)]
+            pub struct $name {
+                v: $std,
+            }
+
+            impl $name {
+                /// Creates the atomic (usable in statics).
+                pub const fn new(v: $prim) -> Self {
+                    Self { v: <$std>::new(v) }
+                }
+
+                /// Atomic load (a switch point under a model).
+                pub fn load(&self, order: Ordering) -> $prim {
+                    touch();
+                    self.v.load(eff(order))
+                }
+
+                /// Atomic store (a switch point under a model).
+                pub fn store(&self, val: $prim, order: Ordering) {
+                    touch();
+                    self.v.store(val, eff(order));
+                }
+
+                /// Atomic swap.
+                pub fn swap(&self, val: $prim, order: Ordering) -> $prim {
+                    touch();
+                    self.v.swap(val, eff(order))
+                }
+
+                /// Atomic add, returning the previous value.
+                pub fn fetch_add(&self, val: $prim, order: Ordering) -> $prim {
+                    touch();
+                    self.v.fetch_add(val, eff(order))
+                }
+
+                /// Atomic subtract, returning the previous value.
+                pub fn fetch_sub(&self, val: $prim, order: Ordering) -> $prim {
+                    touch();
+                    self.v.fetch_sub(val, eff(order))
+                }
+
+                /// Atomic compare-exchange.
+                pub fn compare_exchange(
+                    &self,
+                    current: $prim,
+                    new: $prim,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$prim, $prim> {
+                    touch();
+                    self.v.compare_exchange(current, new, eff(success), eff_fail(failure))
+                }
+            }
+        };
+    }
+
+    atomic_int!(
+        /// Model-check-aware `AtomicU64`.
+        AtomicU64,
+        std::sync::atomic::AtomicU64,
+        u64
+    );
+    atomic_int!(
+        /// Model-check-aware `AtomicUsize`.
+        AtomicUsize,
+        std::sync::atomic::AtomicUsize,
+        usize
+    );
+    atomic_int!(
+        /// Model-check-aware `AtomicU32`.
+        AtomicU32,
+        std::sync::atomic::AtomicU32,
+        u32
+    );
+
+    /// Model-check-aware `AtomicBool`.
+    #[derive(Debug, Default)]
+    pub struct AtomicBool {
+        v: std::sync::atomic::AtomicBool,
+    }
+
+    impl AtomicBool {
+        /// Creates the atomic (usable in statics).
+        pub const fn new(v: bool) -> Self {
+            Self { v: std::sync::atomic::AtomicBool::new(v) }
+        }
+
+        /// Atomic load (a switch point under a model).
+        pub fn load(&self, order: Ordering) -> bool {
+            touch();
+            self.v.load(eff(order))
+        }
+
+        /// Atomic store (a switch point under a model).
+        pub fn store(&self, val: bool, order: Ordering) {
+            touch();
+            self.v.store(val, eff(order));
+        }
+
+        /// Atomic swap.
+        pub fn swap(&self, val: bool, order: Ordering) -> bool {
+            touch();
+            self.v.swap(val, eff(order))
+        }
+
+        /// Atomic compare-exchange.
+        pub fn compare_exchange(
+            &self,
+            current: bool,
+            new: bool,
+            success: Ordering,
+            failure: Ordering,
+        ) -> Result<bool, bool> {
+            touch();
+            self.v.compare_exchange(current, new, eff(success), eff_fail(failure))
+        }
+    }
+}
+
+// ---------------------------------------------------------------- thread
+
+/// Model-check-aware `std::thread` (spawn/join plus the two yield-ish
+/// free functions the workspace uses).
+pub mod thread {
+    use super::*;
+    use crate::model::Sched;
+
+    enum HandleInner<T> {
+        Std(std::thread::JoinHandle<T>),
+        Model {
+            sched: Arc<Sched>,
+            tid: usize,
+            result: Arc<std::sync::Mutex<Option<T>>>,
+            os: Option<std::thread::JoinHandle<()>>,
+        },
+    }
+
+    /// Join handle; API-compatible with [`std::thread::JoinHandle`].
+    pub struct JoinHandle<T> {
+        inner: HandleInner<T>,
+    }
+
+    /// Spawns a thread: an OS thread normally, a model thread (run only
+    /// when the explorer schedules it) inside a model run.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        match model::ctx() {
+            Some(ctx) => {
+                let tid = ctx.sched.register_thread(format!("spawned-{}", ctx.tid));
+                let result: Arc<std::sync::Mutex<Option<T>>> =
+                    Arc::new(std::sync::Mutex::new(None));
+                let (sched2, result2) = (ctx.sched.clone(), result.clone());
+                let os = std::thread::Builder::new()
+                    .name(format!("raal-mc-{tid}"))
+                    .spawn(move || {
+                        crate::model::run_model_thread(sched2, tid, move || {
+                            let v = f();
+                            *result2.lock().unwrap_or_else(|e| e.into_inner()) = Some(v);
+                        });
+                    })
+                    .unwrap_or_else(|e| panic!("model thread spawn failed: {e}"));
+                // Spawning is itself a switch point: the child may run
+                // immediately or the parent may continue.
+                ctx.sched.switch_point(ctx.tid);
+                JoinHandle {
+                    inner: HandleInner::Model { sched: ctx.sched, tid, result, os: Some(os) },
+                }
+            }
+            None => JoinHandle { inner: HandleInner::Std(std::thread::spawn(f)) },
+        }
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Waits for the thread to finish and returns its value. Model
+        /// threads cannot return a panic (any model-thread panic fails
+        /// the whole run), so the `Err` arm there is unreachable in
+        /// passing schedules.
+        pub fn join(self) -> std::thread::Result<T> {
+            match self.inner {
+                HandleInner::Std(h) => h.join(),
+                HandleInner::Model { sched, tid, result, os } => {
+                    if let Some(ctx) = model::ctx() {
+                        ctx.sched.switch_point(ctx.tid);
+                        while !sched.is_finished(tid) {
+                            ctx.sched.block_on(ctx.tid, Reason::Join(tid), false);
+                        }
+                    }
+                    if let Some(os) = os {
+                        let _ = os.join();
+                    }
+                    match result.lock().unwrap_or_else(|e| e.into_inner()).take() {
+                        Some(v) => Ok(v),
+                        None => Err(Box::new("model thread produced no value (aborted run)")
+                            as Box<dyn std::any::Any + Send>),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Yield: a plain switch point under a model.
+    pub fn yield_now() {
+        match model::ctx() {
+            Some(ctx) => ctx.sched.switch_point(ctx.tid),
+            None => std::thread::yield_now(),
+        }
+    }
+
+    /// Sleep: modelled time does not pass, so under a model this is
+    /// just a switch point (deadlines are explored via the timed-wait
+    /// branches instead).
+    pub fn sleep(dur: Duration) {
+        match model::ctx() {
+            Some(ctx) => ctx.sched.switch_point(ctx.tid),
+            None => std::thread::sleep(dur),
+        }
+    }
+}

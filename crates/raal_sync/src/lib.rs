@@ -1,0 +1,76 @@
+//! `raal_sync` — the workspace's synchronisation shim.
+//!
+//! Code that wants concurrency primitives imports them from here
+//! instead of `std::sync` / `std::thread`:
+//!
+//! ```rust
+//! use raal_sync::sync::{Mutex, Condvar};
+//! use raal_sync::mpsc;
+//! use raal_sync::atomic::{AtomicBool, Ordering};
+//! use raal_sync::thread;
+//! ```
+//!
+//! In a normal build these modules re-export std wholesale — zero cost,
+//! zero behaviour change. Compiled with `--cfg raal_model_check`
+//! (`RUSTFLAGS="--cfg raal_model_check"`), they instead export the
+//! instrumented twins in [`checked`], whose every operation reports to
+//! the deterministic schedule explorer in [`model`]. A test then wraps
+//! the concurrent scenario in [`model::explore`], which runs it once per
+//! distinct thread interleaving (bounded by context-switch count) and
+//! panics with a replayable seed on any deadlock, lost wakeup, or
+//! panic. Outside [`model::check`] the instrumented types delegate to
+//! std, so the `--cfg` build still runs ordinary tests correctly.
+//!
+//! The explorer itself ([`model`]) and the instrumented types
+//! ([`checked`]) are compiled unconditionally — their own unit tests run
+//! under plain `cargo test` — only the *aliases* below switch.
+//!
+//! See `DESIGN.md` §14 for the exploration algorithm, its bounding
+//! guarantees, and a guide to writing model-check tests.
+
+pub mod checked;
+pub mod model;
+
+/// `Mutex` / `Condvar` (std's, or the checked twins under
+/// `cfg(raal_model_check)`).
+pub mod sync {
+    #[cfg(not(raal_model_check))]
+    pub use std::sync::{Condvar, Mutex, MutexGuard, WaitTimeoutResult};
+
+    #[cfg(raal_model_check)]
+    pub use crate::checked::sync::{Condvar, Mutex, MutexGuard, WaitTimeoutResult};
+}
+
+/// Unbounded channels (std's `std::sync::mpsc`, or the checked twins).
+/// Error types are always std's, so `match` arms are identical in both
+/// builds.
+pub mod mpsc {
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+    #[cfg(not(raal_model_check))]
+    pub use std::sync::mpsc::{channel, Receiver, Sender};
+
+    #[cfg(raal_model_check)]
+    pub use crate::checked::mpsc::{channel, Receiver, Sender};
+}
+
+/// Atomics (std's, or the checked twins). `Ordering` is always std's.
+pub mod atomic {
+    pub use std::sync::atomic::Ordering;
+
+    #[cfg(not(raal_model_check))]
+    pub use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize};
+
+    #[cfg(raal_model_check)]
+    pub use crate::checked::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize};
+}
+
+/// Thread spawn/join and yields (std's, or model threads under the
+/// explorer).
+pub mod thread {
+    #[cfg(not(raal_model_check))]
+    pub use std::thread::{sleep, spawn, yield_now, JoinHandle};
+
+    #[cfg(raal_model_check)]
+    pub use crate::checked::thread::{sleep, spawn, yield_now, JoinHandle};
+}

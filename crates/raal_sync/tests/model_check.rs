@@ -1,0 +1,297 @@
+//! Semantics tests for the schedule explorer: it must *find* classic
+//! concurrency bugs (deadlock, lost wakeup, atomicity violation), must
+//! *pass* correct code, and its seeds must replay deterministically.
+//!
+//! These use `raal_sync::checked` types directly — they route through
+//! the explorer whenever a model is active, so the suite runs under
+//! plain `cargo test` with no special cfg.
+
+use raal_sync::checked::atomic::{AtomicU64, Ordering};
+use raal_sync::checked::mpsc;
+use raal_sync::checked::sync::{Condvar, Mutex};
+use raal_sync::checked::thread;
+use raal_sync::model::{self, Config, FailureKind};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn cfg() -> Config {
+    Config {
+        max_preemptions: 2,
+        max_schedules: 200_000,
+        max_steps: 10_000,
+    }
+}
+
+// ------------------------------------------------------------- passing code
+
+#[test]
+fn mutex_counter_is_exclusive() {
+    let report = model::check(cfg(), || {
+        let n = Arc::new(Mutex::new(0u32));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let n = n.clone();
+                thread::spawn(move || {
+                    let mut g = n.lock().unwrap();
+                    let v = *g;
+                    *g = v + 1;
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*n.lock().unwrap(), 2);
+    })
+    .expect("no failing schedule");
+    assert!(report.complete, "bounded space should be exhausted");
+    assert!(report.schedules > 1, "exploration should try several interleavings");
+}
+
+#[test]
+fn channel_delivers_across_all_interleavings() {
+    model::check(cfg(), || {
+        let (tx, rx) = mpsc::channel();
+        let sender = thread::spawn(move || {
+            tx.send(7u32).unwrap();
+        });
+        assert_eq!(rx.recv().unwrap(), 7);
+        sender.join().unwrap();
+    })
+    .expect("send/recv must never deadlock");
+}
+
+#[test]
+fn receiver_sees_disconnect_not_deadlock() {
+    model::check(cfg(), || {
+        let (tx, rx) = mpsc::channel::<u32>();
+        let sender = thread::spawn(move || drop(tx));
+        assert!(rx.recv().is_err());
+        sender.join().unwrap();
+    })
+    .expect("dropping the last sender must unblock recv");
+}
+
+#[test]
+fn condvar_handoff_with_predicate_loop_passes() {
+    model::check(cfg(), || {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = pair.clone();
+        let setter = thread::spawn(move || {
+            let (m, cv) = &*p2;
+            *m.lock().unwrap() = true;
+            cv.notify_one();
+        });
+        let (m, cv) = &*pair;
+        let mut ready = m.lock().unwrap();
+        // Predicate loop: robust to the notify landing before the wait.
+        while !*ready {
+            ready = cv.wait(ready).unwrap();
+        }
+        drop(ready);
+        setter.join().unwrap();
+    })
+    .expect("predicate-loop condvar use must never lose the wakeup");
+}
+
+#[test]
+fn timed_recv_never_deadlocks_without_sender_activity() {
+    model::check(cfg(), || {
+        let (_tx, rx) = mpsc::channel::<u32>();
+        // Sender never sends; only the modelled timeout can end this.
+        let r = rx.recv_timeout(Duration::from_millis(10));
+        assert!(r.is_err());
+    })
+    .expect("a timed wait alone must not count as deadlock");
+}
+
+#[test]
+fn atomics_are_switch_points() {
+    // With SeqCst modelling, two increments via load+store (a classic
+    // non-atomic read-modify-write) CAN lose an update under some
+    // interleaving — the explorer must find the schedule where both
+    // threads load before either stores.
+    let err = model::check(cfg(), || {
+        let n = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let n = n.clone();
+                thread::spawn(move || {
+                    let v = n.load(Ordering::SeqCst);
+                    n.store(v + 1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(n.load(Ordering::SeqCst), 2, "lost update");
+    })
+    .expect_err("explorer must find the lost-update interleaving");
+    assert!(matches!(err.kind, FailureKind::Panic(_)), "got {:?}", err.kind);
+}
+
+// ------------------------------------------------------------ failing code
+
+#[test]
+fn lock_order_inversion_deadlocks() {
+    let err = model::check(cfg(), || {
+        let a = Arc::new(Mutex::new(()));
+        let b = Arc::new(Mutex::new(()));
+        let (a2, b2) = (a.clone(), b.clone());
+        let t = thread::spawn(move || {
+            let _g1 = b2.lock().unwrap();
+            let _g2 = a2.lock().unwrap();
+        });
+        let _g1 = a.lock().unwrap();
+        let _g2 = b.lock().unwrap();
+        drop((_g1, _g2));
+        t.join().unwrap();
+    })
+    .expect_err("AB/BA locking must deadlock in some schedule");
+    match &err.kind {
+        FailureKind::Deadlock(states) => {
+            assert!(states.iter().any(|s| s.contains("acquiring lock")), "states: {states:?}");
+        }
+        other => panic!("expected deadlock, got {other:?}"),
+    }
+}
+
+#[test]
+fn lost_wakeup_is_detected() {
+    // No predicate loop and the notify can fire before the wait starts:
+    // the waiter then blocks forever. The explorer must surface it.
+    let err = model::check(cfg(), || {
+        let pair = Arc::new((Mutex::new(()), Condvar::new()));
+        let p2 = pair.clone();
+        let waiter = thread::spawn(move || {
+            let (m, cv) = &*p2;
+            let g = m.lock().unwrap();
+            // BUG: unconditional wait — if the notify already happened,
+            // nothing will ever wake this thread.
+            let _g = cv.wait(g).unwrap();
+        });
+        let (_m, cv) = &*pair;
+        cv.notify_one();
+        waiter.join().unwrap();
+    })
+    .expect_err("unconditional wait must lose the early notify");
+    assert!(matches!(err.kind, FailureKind::Deadlock(_)), "got {:?}", err.kind);
+}
+
+#[test]
+fn panic_in_spawned_thread_is_reported_with_seed() {
+    let err = model::check(cfg(), || {
+        let t = thread::spawn(|| panic!("boom in model thread"));
+        let _ = t.join();
+    })
+    .expect_err("the panic must fail the check");
+    match &err.kind {
+        FailureKind::Panic(msg) => assert!(msg.contains("boom"), "msg: {msg}"),
+        other => panic!("expected panic failure, got {other:?}"),
+    }
+    assert!(err.seed.starts_with("mc1:"), "seed: {}", err.seed);
+}
+
+// ------------------------------------------------- determinism and replay
+
+#[test]
+fn failing_seed_replays_deterministically() {
+    fn scenario() -> impl Fn() + Send + Sync + 'static {
+        || {
+            let a = Arc::new(Mutex::new(()));
+            let b = Arc::new(Mutex::new(()));
+            let (a2, b2) = (a.clone(), b.clone());
+            let t = thread::spawn(move || {
+                let _g1 = b2.lock().unwrap();
+                let _g2 = a2.lock().unwrap();
+            });
+            let _g1 = a.lock().unwrap();
+            let _g2 = b.lock().unwrap();
+            drop((_g1, _g2));
+            t.join().unwrap();
+        }
+    }
+    let first = model::check(cfg(), scenario()).expect_err("deadlock expected");
+    let second = model::check(cfg(), scenario()).expect_err("deadlock expected");
+    assert_eq!(first.seed, second.seed, "exploration order must be deterministic");
+    assert_eq!(first.schedule, second.schedule);
+
+    // Replaying the seed reproduces exactly the same failure, without
+    // any search.
+    let replayed = model::replay(cfg(), &first.seed, scenario())
+        .expect_err("seed must reproduce the deadlock");
+    assert_eq!(replayed.kind, first.kind);
+
+    // A garbage seed is rejected, not silently explored.
+    let bad = model::replay(cfg(), "not-a-seed", scenario()).expect_err("bad seed");
+    assert!(matches!(bad.kind, FailureKind::ReplayDiverged(_)));
+}
+
+#[test]
+fn preemption_bound_caps_the_schedule_count() {
+    fn run(preemptions: usize) -> usize {
+        let cfg = Config { max_preemptions: preemptions, ..cfg() };
+        model::check(cfg, || {
+            let n = Arc::new(AtomicU64::new(0));
+            let n2 = n.clone();
+            let t = thread::spawn(move || {
+                n2.fetch_add(1, Ordering::SeqCst);
+                n2.fetch_add(1, Ordering::SeqCst);
+            });
+            n.fetch_add(1, Ordering::SeqCst);
+            t.join().unwrap();
+        })
+        .expect("no failure")
+        .schedules
+    }
+    let zero = run(0);
+    let two = run(2);
+    assert!(zero <= two, "larger bound must explore at least as much ({zero} vs {two})");
+    assert!(zero >= 1 && two > zero, "bounding must actually vary coverage");
+}
+
+#[test]
+fn schedule_cap_reports_incomplete_instead_of_hanging() {
+    let tight = Config {
+        max_preemptions: 3,
+        max_schedules: 2,
+        max_steps: 10_000,
+    };
+    let report = model::check(tight, || {
+        let n = Arc::new(AtomicU64::new(0));
+        let n2 = n.clone();
+        let t = thread::spawn(move || {
+            for _ in 0..4 {
+                n2.fetch_add(1, Ordering::SeqCst);
+            }
+        });
+        for _ in 0..4 {
+            n.fetch_add(1, Ordering::SeqCst);
+        }
+        t.join().unwrap();
+    })
+    .expect("capped run still succeeds");
+    assert!(!report.complete, "cap of 2 schedules cannot exhaust this space");
+    assert_eq!(report.schedules, 2);
+}
+
+#[test]
+fn checked_types_delegate_to_std_outside_a_model() {
+    assert!(!model::active());
+    // Plain use, no model: everything must behave like std.
+    let m = Mutex::new(5u32);
+    *m.lock().unwrap() += 1;
+    assert_eq!(*m.lock().unwrap(), 6);
+
+    let (tx, rx) = mpsc::channel();
+    tx.send(3u8).unwrap();
+    assert_eq!(rx.recv().unwrap(), 3);
+    assert!(rx.recv_timeout(Duration::from_millis(1)).is_err());
+
+    let n = AtomicU64::new(1);
+    assert_eq!(n.fetch_add(1, Ordering::Relaxed), 1);
+
+    let t = thread::spawn(|| 40 + 2);
+    assert_eq!(t.join().unwrap(), 42);
+}

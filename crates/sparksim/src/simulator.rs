@@ -39,6 +39,8 @@ const MB: f64 = 1024.0 * 1024.0;
 fn next_job_id() -> u64 {
     use std::sync::atomic::{AtomicU64, Ordering};
     static JOB_SEQ: AtomicU64 = AtomicU64::new(0);
+    // ORDERING: Relaxed — a unique-id counter needs only atomicity of
+    // the increment; no other memory is published via this operation.
     JOB_SEQ.fetch_add(1, Ordering::Relaxed)
 }
 

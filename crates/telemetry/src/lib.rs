@@ -50,13 +50,14 @@ mod value;
 pub use hist::Histogram;
 pub use value::Value;
 
+use raal_sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use raal_sync::sync::Mutex;
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::io::Write;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Mutex, Once, OnceLock};
+use std::sync::{Once, OnceLock};
 use std::time::Instant;
 
 // ---------------------------------------------------------------- clock
@@ -88,6 +89,11 @@ static ENV_INIT: Once = Once::new();
 /// the fast path instrumented code checks before doing any work.
 #[inline]
 pub fn enabled() -> bool {
+    // ORDERING: Relaxed is sufficient — this flag only gates best-effort
+    // logging, and every reader that acts on `true` then takes the state
+    // mutex, whose acquire synchronises with the sink installation done
+    // under the same mutex in `init_from_env`/`capture_inner`. No data
+    // is published through this load itself.
     ENABLED.load(Ordering::Relaxed)
 }
 
@@ -130,7 +136,7 @@ fn state() -> &'static Mutex<State> {
     })
 }
 
-fn lock_state() -> std::sync::MutexGuard<'static, State> {
+fn lock_state() -> raal_sync::sync::MutexGuard<'static, State> {
     // A panic while holding the lock (only possible inside std::io) must
     // not wedge telemetry for the rest of the process.
     state().lock().unwrap_or_else(|e| e.into_inner())
@@ -176,6 +182,8 @@ pub fn init_from_env() {
 static NEXT_TID: AtomicU64 = AtomicU64::new(1);
 
 thread_local! {
+    // ORDERING: Relaxed — a unique-id counter needs only atomicity of
+    // the increment; no other memory is published via this operation.
     static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
     static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
 }

@@ -1,0 +1,99 @@
+//! Model-check suite for the telemetry sink's enable/disable handoff.
+//! Compiled only under `RUSTFLAGS="--cfg raal_model_check"`, where the
+//! `raal_sync` primitives these scenarios are built on route through the
+//! deterministic schedule explorer.
+//!
+//! The protocol under test is the one `telemetry` itself follows (see
+//! `testing::capture_inner` and the `enabled()` fast path): the sink is
+//! installed under the state mutex *before* the `ENABLED` flag is
+//! published, and readers that observe the flag re-check the sink under
+//! the same mutex. The tests prove the handoff is never torn in any
+//! bounded interleaving — and that the checker catches the torn variant
+//! when the publication order is deliberately inverted.
+#![cfg(raal_model_check)]
+
+use raal_sync::atomic::{AtomicBool, Ordering};
+use raal_sync::model::{check, explore, Config, FailureKind};
+use raal_sync::sync::Mutex;
+use raal_sync::thread;
+use std::sync::Arc;
+
+fn cfg() -> Config {
+    Config {
+        max_preemptions: 2,
+        max_schedules: 200_000,
+        max_steps: 10_000,
+    }
+}
+
+/// The correct publication order — install the sink under the lock,
+/// then store the flag — means a reader that saw `enabled == true` can
+/// never find the sink missing. Explored across every interleaving.
+#[test]
+fn enable_handoff_is_never_torn() {
+    explore("telemetry-enable-handoff", cfg(), || {
+        let enabled = Arc::new(AtomicBool::new(false));
+        let sink = Arc::new(Mutex::new(None::<u32>));
+        let (e2, s2) = (enabled.clone(), sink.clone());
+        let writer = thread::spawn(move || {
+            *s2.lock().unwrap_or_else(|e| e.into_inner()) = Some(7);
+            e2.store(true, Ordering::Release);
+        });
+        if enabled.load(Ordering::Acquire) {
+            let g = sink.lock().unwrap_or_else(|e| e.into_inner());
+            assert!(g.is_some(), "enabled observed before the sink install: torn handoff");
+        }
+        writer.join().unwrap();
+    });
+}
+
+/// Negative control: publishing the flag *before* installing the sink
+/// is the torn handoff. The checker must find the interleaving where a
+/// reader slips between the two writes, and report it as a panic with a
+/// replayable seed.
+#[test]
+fn inverted_publication_order_is_caught() {
+    let failure = check(cfg(), || {
+        let enabled = Arc::new(AtomicBool::new(false));
+        let sink = Arc::new(Mutex::new(None::<u32>));
+        let (e2, s2) = (enabled.clone(), sink.clone());
+        let writer = thread::spawn(move || {
+            e2.store(true, Ordering::Release); // published too early
+            *s2.lock().unwrap_or_else(|e| e.into_inner()) = Some(7);
+        });
+        if enabled.load(Ordering::Acquire) {
+            let g = sink.lock().unwrap_or_else(|e| e.into_inner());
+            assert!(g.is_some(), "torn handoff");
+        }
+        writer.join().unwrap();
+    })
+    .expect_err("the torn interleaving must be found");
+    assert!(matches!(failure.kind, FailureKind::Panic(_)), "unexpected failure: {failure}");
+    assert!(failure.seed.starts_with("mc1:"));
+}
+
+/// Disable-and-teardown, as `capture_inner` runs it: the writer clears
+/// the flag and then removes the sink under the lock, while a reader
+/// follows the emit pattern — flag check, then a lock-guarded `if let`
+/// that tolerates a missing sink. No interleaving may deadlock or
+/// observe partially-torn-down state it isn't written to tolerate.
+#[test]
+fn disable_teardown_never_deadlocks() {
+    explore("telemetry-disable-teardown", cfg(), || {
+        let enabled = Arc::new(AtomicBool::new(true));
+        let sink = Arc::new(Mutex::new(Some(7u32)));
+        let (e2, s2) = (enabled.clone(), sink.clone());
+        let writer = thread::spawn(move || {
+            e2.store(false, Ordering::Release);
+            s2.lock().unwrap_or_else(|e| e.into_inner()).take();
+        });
+        if enabled.load(Ordering::Acquire) {
+            // The emit path: the sink may already be gone — that must
+            // degrade to a dropped line, never a panic.
+            if let Some(v) = *sink.lock().unwrap_or_else(|e| e.into_inner()) {
+                assert_eq!(v, 7);
+            }
+        }
+        writer.join().unwrap();
+    });
+}
