@@ -611,15 +611,24 @@ fn rule_span_names(
     tests: &[Range<usize>],
     out: &mut Vec<Violation>,
 ) {
-    // (call pattern, registry, registry name for the message)
-    let checks: [(&str, &[&str], &str); 5] = [
-        ("telemetry::span(", telemetry::schema::SPAN_NAMES, "SPAN_NAMES"),
-        ("telemetry::kernel_span(", telemetry::schema::SPAN_NAMES, "SPAN_NAMES"),
-        ("telemetry::count(", telemetry::schema::COUNTER_NAMES, "COUNTER_NAMES"),
-        ("telemetry::observe(", telemetry::schema::HISTOGRAM_NAMES, "HISTOGRAM_NAMES"),
-        ("telemetry::event(", telemetry::schema::EVENT_NAMES, "EVENT_NAMES"),
+    use telemetry::schema;
+    // (call pattern, membership test, registry name for the message).
+    // Gauges are the one prefix-based vocabulary (per-class monitor
+    // gauges), so membership is a function, not a slice.
+    type NameCheck = (&'static str, fn(&str) -> bool, &'static str);
+    let checks: [NameCheck; 6] = [
+        ("telemetry::span(", |n| schema::SPAN_NAMES.contains(&n), "SPAN_NAMES"),
+        ("telemetry::kernel_span(", |n| schema::SPAN_NAMES.contains(&n), "SPAN_NAMES"),
+        ("telemetry::count(", |n| schema::COUNTER_NAMES.contains(&n), "COUNTER_NAMES"),
+        (
+            "telemetry::observe(",
+            |n| schema::HISTOGRAM_NAMES.contains(&n),
+            "HISTOGRAM_NAMES",
+        ),
+        ("telemetry::event(", |n| schema::EVENT_NAMES.contains(&n), "EVENT_NAMES"),
+        ("telemetry::gauge(", schema::gauge_is_registered, "GAUGE_NAMES/GAUGE_PREFIXES"),
     ];
-    for (pat, registry, registry_name) in checks {
+    for (pat, registered, registry_name) in checks {
         let mut from = 0;
         // Locate call sites in the blanked view (so the pattern inside a
         // string or comment never matches), then read the argument from
@@ -640,7 +649,7 @@ fn rule_span_names(
                 continue;
             };
             let name = &trimmed[1..1 + end];
-            if !registry.contains(&name) {
+            if !registered(name) {
                 out.push(Violation {
                     rule: RULE_SPAN,
                     path: rel.to_string(),
@@ -1078,6 +1087,27 @@ mod tests {
             "fn f() { let _s = telemetry::span(\"train.run\"); }\n",
         );
         assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn gauge_names_check_exact_and_prefix_vocabularies() {
+        // Exact name and a registered per-class prefix both pass.
+        for name in ["train.loss", "monitor.mae.scan_join"] {
+            let v = lint_str(
+                "crates/core/src/x.rs",
+                &format!("fn f() {{ telemetry::gauge(\"{name}\", 1.0); }}\n"),
+            );
+            assert!(v.is_empty(), "{name}: {v:?}");
+        }
+        // Unregistered names fail — including a prefix with no class.
+        for name in ["made.up.gauge", "monitor.mae."] {
+            let v = lint_str(
+                "crates/core/src/x.rs",
+                &format!("fn f() {{ telemetry::gauge(\"{name}\", 1.0); }}\n"),
+            );
+            assert_eq!(v.len(), 1, "{name}: {v:?}");
+            assert_eq!(v[0].rule, RULE_SPAN);
+        }
     }
 
     #[test]

@@ -1,0 +1,146 @@
+//! Renders the metrics of a finished RAAL run as a Prometheus or JSON
+//! snapshot.
+//!
+//! Usage: `raal-metrics <events.jsonl> [--json] [-o <path>]`
+//!
+//! Reads the summary lines the telemetry sink writes at shutdown
+//! (`counter`, `gauge` and `histogram` events) and rebuilds a
+//! [`telemetry::MetricsSnapshot`] from them, so any run's JSONL log can
+//! be scraped after the fact — even when the run did not set
+//! `RAAL_METRICS_OUT`. Output is the Prometheus text exposition format
+//! by default (`scripts/check_prometheus.py` validates it in CI) or the
+//! snapshot JSON with `--json`; `-o` writes to a file instead of
+//! stdout.
+//!
+//! Reconstruction notes: counters are summed across drains, gauges and
+//! histograms are last-write-wins (a drained histogram cannot be merged
+//! from summaries alone), and the summary lines carry no histogram
+//! `min`, so `min` is reported as 0.
+
+use serde::Value;
+use telemetry::registry::{HistSnapshot, HistStats, MetricsSnapshot};
+
+fn get_str<'a>(v: &'a Value, key: &str) -> Option<&'a str> {
+    match v.get(key) {
+        Some(Value::Str(s)) => Some(s),
+        _ => None,
+    }
+}
+
+fn get_u64(v: &Value, key: &str) -> u64 {
+    match v.get(key) {
+        Some(Value::UInt(u)) => *u,
+        Some(Value::Int(i)) if *i >= 0 => *i as u64,
+        _ => 0,
+    }
+}
+
+fn get_f64(v: &Value, key: &str) -> f64 {
+    match v.get(key) {
+        Some(Value::Float(f)) => *f,
+        Some(Value::UInt(u)) => *u as f64,
+        Some(Value::Int(i)) => *i as f64,
+        _ => 0.0,
+    }
+}
+
+/// Percentile summaries from a histogram line; `prefix` selects the
+/// all-time (`""`) or windowed (`"recent_"`) field family.
+fn stats_from_line(v: &Value, prefix: &str) -> HistStats {
+    let count = get_u64(v, &format!("{prefix}count"));
+    let quant = |k: &str| {
+        let q = get_u64(v, &format!("{prefix}{k}"));
+        (count > 0).then_some(q)
+    };
+    HistStats {
+        count,
+        min: 0,
+        max: get_u64(v, &format!("{prefix}max")),
+        mean: get_f64(v, &format!("{prefix}mean")),
+        p50: quant("p50"),
+        p95: quant("p95"),
+        p99: quant("p99"),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut path = None;
+    let mut json = false;
+    let mut out_path: Option<String> = None;
+    let mut it = args[1..].iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "-o" | "--out" => {
+                out_path = Some(
+                    it.next()
+                        .unwrap_or_else(|| fail("-o requires a path argument"))
+                        .to_string(),
+                );
+            }
+            other if path.is_none() => path = Some(other.to_string()),
+            other => fail(&format!("unexpected argument '{other}'")),
+        }
+    }
+    let path =
+        path.unwrap_or_else(|| fail("usage: raal-metrics <events.jsonl> [--json] [-o <path>]"));
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+
+    let mut snap = MetricsSnapshot::default();
+    let mut summaries = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v: Value = serde_json::from_str(line)
+            .unwrap_or_else(|e| fail(&format!("line {}: invalid JSON ({e})", lineno + 1)));
+        let (Some(ty), name) = (get_str(&v, "type"), get_str(&v, "name")) else {
+            continue;
+        };
+        let Some(name) = name else { continue };
+        snap.at_us = snap.at_us.max(get_u64(&v, "ts_us"));
+        match ty {
+            "counter" => {
+                let slot = snap.counters.entry(name.to_string()).or_insert(0);
+                *slot = slot.saturating_add(get_u64(&v, "value"));
+                summaries += 1;
+            }
+            "gauge" => {
+                snap.gauges.insert(name.to_string(), get_f64(&v, "value"));
+                summaries += 1;
+            }
+            "histogram" => {
+                snap.hists.insert(
+                    name.to_string(),
+                    HistSnapshot {
+                        all: stats_from_line(&v, ""),
+                        recent: stats_from_line(&v, "recent_"),
+                    },
+                );
+                summaries += 1;
+            }
+            _ => {}
+        }
+    }
+    if summaries == 0 {
+        fail(&format!("{path} holds no metric summary lines — did the run call shutdown()?"));
+    }
+
+    let rendered = if json {
+        snap.to_json()
+    } else {
+        snap.to_prometheus()
+    };
+    match out_path {
+        Some(out) => std::fs::write(&out, rendered)
+            .unwrap_or_else(|e| fail(&format!("cannot write {out}: {e}"))),
+        None => print!("{rendered}"),
+    }
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("raal-metrics: {msg}");
+    std::process::exit(1);
+}

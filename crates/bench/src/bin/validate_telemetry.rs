@@ -124,6 +124,7 @@ fn name_is_registered(event_type: &str, name: &str) -> bool {
         "span" => schema::SPAN_NAMES.contains(&name),
         "event" => schema::EVENT_NAMES.contains(&name),
         "counter" => schema::COUNTER_NAMES.contains(&name),
+        "gauge" => schema::gauge_is_registered(name),
         "histogram" => {
             schema::HISTOGRAM_NAMES.contains(&name)
                 || name

@@ -146,7 +146,9 @@ pub fn collect_queries(engine: &Engine, queries: &[String], cfg: &CollectionConf
             })
             .collect();
         for h in handles {
-            let (runs, s) = h.join().expect("collection worker panicked");
+            // Re-raise a worker panic with its original payload instead
+            // of a generic join failure.
+            let (runs, s) = h.join().unwrap_or_else(|p| std::panic::resume_unwind(p));
             plan_runs.extend(runs);
             skipped += s;
         }

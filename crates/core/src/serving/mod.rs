@@ -97,6 +97,10 @@ pub struct ServingConfig {
     /// Disable to pin the f32 fast path, e.g. while calibrating the
     /// quantization error budget against production traffic.
     pub quantized: bool,
+    /// Target fraction of predictions the deep model should answer
+    /// (the serving SLO). The complement is the error budget that
+    /// [`SloStats::error_budget_burn`] meters per fallback reason.
+    pub slo_target: f64,
 }
 
 impl Default for ServingConfig {
@@ -106,6 +110,7 @@ impl Default for ServingConfig {
             max_plan_nodes: 64,
             cluster: ClusterConfig::default(),
             quantized: true,
+            slo_target: 0.99,
         }
     }
 }
@@ -126,6 +131,15 @@ pub enum FallbackReason {
 }
 
 impl FallbackReason {
+    /// Every reason, in a stable order (indexes [`SloStats::by_reason`]).
+    pub const ALL: [FallbackReason; 5] = [
+        FallbackReason::Checkpoint,
+        FallbackReason::Admission,
+        FallbackReason::Deadline,
+        FallbackReason::Busy,
+        FallbackReason::WorkerLost,
+    ];
+
     /// The registered telemetry counter for this reason.
     pub fn counter(self) -> &'static str {
         match self {
@@ -134,6 +148,88 @@ impl FallbackReason {
             FallbackReason::Deadline => "serving.fallback.deadline",
             FallbackReason::Busy => "serving.fallback.busy",
             FallbackReason::WorkerLost => "serving.fallback.worker_lost",
+        }
+    }
+
+    /// The registered telemetry gauge for this reason's error-budget
+    /// burn ([`SloStats::error_budget_burn`]).
+    pub fn burn_gauge(self) -> &'static str {
+        match self {
+            FallbackReason::Checkpoint => "serving.slo.burn.checkpoint",
+            FallbackReason::Admission => "serving.slo.burn.admission",
+            FallbackReason::Deadline => "serving.slo.burn.deadline",
+            FallbackReason::Busy => "serving.slo.burn.busy",
+            FallbackReason::WorkerLost => "serving.slo.burn.worker_lost",
+        }
+    }
+
+    fn idx(self) -> usize {
+        match self {
+            FallbackReason::Checkpoint => 0,
+            FallbackReason::Admission => 1,
+            FallbackReason::Deadline => 2,
+            FallbackReason::Busy => 3,
+            FallbackReason::WorkerLost => 4,
+        }
+    }
+}
+
+/// Point-in-time serving-quality statistics: how often the deep model
+/// actually answered, and which guard rail ate the misses. Maintained
+/// by [`ServingModel`] itself (plain counters, no telemetry required)
+/// and mirrored into the `serving.slo.*` gauges after every call when
+/// telemetry is enabled.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SloStats {
+    /// Predictions served in total.
+    pub total: u64,
+    /// Predictions answered by the deep model.
+    pub model: u64,
+    /// Fallback counts, indexed per [`FallbackReason::ALL`].
+    pub by_reason: [u64; 5],
+    /// The configured [`ServingConfig::slo_target`].
+    pub slo_target: f64,
+}
+
+impl SloStats {
+    /// Fraction of predictions the deep model answered (1.0 before any
+    /// traffic — an idle server has not missed its SLO).
+    pub fn hit_rate(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            self.model as f64 / self.total as f64
+        }
+    }
+
+    /// Fraction of predictions answered by the fallback.
+    pub fn fallback_rate(&self) -> f64 {
+        1.0 - self.hit_rate()
+    }
+
+    /// Fallbacks attributed to `reason`.
+    pub fn count(&self, reason: FallbackReason) -> u64 {
+        self.by_reason[reason.idx()]
+    }
+
+    /// Fraction of the error budget consumed by `reason`: the budget is
+    /// `total * (1 - slo_target)` predictions, and each fallback for
+    /// this reason burns one. Exceeds 1.0 once the reason alone has
+    /// blown the SLO; infinite when the target leaves no budget at all.
+    pub fn error_budget_burn(&self, reason: FallbackReason) -> f64 {
+        let burned = self.count(reason);
+        if self.total == 0 {
+            return 0.0;
+        }
+        let budget = self.total as f64 * (1.0 - self.slo_target.clamp(0.0, 1.0));
+        if budget <= 0.0 {
+            if burned == 0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            burned as f64 / budget
         }
     }
 }
@@ -188,6 +284,9 @@ pub struct ServingModel {
     /// flight; the worker must drain it before accepting new work.
     pending: bool,
     degraded: Option<FallbackReason>,
+    /// Lifetime serving-quality counters, updated from the predictions
+    /// actually returned (so they work with telemetry disabled).
+    slo: SloStats,
 }
 
 impl ServingModel {
@@ -217,6 +316,7 @@ impl ServingModel {
             };
             Response { generation: req.generation, seconds }
         });
+        let slo = SloStats { slo_target: cfg.slo_target, ..SloStats::default() };
         Self {
             handoff: Some(handoff),
             encoder: Some(encoder),
@@ -226,6 +326,7 @@ impl ServingModel {
             generation: 0,
             pending: false,
             degraded: None,
+            slo,
         }
     }
 
@@ -251,6 +352,7 @@ impl ServingModel {
         cfg: ServingConfig,
         reason: FallbackReason,
     ) -> Self {
+        let slo = SloStats { slo_target: cfg.slo_target, ..SloStats::default() };
         Self {
             handoff: None,
             encoder: None,
@@ -260,6 +362,7 @@ impl ServingModel {
             generation: 0,
             pending: false,
             degraded: Some(reason),
+            slo,
         }
     }
 
@@ -306,6 +409,49 @@ impl ServingModel {
     /// miss falls back for every admitted plan. Increments
     /// `serving.predict` once per plan.
     pub fn predict_many(
+        &mut self,
+        plans: &[&PhysicalPlan],
+        res: &ResourceConfig,
+    ) -> Vec<ServingPrediction> {
+        let t0 = telemetry::clock_us();
+        let out = self.predict_many_inner(plans, res);
+        telemetry::observe("serving.predict_us", telemetry::clock_us().saturating_sub(t0));
+        for p in &out {
+            self.slo.total += 1;
+            match p.source {
+                PredictionSource::Model => self.slo.model += 1,
+                PredictionSource::Fallback(reason) => self.slo.by_reason[reason.idx()] += 1,
+            }
+        }
+        if !out.is_empty() {
+            self.publish_slo();
+        }
+        out
+    }
+
+    /// Lifetime serving-quality counters for this server.
+    pub fn slo_stats(&self) -> SloStats {
+        self.slo
+    }
+
+    /// A consistent snapshot of the process-wide metrics registry —
+    /// serving counters, `serving.slo.*` gauges and the
+    /// `serving.predict_us` latency histogram included. Empty when
+    /// telemetry is disabled; [`Self::slo_stats`] is the always-on view.
+    pub fn metrics_snapshot(&self) -> telemetry::MetricsSnapshot {
+        telemetry::metrics_snapshot()
+    }
+
+    /// Mirrors [`SloStats`] into the registered `serving.slo.*` gauges.
+    fn publish_slo(&self) {
+        telemetry::gauge("serving.slo.hit_rate", self.slo.hit_rate());
+        telemetry::gauge("serving.slo.fallback_rate", self.slo.fallback_rate());
+        for reason in FallbackReason::ALL {
+            telemetry::gauge(reason.burn_gauge(), self.slo.error_budget_burn(reason));
+        }
+    }
+
+    fn predict_many_inner(
         &mut self,
         plans: &[&PhysicalPlan],
         res: &ResourceConfig,

@@ -118,6 +118,9 @@ pub fn train(model: &mut CostModel, samples: &[Sample], cfg: &TrainConfig) -> Tr
             telemetry::observe("train.batch_ns", telemetry::clock_ns() - batch_start_ns);
         }
         epoch_losses.push(epoch_loss / samples.len() as f64);
+        // Live registry view of convergence: a stalled or diverging run
+        // shows in `raal_train_loss` without waiting for shutdown.
+        telemetry::gauge("train.loss", epoch_loss / samples.len() as f64);
         if telemetry::enabled() {
             // Utilisation = workers that actually received samples,
             // relative to the configured pool, averaged over batches.
@@ -172,7 +175,9 @@ fn batch_gradients(
             })
             .collect();
         for h in handles {
-            let (loss_sum, local) = h.join().expect("training worker panicked");
+            // Re-raise a worker panic with its original payload instead
+            // of a generic join failure.
+            let (loss_sum, local) = h.join().unwrap_or_else(|p| std::panic::resume_unwind(p));
             total_loss += loss_sum;
             stores.push(local);
         }

@@ -241,6 +241,60 @@ fn dropping_a_degraded_model_is_trivially_clean() {
 }
 
 #[test]
+fn slo_stats_meter_hits_fallbacks_and_budget_burn() {
+    let engine = engine();
+    let plan = some_plan(&engine);
+    // No telemetry capture here on purpose: the SLO tracker is plain
+    // counters and must work with the registry disabled.
+    let cfg = ServingConfig {
+        deadline: Duration::from_secs(10),
+        slo_target: 0.5,
+        ..ServingConfig::default()
+    };
+    let mut serving = ServingModel::new(tiny_bundle(), gpsj_fallback(), cfg);
+    assert_eq!(serving.slo_stats().hit_rate(), 1.0, "idle server has not missed");
+
+    for _ in 0..3 {
+        assert_eq!(serving.predict(&plan, &resources()).source, PredictionSource::Model);
+    }
+    // Shrink admission so the next predict falls back.
+    let mut stats = serving.slo_stats();
+    assert_eq!((stats.total, stats.model), (3, 3));
+    assert_eq!(stats.hit_rate(), 1.0);
+    assert_eq!(stats.fallback_rate(), 0.0);
+
+    let cfg = ServingConfig { max_plan_nodes: 1, ..serving.config().clone() };
+    let mut serving2 = ServingModel::new(tiny_bundle(), gpsj_fallback(), cfg);
+    serving2.predict(&plan, &resources());
+    stats = serving2.slo_stats();
+    assert_eq!(stats.count(FallbackReason::Admission), 1);
+    assert_eq!(stats.hit_rate(), 0.0);
+    assert_eq!(stats.fallback_rate(), 1.0);
+    // target 0.5 → budget is half the traffic; one miss in one predict
+    // burns 2x the budget.
+    assert_eq!(stats.error_budget_burn(FallbackReason::Admission), 2.0);
+    assert_eq!(stats.error_budget_burn(FallbackReason::Deadline), 0.0);
+}
+
+#[test]
+fn slo_gauges_and_latency_reach_the_registry() {
+    let engine = engine();
+    let plan = some_plan(&engine);
+    let cfg = ServingConfig { max_plan_nodes: 1, ..ServingConfig::default() };
+    telemetry::testing::capture(|| {
+        let mut serving = ServingModel::new(tiny_bundle(), gpsj_fallback(), cfg);
+        serving.predict(&plan, &resources());
+        let snap = serving.metrics_snapshot();
+        assert_eq!(snap.gauges["serving.slo.hit_rate"], 0.0);
+        assert_eq!(snap.gauges["serving.slo.fallback_rate"], 1.0);
+        assert!(snap.gauges["serving.slo.burn.admission"] > 0.0);
+        assert_eq!(snap.gauges["serving.slo.burn.deadline"], 0.0);
+        assert_eq!(snap.counters["serving.fallback.admission"], 1);
+        assert_eq!(snap.hists["serving.predict_us"].all.count, 1);
+    });
+}
+
+#[test]
 fn zero_deadline_falls_back_then_recovers() {
     let engine = engine();
     let plan = some_plan(&engine);

@@ -622,6 +622,7 @@ impl CostSimulator {
                     ("broadcast_overflow", telemetry::Value::Bool(broadcast_overflow)),
                 ],
             );
+            telemetry::count("sparksim.jobs.completed", 1);
         }
         sim_span.record("stages", stage_seconds.len() as u64);
         Ok((

@@ -22,7 +22,9 @@ impl Histogram {
         if values.is_empty() || buckets == 0 {
             return None;
         }
-        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        // total_cmp: NaNs (if any slip through) sort high instead of
+        // panicking the planner.
+        values.sort_by(f64::total_cmp);
         let n = values.len();
         let buckets = buckets.min(n);
         let mut bounds = Vec::with_capacity(buckets + 1);

@@ -106,22 +106,58 @@ impl Histogram {
 
     /// Estimated `q`-quantile (`q` in `[0, 1]`), within the bucket
     /// quantisation error (~3% relative above 32, exact below).
+    ///
+    /// Legacy all-`u64` interface: an empty histogram reports `0`, which
+    /// is indistinguishable from an observed zero — prefer
+    /// [`Histogram::quantile`], which makes emptiness explicit.
     pub fn percentile(&self, q: f64) -> u64 {
+        self.quantile(q).unwrap_or(0)
+    }
+
+    /// Estimated `q`-quantile (`q` in `[0, 1]`).
+    ///
+    /// Edge cases are exact rather than bucket artifacts: an empty
+    /// histogram returns `None`, and when every observation was the same
+    /// value (in particular a single observation) the quantile *is* that
+    /// value at every `q`. Otherwise the estimate is the hit bucket's
+    /// midpoint, clamped to the observed `[min, max]` range (~3%
+    /// relative error above 32, exact below).
+    pub fn quantile(&self, q: f64) -> Option<u64> {
         if self.count == 0 {
-            return 0;
+            return None;
+        }
+        if self.min == self.max {
+            return Some(self.min);
         }
         let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
         if rank >= self.count {
-            return self.max;
+            return Some(self.max);
         }
         let mut seen = 0u64;
         for (idx, &c) in self.counts.iter().enumerate() {
             seen += c;
             if seen >= rank {
-                return bucket_mid(idx).clamp(self.min, self.max);
+                return Some(bucket_mid(idx).clamp(self.min, self.max));
             }
         }
-        self.max
+        Some(self.max)
+    }
+
+    /// Folds another histogram into this one, bucket by bucket. Used by
+    /// the windowed registry histograms to merge ring slots into one
+    /// "recent" view; both sides must come from this module (the bucket
+    /// layout is a compile-time constant, so they always do).
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        for (dst, src) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *dst += src;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
     }
 }
 
@@ -167,5 +203,57 @@ mod tests {
         assert_eq!(h.count(), 0);
         assert_eq!(h.percentile(0.99), 0);
         assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn empty_histogram_quantile_is_none() {
+        let h = Histogram::new();
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), None);
+        }
+    }
+
+    #[test]
+    fn single_observation_quantiles_are_exact() {
+        // 12_345 sits deep in the log region, where a bucket midpoint
+        // would otherwise leak through as an artifact.
+        let mut h = Histogram::new();
+        h.record(12_345);
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), Some(12_345), "q={q}");
+            assert_eq!(h.percentile(q), 12_345, "q={q}");
+        }
+        assert_eq!(h.min(), 12_345);
+        assert_eq!(h.max(), 12_345);
+    }
+
+    #[test]
+    fn constant_stream_quantiles_are_exact() {
+        let mut h = Histogram::new();
+        for _ in 0..100 {
+            h.record(9_999);
+        }
+        assert_eq!(h.quantile(0.5), Some(9_999));
+        assert_eq!(h.quantile(0.99), Some(9_999));
+    }
+
+    #[test]
+    fn merge_combines_counts_and_extremes() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in [10u64, 20, 30] {
+            a.record(v);
+        }
+        for v in [1_000u64, 2_000] {
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 5);
+        assert_eq!(a.min(), 10);
+        assert_eq!(a.max(), 2_000);
+        assert_eq!(a.mean(), (10.0 + 20.0 + 30.0 + 1000.0 + 2000.0) / 5.0);
+        // Merging an empty histogram is a no-op.
+        a.merge(&Histogram::new());
+        assert_eq!(a.count(), 5);
     }
 }

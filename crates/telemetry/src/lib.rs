@@ -11,8 +11,16 @@
 //! * **kernel spans** — [`kernel_span`], the cheap variant for µs-scale
 //!   kernels: aggregates durations into a histogram instead of emitting
 //!   a line per call;
-//! * **counters and histograms** — [`count`] / [`observe`], summarised
-//!   as `counter`/`histogram` events by [`shutdown`];
+//! * **counters, gauges and histograms** — [`count`] / [`gauge`] /
+//!   [`observe`]. Every value lands in the live [`registry`], so
+//!   current rates and windowed p50/p95/p99 can be *read back* while
+//!   the process runs ([`metrics_snapshot`], Prometheus/JSON export);
+//!   [`shutdown`] additionally summarises them as
+//!   `counter`/`gauge`/`histogram` JSONL events;
+//! * **prediction-quality monitoring** — [`monitor::QualityMonitor`]
+//!   tracks rolling MAE / Q-error per workload class over
+//!   `(predicted, observed)` pairs and raises `drift.alarm` events via
+//!   a Page–Hinkley detector when the error level shifts;
 //! * **events** — [`event`], free-form point records; `sparksim` uses
 //!   them for Spark-mimicking `job_start`/`stage_completed`/`task_end`
 //!   lines (see [`schema`]);
@@ -31,7 +39,12 @@
 //!   any other non-`0` value is used as the output path instead;
 //! * `RAAL_TRACE_OUT=trace.json` — additionally export a Chrome trace
 //!   (open in `chrome://tracing` or <https://ui.perfetto.dev>) on
-//!   [`shutdown`].
+//!   [`shutdown`];
+//! * `RAAL_METRICS_OUT=metrics.prom` — write the final metrics
+//!   snapshot in the Prometheus text exposition format on [`shutdown`]
+//!   (a `.json` extension selects the JSON snapshot instead);
+//! * `RAAL_STACKS_OUT=stacks.folded` — write span self-time as
+//!   inferno-compatible collapsed stacks on [`shutdown`].
 //!
 //! The sink is buffered: call [`flush`] at checkpoints and [`shutdown`]
 //! before exit (it also emits the counter/histogram summaries and writes
@@ -43,17 +56,20 @@
 #![deny(missing_docs)]
 
 pub mod hist;
+pub mod monitor;
+pub mod registry;
 pub mod schema;
 mod trace;
 mod value;
 
 pub use hist::Histogram;
+pub use monitor::{DriftAlarm, MonitorConfig, QualityMonitor};
+pub use registry::MetricsSnapshot;
 pub use value::Value;
 
 use raal_sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use raal_sync::sync::Mutex;
 use std::cell::RefCell;
-use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -104,10 +120,10 @@ const TRACE_CAP: usize = 262_144;
 
 struct State {
     sink: Option<Box<dyn Write + Send>>,
-    counters: BTreeMap<String, u64>,
-    hists: BTreeMap<String, Histogram>,
     trace: Vec<trace::TraceSlice>,
     trace_path: Option<PathBuf>,
+    metrics_path: Option<PathBuf>,
+    stacks_path: Option<PathBuf>,
     trace_dropped: u64,
     manifest_emitted: bool,
     run_id: String,
@@ -124,10 +140,10 @@ fn state() -> &'static Mutex<State> {
             .saturating_sub(clock_us() / 1000);
         Mutex::new(State {
             sink: None,
-            counters: BTreeMap::new(),
-            hists: BTreeMap::new(),
             trace: Vec::new(),
             trace_path: None,
+            metrics_path: None,
+            stacks_path: None,
             trace_dropped: 0,
             manifest_emitted: false,
             run_id: format!("{unix_ms:x}-{:04x}", std::process::id() & 0xFFFF),
@@ -165,13 +181,16 @@ pub fn init_from_env() {
                 return;
             }
         };
-        let trace_path = std::env::var("RAAL_TRACE_OUT")
-            .ok()
-            .filter(|s| !s.is_empty())
-            .map(PathBuf::from);
+        let out_path =
+            |var: &str| std::env::var(var).ok().filter(|s| !s.is_empty()).map(PathBuf::from);
+        let trace_path = out_path("RAAL_TRACE_OUT");
+        let metrics_path = out_path("RAAL_METRICS_OUT");
+        let stacks_path = out_path("RAAL_STACKS_OUT");
         let mut st = lock_state();
         st.sink = Some(Box::new(std::io::BufWriter::new(file)));
         st.trace_path = trace_path;
+        st.metrics_path = metrics_path;
+        st.stacks_path = stacks_path;
         drop(st);
         ENABLED.store(true, Ordering::Release);
     });
@@ -320,10 +339,17 @@ impl Drop for Span {
         let dur_us = end_us - self.start_us;
         // Truncating to the entry depth (rather than popping once) keeps
         // the stack consistent even if inner guards leaked or panicked.
-        let parent = SPAN_STACK.with(|s| {
+        // The joined ancestor path doubles as the collapsed-stack key
+        // for flamegraph self-time attribution.
+        let (parent, stack, parent_stack) = SPAN_STACK.with(|s| {
             let mut s = s.borrow_mut();
             s.truncate(self.depth);
-            s.last().copied()
+            let parent_stack = (!s.is_empty()).then(|| s.join(";"));
+            let stack = match &parent_stack {
+                Some(p) => format!("{p};{}", self.name),
+                None => self.name.to_string(),
+            };
+            (s.last().copied(), stack, parent_stack)
         });
         let line = Line::new(end_us, "span")
             .str("name", self.name)
@@ -333,6 +359,10 @@ impl Drop for Span {
             .opt_str("parent", parent)
             .fields(&self.fields)
             .finish();
+        // Registry first, sink second — the two locks are never held
+        // together (lock-order discipline, see analysis::conc).
+        registry::observe_at(&format!("span.{}_us", self.name), end_us, dur_us);
+        registry::span_time(&stack, parent_stack.as_deref(), dur_us);
         let mut st = lock_state();
         if st.trace.len() < TRACE_CAP {
             let slice = trace::TraceSlice {
@@ -345,10 +375,6 @@ impl Drop for Span {
         } else {
             st.trace_dropped += 1;
         }
-        st.hists
-            .entry(format!("span.{}_us", self.name))
-            .or_default()
-            .record(dur_us);
         emit_line(&mut st, line);
     }
 }
@@ -378,8 +404,7 @@ impl Drop for KernelSpan {
             return;
         }
         let dur = clock_ns() - self.start_ns;
-        let mut st = lock_state();
-        st.hists.entry(format!("{}_ns", self.name)).or_default().record(dur);
+        registry::observe(&format!("{}_ns", self.name), dur);
     }
 }
 
@@ -398,34 +423,30 @@ pub fn event(name: &str, fields: &[(&str, Value)]) {
     emit_line(&mut lock_state(), line);
 }
 
-/// Adds `delta` to a named counter (summarised at [`shutdown`]).
+/// Adds `delta` to a named counter in the live [`registry`]
+/// (queryable via [`metrics_snapshot`], summarised at [`shutdown`]).
 pub fn count(name: &str, delta: u64) {
-    if !enabled() {
-        return;
-    }
-    let mut st = lock_state();
-    match st.counters.get_mut(name) {
-        Some(v) => *v += delta,
-        None => {
-            st.counters.insert(name.to_string(), delta);
-        }
-    }
+    registry::counter_add(name, delta);
 }
 
-/// Records a value into a named histogram (summarised at [`shutdown`]).
+/// Sets a named gauge in the live [`registry`] (last write wins;
+/// queryable via [`metrics_snapshot`], summarised at [`shutdown`]).
+pub fn gauge(name: &str, value: f64) {
+    registry::gauge_set(name, value);
+}
+
+/// Records a value into a named histogram in the live [`registry`] —
+/// both the all-time view and the sliding recent window (queryable via
+/// [`metrics_snapshot`], summarised at [`shutdown`]).
 pub fn observe(name: &str, value: u64) {
-    if !enabled() {
-        return;
-    }
-    let mut st = lock_state();
-    match st.hists.get_mut(name) {
-        Some(h) => h.record(value),
-        None => {
-            let mut h = Histogram::new();
-            h.record(value);
-            st.hists.insert(name.to_string(), h);
-        }
-    }
+    registry::observe(name, value);
+}
+
+/// A consistent point-in-time snapshot of every live metric: counters,
+/// gauges, histogram percentiles (all-time and recent window) and span
+/// self-time. Empty when telemetry is disabled.
+pub fn metrics_snapshot() -> MetricsSnapshot {
+    registry::snapshot()
 }
 
 // -------------------------------------------------------------- manifest
@@ -521,41 +542,72 @@ pub fn flush() {
     }
 }
 
-/// Emits counter/histogram summary events, writes the Chrome trace (if
-/// `RAAL_TRACE_OUT` was set) and flushes. Call before process exit;
-/// calling again later summarises whatever accumulated since.
+/// Emits counter/gauge/histogram summary events, writes the Chrome
+/// trace / Prometheus snapshot / collapsed stacks (if their `RAAL_*_OUT`
+/// variables were set) and flushes. Call before process exit; calling
+/// again later summarises whatever accumulated since.
 pub fn shutdown() {
     if !enabled() {
         return;
     }
-    finalize(&mut lock_state());
+    // Drain the registry before taking the state lock — the two locks
+    // are never held together (lock-order discipline).
+    let snap = registry::drain();
+    finalize(&mut lock_state(), snap);
 }
 
-fn finalize(st: &mut State) {
+fn finalize(st: &mut State, mut snap: registry::MetricsSnapshot) {
     if st.trace_dropped > 0 {
         let dropped = std::mem::take(&mut st.trace_dropped);
-        st.counters.insert("telemetry.trace_dropped".to_string(), dropped);
+        let slot = snap
+            .counters
+            .entry("telemetry.trace_dropped".to_string())
+            .or_insert(0);
+        *slot = slot.saturating_add(dropped);
     }
     let ts = clock_us();
-    for (name, v) in std::mem::take(&mut st.counters) {
-        let line = Line::new(ts, "counter").str("name", &name).uint("value", v).finish();
+    for (name, v) in &snap.counters {
+        let line = Line::new(ts, "counter").str("name", name).uint("value", *v).finish();
         emit_line(st, line);
     }
-    for (name, h) in std::mem::take(&mut st.hists) {
+    for (name, v) in &snap.gauges {
+        let line = Line::new(ts, "gauge").str("name", name).float("value", *v).finish();
+        emit_line(st, line);
+    }
+    for (name, h) in &snap.hists {
         let line = Line::new(ts, "histogram")
-            .str("name", &name)
-            .uint("count", h.count())
-            .uint("p50", h.percentile(0.50))
-            .uint("p95", h.percentile(0.95))
-            .uint("p99", h.percentile(0.99))
-            .uint("max", h.max())
-            .float("mean", h.mean())
+            .str("name", name)
+            .uint("count", h.all.count)
+            .uint("p50", h.all.p50.unwrap_or(0))
+            .uint("p95", h.all.p95.unwrap_or(0))
+            .uint("p99", h.all.p99.unwrap_or(0))
+            .uint("max", h.all.max)
+            .float("mean", h.all.mean)
+            .uint("recent_count", h.recent.count)
+            .uint("recent_p50", h.recent.p50.unwrap_or(0))
+            .uint("recent_p95", h.recent.p95.unwrap_or(0))
+            .uint("recent_p99", h.recent.p99.unwrap_or(0))
             .finish();
         emit_line(st, line);
     }
     if let Some(path) = st.trace_path.clone() {
         if let Err(e) = trace::write_chrome_trace(&path, &st.trace, &st.run_id) {
             eprintln!("telemetry: cannot write trace {}: {e}", path.display());
+        }
+    }
+    if let Some(path) = st.metrics_path.clone() {
+        let text = if path.extension().is_some_and(|e| e == "json") {
+            snap.to_json()
+        } else {
+            snap.to_prometheus()
+        };
+        if let Err(e) = std::fs::write(&path, text) {
+            eprintln!("telemetry: cannot write metrics {}: {e}", path.display());
+        }
+    }
+    if let Some(path) = st.stacks_path.clone() {
+        if let Err(e) = std::fs::write(&path, snap.collapsed_stacks()) {
+            eprintln!("telemetry: cannot write stacks {}: {e}", path.display());
         }
     }
     st.trace.clear();
@@ -614,13 +666,14 @@ pub mod testing {
         {
             let mut st = lock_state();
             st.sink = Some(Box::new(VecSink(buf.clone())));
-            st.counters.clear();
-            st.hists.clear();
             st.trace.clear();
             st.trace_dropped = 0;
             st.manifest_emitted = false;
             st.trace_path = trace_path;
+            st.metrics_path = None;
+            st.stacks_path = None;
         }
+        registry::reset();
         ENABLED.store(enable, Ordering::Release);
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
         if enable {

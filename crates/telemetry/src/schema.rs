@@ -27,14 +27,16 @@ pub const COMMON_REQUIRED: &[&str] = &["ts_us", "type"];
 ///   `dur_us`, nesting `depth` (and `parent`, `null` at depth 0).
 /// * `event` — a point event; sparksim's Spark-style job/stage/task
 ///   records use this type with names from [`SPARK_EVENT_NAMES`].
-/// * `counter` / `histogram` — end-of-run metric summaries emitted by
-///   `telemetry::shutdown()`.
+/// * `counter` / `gauge` / `histogram` — end-of-run metric summaries
+///   emitted by `telemetry::shutdown()` from the live registry
+///   (histogram lines also carry the `recent_*` windowed view).
 pub const REQUIRED_BY_TYPE: &[(&str, &[&str])] = &[
     ("run_manifest", &["run_id", "git_sha", "clock_origin_unix_ms", "fields"]),
     ("run_manifest_update", &["run_id", "fields"]),
     ("span", &["name", "tid", "dur_us", "depth"]),
     ("event", &["name", "fields"]),
     ("counter", &["name", "value"]),
+    ("gauge", &["name", "value"]),
     ("histogram", &["name", "count", "p50", "p95", "p99", "max", "mean"]),
 ];
 
@@ -112,16 +114,47 @@ pub const COUNTER_NAMES: &[&str] = &[
     "serving.fallback.admission",
     "serving.fallback.busy",
     "serving.fallback.worker_lost",
+    "sparksim.jobs.completed",
+    "monitor.samples",
+    "monitor.drift.alarms",
 ];
 
-/// Registered histogram names (`telemetry::observe`).
-pub const HISTOGRAM_NAMES: &[&str] = &["train.batch_ns", "infer.predict_ns"];
+/// Registered histogram names (`telemetry::observe`). `serving.predict_us`
+/// is the serving layer's end-to-end latency (deadline hit-rate's raw
+/// material); the windowed recent view of it is what an SLO dashboard
+/// scrapes.
+pub const HISTOGRAM_NAMES: &[&str] = &["train.batch_ns", "infer.predict_ns", "serving.predict_us"];
+
+/// Registered gauge names (`telemetry::gauge`): last-write-wins live
+/// values. The `serving.slo.*` family is the serving layer's SLO
+/// tracker — deadline hit-rate, overall fallback rate, and per-reason
+/// error-budget burn (fraction of the configured error budget consumed;
+/// > 1 means the budget is blown).
+pub const GAUGE_NAMES: &[&str] = &[
+    "train.loss",
+    "serving.slo.hit_rate",
+    "serving.slo.fallback_rate",
+    "serving.slo.burn.checkpoint",
+    "serving.slo.burn.admission",
+    "serving.slo.burn.deadline",
+    "serving.slo.burn.busy",
+    "serving.slo.burn.worker_lost",
+];
+
+/// Registered gauge *families*: per-workload-class gauges published by
+/// `telemetry::monitor` are `<prefix><class>`, where `class` is chosen
+/// by the caller at runtime. A gauge name is valid if it is in
+/// [`GAUGE_NAMES`] or extends one of these prefixes (see
+/// [`gauge_is_registered`]).
+pub const GAUGE_PREFIXES: &[&str] = &["monitor.mae.", "monitor.qerror.", "monitor.drift."];
 
 /// Registered point-event names (`telemetry::event`): the trainer's
-/// per-epoch record plus the Spark-style listener events from
-/// [`SPARK_EVENT_NAMES`] (including the fault/recovery events).
+/// per-epoch record, the drift monitor's alarm, plus the Spark-style
+/// listener events from [`SPARK_EVENT_NAMES`] (including the
+/// fault/recovery events).
 pub const EVENT_NAMES: &[&str] = &[
     "train.epoch",
+    "drift.alarm",
     "job_start",
     "stage_completed",
     "task_end",
@@ -131,6 +164,16 @@ pub const EVENT_NAMES: &[&str] = &[
     "speculative_launch",
     "stage_reattempt",
 ];
+
+/// Whether a gauge name is registered: either an exact [`GAUGE_NAMES`]
+/// entry or a per-class instantiation of a [`GAUGE_PREFIXES`] family
+/// (the class part must be non-empty).
+pub fn gauge_is_registered(name: &str) -> bool {
+    GAUGE_NAMES.contains(&name)
+        || GAUGE_PREFIXES
+            .iter()
+            .any(|p| name.len() > p.len() && name.starts_with(p))
+}
 
 /// Returns the required field list for an event type, if it is known.
 pub fn required_fields(event_type: &str) -> Option<&'static [&'static str]> {

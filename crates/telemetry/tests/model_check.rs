@@ -72,6 +72,95 @@ fn inverted_publication_order_is_caught() {
     assert!(failure.seed.starts_with("mc1:"));
 }
 
+/// The registry's headline guarantee: a [`telemetry::registry::Registry`]
+/// snapshot is one lock acquisition, so ordering invariants the writers
+/// maintain survive into the snapshot. The writer increments `a` before
+/// `b` in separate registry calls and pairs a gauge with a counter; no
+/// interleaving may produce a snapshot with `b > a` or a gauge that ran
+/// ahead of its counter.
+#[test]
+fn metrics_snapshot_is_never_torn() {
+    use telemetry::registry::Registry;
+    explore("registry-snapshot-not-torn", cfg(), || {
+        let reg = Arc::new(Registry::new());
+        let r2 = reg.clone();
+        let writer = thread::spawn(move || {
+            for _ in 0..2 {
+                // Protocol: `a` always leads `b`, and the paired gauge
+                // is published only after its counter.
+                r2.counter_add("a", 1);
+                r2.counter_add("b", 1);
+                r2.counter_add("done", 1);
+                r2.gauge_set("done.gauge", 1.0);
+            }
+        });
+        let snap = reg.snapshot_at(0);
+        let a = snap.counters.get("a").copied().unwrap_or(0);
+        let b = snap.counters.get("b").copied().unwrap_or(0);
+        assert!(a >= b, "snapshot tore the a-then-b ordering: a={a} b={b}");
+        if snap.gauges.contains_key("done.gauge") {
+            assert!(
+                snap.counters.get("done").copied().unwrap_or(0) >= 1,
+                "gauge published before its counter"
+            );
+        }
+        writer.join().unwrap();
+        let final_snap = reg.snapshot_at(0);
+        assert_eq!(final_snap.counters["a"], 2);
+        assert_eq!(final_snap.counters["b"], 2);
+    });
+}
+
+/// Negative control for the snapshot guarantee: reading `a` and `b` in
+/// *separate* lock acquisitions (two single-metric snapshots) is the
+/// torn pattern the one-shot snapshot exists to prevent — the checker
+/// must find the interleaving where the writer slips between the two
+/// reads.
+#[test]
+fn split_reads_are_caught_as_torn() {
+    use telemetry::registry::Registry;
+    let failure = check(cfg(), || {
+        let reg = Arc::new(Registry::new());
+        let r2 = reg.clone();
+        let writer = thread::spawn(move || {
+            r2.counter_add("a", 1);
+            r2.counter_add("b", 1);
+        });
+        // Torn read: b from a later state than a.
+        let a = reg.snapshot_at(0).counters.get("a").copied().unwrap_or(0);
+        let b = reg.snapshot_at(0).counters.get("b").copied().unwrap_or(0);
+        assert!(a >= b, "torn read: a={a} b={b}");
+        writer.join().unwrap();
+    })
+    .expect_err("the torn interleaving must be found");
+    assert!(matches!(failure.kind, FailureKind::Panic(_)), "unexpected failure: {failure}");
+    assert!(failure.seed.starts_with("mc1:"));
+}
+
+/// Concurrent histogram writers against one windowed registry metric:
+/// no interleaving may lose an observation or deadlock, and the final
+/// snapshot agrees with the number of records made.
+#[test]
+fn concurrent_observers_never_lose_samples() {
+    use telemetry::registry::Registry;
+    explore("registry-concurrent-observe", cfg(), || {
+        let reg = Arc::new(Registry::new());
+        let (r1, r2) = (reg.clone(), reg.clone());
+        let t1 = thread::spawn(move || {
+            r1.observe_at("lat", 0, 10);
+            r1.observe_at("lat", 1, 20);
+        });
+        let t2 = thread::spawn(move || {
+            r2.observe_at("lat", 2, 30);
+        });
+        t1.join().unwrap();
+        t2.join().unwrap();
+        let snap = reg.snapshot_at(2);
+        assert_eq!(snap.hists["lat"].all.count, 3, "an observation was lost");
+        assert_eq!(snap.hists["lat"].recent.count, 3);
+    });
+}
+
 /// Disable-and-teardown, as `capture_inner` runs it: the writer clears
 /// the flag and then removes the sink under the lock, while a reader
 /// follows the emit pattern — flag check, then a lock-guarded `if let`

@@ -7,7 +7,7 @@ use telemetry::testing::capture_disabled;
 
 /// One instrumentation call, chosen by the property inputs.
 fn run_op(op: u8, payload: u64) {
-    match op % 6 {
+    match op % 8 {
         0 => {
             let mut s = telemetry::span("prop.span");
             s.record("v", payload);
@@ -18,6 +18,11 @@ fn run_op(op: u8, payload: u64) {
         2 => telemetry::count("prop.counter", payload),
         3 => telemetry::observe("prop.hist", payload),
         4 => telemetry::event("prop.event", &[("v", telemetry::Value::UInt(payload))]),
+        5 => telemetry::gauge("prop.gauge", payload as f64),
+        6 => {
+            let snap = telemetry::metrics_snapshot();
+            assert!(snap.counters.is_empty(), "disabled registry holds state");
+        }
         _ => telemetry::manifest(&[("v", telemetry::Value::UInt(payload))]),
     }
 }
@@ -27,7 +32,7 @@ proptest! {
 
     #[test]
     fn disabled_telemetry_emits_nothing(
-        ops in proptest::prop::collection::vec(0u8..6, 0..40),
+        ops in proptest::prop::collection::vec(0u8..8, 0..40),
         payload in 0u64..1_000_000,
     ) {
         let lines = capture_disabled(|| {

@@ -95,6 +95,7 @@ fn every_line_satisfies_the_schema() {
         let _s = telemetry::span("work");
         telemetry::event("job_start", &[("job_id", telemetry::Value::UInt(1))]);
         telemetry::count("things", 3);
+        telemetry::gauge("level", 0.5);
         telemetry::observe("sizes", 100);
         let _k = telemetry::kernel_span("kern");
     });
