@@ -27,14 +27,30 @@
 //!   behind the lock-order lint rule, plus a re-export of the
 //!   `raal_sync` deterministic schedule explorer ([`conc::check`] /
 //!   [`conc::explore`]) used by the workspace's model-check tests.
+//! * [`lex`] — the shared hand lexer: comment/string-blanked views of a
+//!   source file, function spans, test ranges, and comment-aware
+//!   justification windows. Feeds [`lint`], [`callgraph`] and
+//!   [`mod@panic`].
+//! * [`callgraph`] — a whole-workspace lexical call-graph extractor:
+//!   function definitions keyed by enclosing `impl` type, call-site
+//!   resolution by receiver type where inferable, and conservative
+//!   fan-out edges for unknown callees. Powers hot-path reachability.
+//! * [`mod@panic`] — panic-source and allocation-source catalogs plus the
+//!   `hot-panic` / `hot-alloc` rules: every panic or heap-allocation
+//!   site reachable from a declared serving entry point must carry a
+//!   `// PANIC-FREE:` / `// HOT-ALLOC:` justification or an entry in
+//!   the shrink-only `hotpath-allowlist.tsv` ratchet.
 //!
 //! Run the linter with `cargo run -p analysis --bin raal-lint`.
 
 #![deny(missing_docs)]
 
+pub mod callgraph;
 pub mod conc;
 pub mod dag;
+pub mod lex;
 pub mod lint;
+pub mod panic;
 pub mod shape;
 
 pub use dag::{validate_children, validate_signed_rows, DagError};

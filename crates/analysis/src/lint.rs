@@ -41,6 +41,10 @@
 //! is robust across editions and keeps the binary dependency-free.
 
 use crate::conc::LockOrderGraph;
+use crate::lex::{
+    crate_of, find_word, fn_spans, in_ranges, is_ident_byte, is_test_path, justified_in_window,
+    lex_views, line_of, line_starts, test_ranges, use_ranges, Views,
+};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::fs;
@@ -98,283 +102,6 @@ impl fmt::Display for Violation {
     }
 }
 
-/// Lexically processed views of one source file, all byte-for-byte the
-/// same length as the original (newlines preserved), so offsets and
-/// line numbers agree across views.
-struct Views {
-    /// Original text.
-    raw: String,
-    /// Comments blanked to spaces; string literals kept verbatim.
-    code: String,
-    /// Comments *and* string/char literal contents blanked.
-    blanked: String,
-}
-
-/// Byte offset of the start of each line, for offset → line mapping.
-fn line_starts(text: &str) -> Vec<usize> {
-    let mut starts = vec![0usize];
-    for (i, b) in text.bytes().enumerate() {
-        if b == b'\n' {
-            starts.push(i + 1);
-        }
-    }
-    starts
-}
-
-fn line_of(starts: &[usize], offset: usize) -> usize {
-    starts.partition_point(|&s| s <= offset)
-}
-
-#[derive(Clone, Copy, PartialEq)]
-enum Lex {
-    Normal,
-    LineComment,
-    BlockComment(u32),
-    Str,
-    RawStr(u32),
-    Char,
-}
-
-/// Builds the comment-stripped and string-blanked views of `raw`.
-fn lex_views(raw: &str) -> Views {
-    let bytes = raw.as_bytes();
-    let mut code: Vec<u8> = bytes.to_vec();
-    let mut blanked: Vec<u8> = bytes.to_vec();
-    let mut state = Lex::Normal;
-    let mut i = 0;
-    let n = bytes.len();
-
-    // Blank byte `j` in the given views (newlines always survive).
-    let blank = |buf: &mut [u8], j: usize| {
-        if buf[j] != b'\n' {
-            buf[j] = b' ';
-        }
-    };
-
-    while i < n {
-        let b = bytes[i];
-        match state {
-            Lex::Normal => {
-                if b == b'/' && i + 1 < n && bytes[i + 1] == b'/' {
-                    state = Lex::LineComment;
-                    blank(&mut code, i);
-                    blank(&mut blanked, i);
-                } else if b == b'/' && i + 1 < n && bytes[i + 1] == b'*' {
-                    state = Lex::BlockComment(1);
-                    blank(&mut code, i);
-                    blank(&mut blanked, i);
-                } else if b == b'"' {
-                    state = Lex::Str;
-                } else if b == b'r' || b == b'b' {
-                    // r"..."# / br#"..."# raw strings, b"..." byte strings.
-                    let mut j = i + 1;
-                    if b == b'b' && j < n && bytes[j] == b'r' {
-                        j += 1;
-                    }
-                    if b == b'b' && j == i + 1 && j < n && bytes[j] == b'"' {
-                        state = Lex::Str;
-                        i = j;
-                    } else if bytes.get(i + 1) == Some(&b'"') && b == b'r' {
-                        state = Lex::RawStr(0);
-                        i += 1;
-                    } else if j > i + 1 || (b == b'r' && bytes.get(j).is_some_and(|&c| c == b'#')) {
-                        let mut hashes = 0u32;
-                        let mut k = j;
-                        while k < n && bytes[k] == b'#' {
-                            hashes += 1;
-                            k += 1;
-                        }
-                        if hashes > 0 && k < n && bytes[k] == b'"' {
-                            state = Lex::RawStr(hashes);
-                            i = k;
-                        }
-                    }
-                } else if b == b'\'' {
-                    // Char literal vs lifetime: 'x' or '\..' is a char.
-                    if i + 1 < n && bytes[i + 1] == b'\\' {
-                        state = Lex::Char;
-                    } else if i + 2 < n && bytes[i + 2] == b'\'' && bytes[i + 1] != b'\'' {
-                        blank(&mut blanked, i + 1);
-                        i += 2;
-                    }
-                    // Otherwise a lifetime: leave untouched.
-                }
-            }
-            Lex::LineComment => {
-                if b == b'\n' {
-                    state = Lex::Normal;
-                } else {
-                    blank(&mut code, i);
-                    blank(&mut blanked, i);
-                }
-            }
-            Lex::BlockComment(depth) => {
-                blank(&mut code, i);
-                blank(&mut blanked, i);
-                if b == b'*' && i + 1 < n && bytes[i + 1] == b'/' {
-                    blank(&mut code, i + 1);
-                    blank(&mut blanked, i + 1);
-                    i += 1;
-                    state = if depth == 1 {
-                        Lex::Normal
-                    } else {
-                        Lex::BlockComment(depth - 1)
-                    };
-                } else if b == b'/' && i + 1 < n && bytes[i + 1] == b'*' {
-                    blank(&mut code, i + 1);
-                    blank(&mut blanked, i + 1);
-                    i += 1;
-                    state = Lex::BlockComment(depth + 1);
-                }
-            }
-            Lex::Str => {
-                if b == b'\\' && i + 1 < n {
-                    blank(&mut blanked, i);
-                    blank(&mut blanked, i + 1);
-                    i += 1;
-                } else if b == b'"' {
-                    state = Lex::Normal;
-                } else {
-                    blank(&mut blanked, i);
-                }
-            }
-            Lex::RawStr(hashes) => {
-                if b == b'"' {
-                    let mut k = i + 1;
-                    let mut seen = 0u32;
-                    while seen < hashes && k < n && bytes[k] == b'#' {
-                        seen += 1;
-                        k += 1;
-                    }
-                    if seen == hashes {
-                        i = k - 1;
-                        state = Lex::Normal;
-                    } else {
-                        blank(&mut blanked, i);
-                    }
-                } else {
-                    blank(&mut blanked, i);
-                }
-            }
-            Lex::Char => {
-                if b == b'\\' && i + 1 < n {
-                    blank(&mut blanked, i);
-                    blank(&mut blanked, i + 1);
-                    i += 1;
-                } else if b == b'\'' {
-                    state = Lex::Normal;
-                } else {
-                    blank(&mut blanked, i);
-                }
-            }
-        }
-        i += 1;
-    }
-
-    Views {
-        raw: raw.to_string(),
-        code: String::from_utf8(code).expect("blanking preserves UTF-8"),
-        blanked: String::from_utf8(blanked).expect("blanking preserves UTF-8"),
-    }
-}
-
-fn is_ident_byte(b: u8) -> bool {
-    b.is_ascii_alphanumeric() || b == b'_'
-}
-
-/// Offsets of whole-word occurrences of `word` in `text`.
-fn find_word(text: &str, word: &str) -> Vec<usize> {
-    let mut out = Vec::new();
-    let bytes = text.as_bytes();
-    let mut from = 0;
-    while let Some(pos) = text[from..].find(word) {
-        let at = from + pos;
-        let before_ok = at == 0 || !is_ident_byte(bytes[at - 1]);
-        let end = at + word.len();
-        let after_ok = end >= bytes.len() || !is_ident_byte(bytes[end]);
-        if before_ok && after_ok {
-            out.push(at);
-        }
-        from = at + word.len();
-    }
-    out
-}
-
-/// Byte ranges of `#[cfg(test)]`- or `#[test]`-gated item bodies.
-fn test_ranges(blanked: &str) -> Vec<Range<usize>> {
-    let mut ranges: Vec<Range<usize>> = Vec::new();
-    let bytes = blanked.as_bytes();
-    for marker in ["#[cfg(test)]", "#[test]"] {
-        let mut from = 0;
-        while let Some(pos) = blanked[from..].find(marker) {
-            let at = from + pos;
-            from = at + marker.len();
-            // The attribute gates the next item: scan to its `{` body
-            // (or bail at `;` — e.g. `#[cfg(test)] use ...;`).
-            let mut i = at + marker.len();
-            let mut open = None;
-            while i < bytes.len() {
-                match bytes[i] {
-                    b'{' => {
-                        open = Some(i);
-                        break;
-                    }
-                    b';' => break,
-                    _ => i += 1,
-                }
-            }
-            let Some(open) = open else { continue };
-            let mut depth = 0usize;
-            let mut close = bytes.len();
-            for (j, &b) in bytes.iter().enumerate().skip(open) {
-                if b == b'{' {
-                    depth += 1;
-                } else if b == b'}' {
-                    depth -= 1;
-                    if depth == 0 {
-                        close = j + 1;
-                        break;
-                    }
-                }
-            }
-            ranges.push(at..close);
-        }
-    }
-    ranges.sort_by_key(|r| r.start);
-    ranges
-}
-
-fn in_ranges(ranges: &[Range<usize>], offset: usize) -> bool {
-    ranges.iter().any(|r| r.contains(&offset))
-}
-
-/// Byte ranges of `use` declarations (keyword through `;`), which may
-/// span several lines for grouped imports.
-fn use_ranges(blanked: &str) -> Vec<Range<usize>> {
-    let bytes = blanked.as_bytes();
-    find_word(blanked, "use")
-        .into_iter()
-        .map(|at| {
-            let end = bytes[at..]
-                .iter()
-                .position(|&b| b == b';')
-                .map_or(bytes.len(), |p| at + p + 1);
-            at..end
-        })
-        .collect()
-}
-
-/// Whether the path is test-only by location (integration tests and
-/// criterion benches).
-fn is_test_path(rel: &str) -> bool {
-    rel.starts_with("tests/") || rel.contains("/tests/") || rel.contains("/benches/")
-}
-
-/// The `crates/<name>/` component of a relative path, if any.
-fn crate_of(rel: &str) -> Option<&str> {
-    rel.strip_prefix("crates/").and_then(|rest| rest.split('/').next())
-}
-
 /// Recursively collects `.rs` files under `root`, skipping build
 /// artefacts, vendored stand-ins and VCS metadata.
 fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
@@ -396,9 +123,11 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     Ok(())
 }
 
-/// Lints every Rust source under `root`, returning findings sorted by
-/// path and line.
-pub fn lint_root(root: &Path) -> io::Result<Vec<Violation>> {
+/// Reads every Rust source under `root` as `(relative path, text)`
+/// pairs, sorted by path — the common input of [`lint_sources`] and
+/// [`crate::panic::check_sources`]. Exposed so tests can load the real
+/// workspace, mutate a file in memory, and re-run an analysis.
+pub fn collect_sources(root: &Path) -> io::Result<Vec<(String, String)>> {
     let mut files = Vec::new();
     collect_rs(root, &mut files)?;
     files.sort();
@@ -411,7 +140,13 @@ pub fn lint_root(root: &Path) -> io::Result<Vec<Violation>> {
             .replace('\\', "/");
         sources.push((rel, fs::read_to_string(path)?));
     }
-    Ok(lint_sources(&sources))
+    Ok(sources)
+}
+
+/// Lints every Rust source under `root`, returning findings sorted by
+/// path and line.
+pub fn lint_root(root: &Path) -> io::Result<Vec<Violation>> {
+    Ok(lint_sources(&collect_sources(root)?))
 }
 
 /// Lints a set of `(relative path, source)` pairs: per-file rules first,
@@ -434,14 +169,15 @@ pub fn lint_file(rel: &str, source: &str, out: &mut Vec<Violation>) {
     let starts = line_starts(source);
     let tests = test_ranges(&views.blanked);
     let raw_lines: Vec<&str> = views.raw.lines().collect();
+    let code_lines: Vec<&str> = views.code.lines().collect();
     let test_file = is_test_path(rel);
     let krate = crate_of(rel);
 
-    rule_unsafe(rel, &views, &starts, &raw_lines, out);
+    rule_unsafe(rel, &views, &starts, &raw_lines, &code_lines, out);
     rule_instant(rel, &views, &starts, krate, out);
     if !test_file {
-        rule_epi8(rel, &views, &starts, &raw_lines, &tests, out);
-        rule_atomic_ordering(rel, &views, &starts, &raw_lines, &tests, out);
+        rule_epi8(rel, &views, &starts, &raw_lines, &code_lines, &tests, out);
+        rule_atomic_ordering(rel, &views, &starts, &raw_lines, &code_lines, &tests, out);
     }
     if !test_file && krate.is_some_and(|c| UNWRAP_CRATES.contains(&c)) && rel.contains("/src/") {
         rule_unwrap(rel, &views, &starts, &tests, out);
@@ -452,35 +188,26 @@ pub fn lint_file(rel: &str, source: &str, out: &mut Vec<Violation>) {
 }
 
 /// `unsafe` must carry a nearby `SAFETY:` justification (or a `# Safety`
-/// doc section for `unsafe fn` contracts).
+/// doc section for `unsafe fn` contracts). The justification must be a
+/// real comment — the marker inside a string literal does not count
+/// ([`crate::lex::comment_contains`]).
 fn rule_unsafe(
     rel: &str,
     views: &Views,
     starts: &[usize],
     raw_lines: &[&str],
+    code_lines: &[&str],
     out: &mut Vec<Violation>,
 ) {
     for at in find_word(&views.blanked, "unsafe") {
         let line = line_of(starts, at); // 1-based
-                                        // Look back through the fixed window, extended across any
-                                        // contiguous run of comment/attribute lines directly above the
-                                        // `unsafe` so a long `/// # Safety` section still counts.
-        let mut lo = line.saturating_sub(SAFETY_WINDOW);
-        while lo > 0 {
-            let t = raw_lines[lo - 1].trim_start();
-            if t.starts_with("//")
-                || t.starts_with("#[")
-                || t.starts_with("/*")
-                || t.starts_with('*')
-            {
-                lo -= 1;
-            } else {
-                break;
-            }
-        }
-        let documented = raw_lines[lo..line]
-            .iter()
-            .any(|l| l.contains("SAFETY:") || l.contains("# Safety"));
+        let documented = justified_in_window(
+            raw_lines,
+            code_lines,
+            line,
+            SAFETY_WINDOW,
+            &["SAFETY:", "# Safety"],
+        );
         if !documented {
             out.push(Violation {
                 rule: RULE_UNSAFE,
@@ -503,6 +230,7 @@ fn rule_epi8(
     views: &Views,
     starts: &[usize],
     raw_lines: &[&str],
+    code_lines: &[&str],
     tests: &[Range<usize>],
     out: &mut Vec<Violation>,
 ) {
@@ -530,10 +258,8 @@ fn rule_epi8(
             continue;
         }
         let line = line_of(starts, at); // 1-based
-        let lo = line.saturating_sub(EPI8_WINDOW);
-        let documented = raw_lines[lo..line]
-            .iter()
-            .any(|l| l.contains("SAFETY") || l.contains("# Safety"));
+        let documented =
+            justified_in_window(raw_lines, code_lines, line, EPI8_WINDOW, &["SAFETY", "# Safety"]);
         if !documented {
             out.push(Violation {
                 rule: RULE_EPI8,
@@ -674,6 +400,7 @@ fn rule_atomic_ordering(
     views: &Views,
     starts: &[usize],
     raw_lines: &[&str],
+    code_lines: &[&str],
     tests: &[Range<usize>],
     out: &mut Vec<Violation>,
 ) {
@@ -682,8 +409,8 @@ fn rule_atomic_ordering(
             continue;
         }
         let line = line_of(starts, at); // 1-based
-        let lo = line.saturating_sub(ORDERING_WINDOW);
-        let justified = raw_lines[lo..line].iter().any(|l| l.contains("ORDERING:"));
+        let justified =
+            justified_in_window(raw_lines, code_lines, line, ORDERING_WINDOW, &["ORDERING:"]);
         if !justified {
             out.push(Violation {
                 rule: RULE_ORDERING,
@@ -697,61 +424,6 @@ fn rule_atomic_ordering(
             });
         }
     }
-}
-
-/// A named function body: `range` spans its braces in the blanked view.
-struct FnSpan {
-    name: String,
-    range: Range<usize>,
-}
-
-/// Lexically located function bodies, for attributing lock sites. `fn`
-/// pointer types (`fn(..)`) and bodyless trait-method declarations are
-/// skipped; closures attribute to their enclosing named function.
-fn fn_spans(blanked: &str) -> Vec<FnSpan> {
-    let bytes = blanked.as_bytes();
-    let mut out = Vec::new();
-    for at in find_word(blanked, "fn") {
-        let mut i = at + 2;
-        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
-            i += 1;
-        }
-        let name_start = i;
-        while i < bytes.len() && is_ident_byte(bytes[i]) {
-            i += 1;
-        }
-        if i == name_start {
-            continue; // `fn(..)` pointer type, not an item
-        }
-        let name = blanked[name_start..i].to_string();
-        let mut open = None;
-        while i < bytes.len() {
-            match bytes[i] {
-                b'{' => {
-                    open = Some(i);
-                    break;
-                }
-                b';' => break, // bodyless declaration
-                _ => i += 1,
-            }
-        }
-        let Some(open) = open else { continue };
-        let mut depth = 0usize;
-        let mut close = bytes.len();
-        for (j, &b) in bytes.iter().enumerate().skip(open) {
-            if b == b'{' {
-                depth += 1;
-            } else if b == b'}' {
-                depth -= 1;
-                if depth == 0 {
-                    close = j + 1;
-                    break;
-                }
-            }
-        }
-        out.push(FnSpan { name, range: open..close });
-    }
-    out
 }
 
 /// The receiver expression of a `.lock()` call, walking backwards from
@@ -1011,6 +683,41 @@ mod tests {
             "crates/nn/src/x.rs",
             "fn f(p: *const u8) -> u8 {\n    // SAFETY: caller guarantees p is valid.\n    \
              unsafe { *p }\n}\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn safety_marker_inside_raw_string_does_not_justify() {
+        // The justification window reads the *comment* view; a SAFETY:
+        // marker smuggled in via a raw string literal is data, not a
+        // justification.
+        let v = lint_str(
+            "crates/nn/src/x.rs",
+            "fn f(p: *const u8) -> u8 {\n    let _s = r#\"SAFETY: not a comment\"#;\n    \
+             unsafe { *p }\n}\n",
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, RULE_UNSAFE);
+    }
+
+    #[test]
+    fn safety_comment_inside_nested_block_comment_still_counts() {
+        // Nested block comments are comments all the way down; the
+        // marker is visible to the comment view wherever it sits.
+        let v = lint_str(
+            "crates/nn/src/x.rs",
+            "fn f(p: *const u8) -> u8 {\n    /* outer /* inner */ SAFETY: fine */\n    \
+             unsafe { *p }\n}\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn unwrap_inside_raw_string_is_not_flagged() {
+        let v = lint_str(
+            "crates/encoding/src/x.rs",
+            "pub fn f() -> &'static str { r##\"x.unwrap() is just text\"## }\n",
         );
         assert!(v.is_empty(), "{v:?}");
     }

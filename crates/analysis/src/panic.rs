@@ -1,0 +1,530 @@
+//! Hot-path panic-freedom and allocation-freedom: the `hot-panic` and
+//! `hot-alloc` rules.
+//!
+//! Combines the [`crate::callgraph`] reachability sweep from the
+//! declared entry points ([`crate::callgraph::HOT_ENTRY_POINTS`]) with
+//! two lexical *site catalogs* over each reachable function body:
+//!
+//! * **Panic sources** — `.unwrap()` / `.expect(..)`, the panicking
+//!   macros (`panic!`, `unreachable!`, `todo!`, `unimplemented!`,
+//!   `assert!` / `assert_eq!` / `assert_ne!` — `debug_assert*` is
+//!   exempt, it compiles out of release serving builds), slice/array
+//!   indexing and slicing (`x[i]`, `&h[a..b]`), and `/` / `%` where the
+//!   divisor is not a literal and neither operand is visibly a float
+//!   (integer division by zero panics; float division cannot).
+//! * **Allocation sources** — `Vec::new` / `with_capacity` / `vec![..]`
+//!   / `.push(` / `.extend(` / `.resize(` / `.reserve(` / `.insert(` /
+//!   `.append(`, `Box::new`, `String` constructors, `.to_string(` /
+//!   `.to_owned(` / `.to_vec(`, `format!`, `.collect(` and `.clone(`.
+//!
+//! A site inside a function reachable from a hot entry point must carry
+//! a `// PANIC-FREE:` (resp. `// HOT-ALLOC:`) comment within the
+//! preceding [`JUSTIFY_WINDOW`] lines stating *why* the panic cannot
+//! fire (resp. why the allocation is acceptable — warmup-only, pool
+//! refill, enabled-path-only telemetry, per-request bounded). The
+//! marker must be a real comment; smuggling it inside a string does not
+//! count ([`crate::lex::comment_contains`]). Unjustified sites fail
+//! `raal-lint`, subject to the shrink-only `hotpath-allowlist.tsv`
+//! ratchet, which mirrors `lint-allowlist.tsv`.
+//!
+//! Both catalogs are heuristic and *biased toward over-reporting* —
+//! soundness caveats (what the lexical scan can miss, e.g. arithmetic
+//! overflow or a panicking callee hidden behind a trait object that
+//! also has zero workspace implementors) are documented in DESIGN.md
+//! §16. The dynamic witness for the same property is the counting
+//! global allocator test in `crates/core/tests/hotpath_alloc.rs`.
+
+use crate::callgraph::{CallGraph, HOT_ENTRY_POINTS};
+use crate::lex::{self, Views};
+use crate::lint::Violation;
+
+/// Rule id: panic source reachable from a hot entry point.
+pub const RULE_HOT_PANIC: &str = "hot-panic";
+/// Rule id: allocation source reachable from a hot entry point.
+pub const RULE_HOT_ALLOC: &str = "hot-alloc";
+
+/// Justification marker for panic sources.
+pub const PANIC_FREE_TAG: &str = "PANIC-FREE:";
+/// Justification marker for allocation sources.
+pub const HOT_ALLOC_TAG: &str = "HOT-ALLOC:";
+
+/// How many preceding lines may hold the justification comment.
+pub const JUSTIFY_WINDOW: usize = 8;
+
+/// Macros whose expansion can panic.
+const PANIC_MACROS: &[&str] = &[
+    "panic",
+    "unreachable",
+    "todo",
+    "unimplemented",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+];
+
+/// Keywords that may directly precede `[` without it being an index
+/// expression (`&mut [f32]`, `return [0; 4]`, …).
+const NON_INDEX_WORDS: &[&str] = &[
+    "as", "box", "break", "const", "continue", "dyn", "else", "enum", "extern", "fn", "for", "if",
+    "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub", "ref", "return", "static",
+    "struct", "trait", "type", "unsafe", "use", "where", "while",
+];
+
+/// Allocation patterns searched verbatim in the blanked view.
+const ALLOC_PATTERNS: &[&str] = &[
+    "Vec::new(",
+    "Vec::with_capacity(",
+    "Vec::from(",
+    "Box::new(",
+    "String::new(",
+    "String::from(",
+    "String::with_capacity(",
+    ".push(",
+    ".extend(",
+    ".append(",
+    ".insert(",
+    ".reserve(",
+    ".resize(",
+    ".collect(",
+    ".to_string(",
+    ".to_owned(",
+    ".to_vec(",
+    ".clone(",
+];
+
+/// Macros that allocate.
+const ALLOC_MACROS: &[&str] = &["vec", "format"];
+
+/// One panic or allocation source found in a file.
+#[derive(Debug, Clone)]
+pub struct Site {
+    /// Byte offset in the blanked view.
+    pub at: usize,
+    /// 1-based line number.
+    pub line: usize,
+    /// What was found (`.unwrap()`, `panic!`, `slice index`, …).
+    pub what: String,
+    /// `true` for a panic source, `false` for an allocation source.
+    pub is_panic: bool,
+}
+
+/// Scans one file for panic sources.
+pub fn panic_sites(views: &Views, starts: &[usize]) -> Vec<Site> {
+    let blanked = &views.blanked;
+    let bytes = blanked.as_bytes();
+    let mut out = Vec::new();
+    for pat in [".unwrap()", ".expect("] {
+        let mut from = 0;
+        while let Some(pos) = blanked[from..].find(pat) {
+            let at = from + pos;
+            from = at + pat.len();
+            out.push(Site {
+                at,
+                line: lex::line_of(starts, at),
+                what: format!("`{}`", pat.trim_end_matches('(')),
+                is_panic: true,
+            });
+        }
+    }
+    for mac in PANIC_MACROS {
+        for at in lex::find_word(blanked, mac) {
+            let next = bytes[at + mac.len()..].iter().find(|b| !b.is_ascii_whitespace());
+            if next == Some(&b'!') {
+                out.push(Site {
+                    at,
+                    line: lex::line_of(starts, at),
+                    what: format!("`{mac}!`"),
+                    is_panic: true,
+                });
+            }
+        }
+    }
+    index_sites(blanked, starts, &mut out);
+    divrem_sites(blanked, starts, &mut out);
+    out.sort_by_key(|s| s.at);
+    out
+}
+
+/// Scans one file for allocation sources.
+pub fn alloc_sites(views: &Views, starts: &[usize]) -> Vec<Site> {
+    let blanked = &views.blanked;
+    let bytes = blanked.as_bytes();
+    let mut out = Vec::new();
+    for pat in ALLOC_PATTERNS {
+        let mut from = 0;
+        while let Some(pos) = blanked[from..].find(pat) {
+            let at = from + pos;
+            from = at + pat.len();
+            // `Vec::new(` must not match inside `SmallVec::new(`.
+            if !pat.starts_with('.') && at > 0 && lex::is_ident_byte(bytes[at - 1]) {
+                continue;
+            }
+            out.push(Site {
+                at,
+                line: lex::line_of(starts, at),
+                what: format!("`{}`", pat.trim_end_matches('(')),
+                is_panic: false,
+            });
+        }
+    }
+    for mac in ALLOC_MACROS {
+        for at in lex::find_word(blanked, mac) {
+            let next = bytes[at + mac.len()..].iter().find(|b| !b.is_ascii_whitespace());
+            if next == Some(&b'!') {
+                out.push(Site {
+                    at,
+                    line: lex::line_of(starts, at),
+                    what: format!("`{mac}!`"),
+                    is_panic: false,
+                });
+            }
+        }
+    }
+    out.sort_by_key(|s| s.at);
+    out
+}
+
+/// Index/slice expressions: a `[` whose preceding token is a value
+/// (identifier that is not a keyword or lifetime, `)`, or `]`).
+fn index_sites(blanked: &str, starts: &[usize], out: &mut Vec<Site>) {
+    let bytes = blanked.as_bytes();
+    for (i, &b) in bytes.iter().enumerate() {
+        if b != b'[' {
+            continue;
+        }
+        let mut p = i;
+        while p > 0 && bytes[p - 1].is_ascii_whitespace() {
+            p -= 1;
+        }
+        if p == 0 {
+            continue;
+        }
+        let prev = bytes[p - 1];
+        let is_index = if prev == b')' || prev == b']' {
+            true
+        } else if lex::is_ident_byte(prev) {
+            let mut q = p - 1;
+            while q > 0 && lex::is_ident_byte(bytes[q - 1]) {
+                q -= 1;
+            }
+            let word = &blanked[q..p];
+            let lifetime = q > 0 && bytes[q - 1] == b'\'';
+            !lifetime && !NON_INDEX_WORDS.contains(&word) && !word.as_bytes()[0].is_ascii_digit()
+        } else {
+            false
+        };
+        if is_index {
+            out.push(Site {
+                at: i,
+                line: lex::line_of(starts, i),
+                what: "slice/array index".to_string(),
+                is_panic: true,
+            });
+        }
+    }
+}
+
+/// The token directly before byte `p` (identifier bytes plus `.` so
+/// float literals like `1.0` read whole), or `""`.
+fn token_before(blanked: &str, mut p: usize) -> &str {
+    let bytes = blanked.as_bytes();
+    while p > 0 && bytes[p - 1].is_ascii_whitespace() {
+        p -= 1;
+    }
+    let end = p;
+    while p > 0 && (lex::is_ident_byte(bytes[p - 1]) || bytes[p - 1] == b'.') {
+        p -= 1;
+    }
+    &blanked[p..end]
+}
+
+fn looks_float(token: &str) -> bool {
+    (token.contains('.') && token.bytes().any(|b| b.is_ascii_digit()))
+        || token.ends_with("f32")
+        || token.ends_with("f64")
+}
+
+/// `/` and `%` where the divisor is not a literal and neither operand
+/// is visibly floating-point. Integer div/rem by zero panics; the
+/// float cases (`1.0 / x`, `x / n as f32`) are filtered out because
+/// float division cannot.
+fn divrem_sites(blanked: &str, starts: &[usize], out: &mut Vec<Site>) {
+    let bytes = blanked.as_bytes();
+    let n = bytes.len();
+    for (i, &b) in bytes.iter().enumerate() {
+        if b != b'/' && b != b'%' {
+            continue;
+        }
+        // Not part of `//`, `/*`, `*/` (blanked anyway) or `::`-ish ops.
+        if b == b'/' && (bytes.get(i + 1) == Some(&b'/') || (i > 0 && bytes[i - 1] == b'/')) {
+            continue;
+        }
+        // Dividend must be a value expression.
+        let mut p = i;
+        while p > 0 && bytes[p - 1].is_ascii_whitespace() {
+            p -= 1;
+        }
+        if p == 0
+            || !(lex::is_ident_byte(bytes[p - 1]) || bytes[p - 1] == b')' || bytes[p - 1] == b']')
+        {
+            continue;
+        }
+        if looks_float(token_before(blanked, i)) {
+            continue;
+        }
+        // Divisor: skip an op-assign `=` then leading whitespace/parens.
+        let mut k = i + 1;
+        if k < n && bytes[k] == b'=' {
+            k += 1;
+        }
+        while k < n && (bytes[k].is_ascii_whitespace() || bytes[k] == b'(' || bytes[k] == b'-') {
+            k += 1;
+        }
+        let dstart = k;
+        while k < n && (lex::is_ident_byte(bytes[k]) || bytes[k] == b'.' || bytes[k] == b'_') {
+            k += 1;
+        }
+        let divisor = &blanked[dstart..k];
+        if divisor.is_empty() {
+            continue; // `/ *ptr` or similar — too opaque, skip.
+        }
+        if looks_float(divisor) {
+            continue;
+        }
+        if divisor.as_bytes()[0].is_ascii_digit() && !divisor.contains('.') {
+            continue; // integer literal divisor, assumed nonzero
+        }
+        // `x / n as f32` parses as `x / (n as f32)`: a float division.
+        let mut w = k;
+        while w < n && bytes[w].is_ascii_whitespace() {
+            w += 1;
+        }
+        if blanked[w..].starts_with("as f32") || blanked[w..].starts_with("as f64") {
+            continue;
+        }
+        let op = b as char;
+        out.push(Site {
+            at: i,
+            line: lex::line_of(starts, i),
+            what: format!("`{op}` with non-literal divisor"),
+            is_panic: true,
+        });
+    }
+}
+
+/// Runs the hot-path rules over `(relative path, source)` pairs:
+/// builds the workspace call graph, sweeps reachability from
+/// [`HOT_ENTRY_POINTS`], and reports every unjustified panic/alloc
+/// site inside a reachable non-test function. Violations carry the
+/// witness call chain from the entry point.
+pub fn check_sources(sources: &[(String, String)]) -> Vec<Violation> {
+    let graph = CallGraph::build(sources);
+    let roots = graph.entry_indices(HOT_ENTRY_POINTS);
+    let reach = graph.reachable_from(&roots);
+    let mut out = Vec::new();
+
+    for (file, (rel, source)) in sources.iter().enumerate() {
+        // Nodes of this file, innermost-first attribution below.
+        let nodes: Vec<usize> =
+            (0..graph.fns.len()).filter(|&i| graph.fns[i].file == file).collect();
+        if nodes.iter().all(|&i| !reach.reached[i] || graph.fns[i].is_test) {
+            continue;
+        }
+        let views = lex::lex_views(source);
+        let starts = lex::line_starts(source);
+        let raw_lines: Vec<&str> = views.raw.lines().collect();
+        let code_lines: Vec<&str> = views.code.lines().collect();
+        let mut sites = panic_sites(&views, &starts);
+        sites.extend(alloc_sites(&views, &starts));
+        for site in sites {
+            // Innermost function containing the site.
+            let Some(&owner) = nodes
+                .iter()
+                .filter(|&&i| graph.fns[i].body.contains(&site.at))
+                .min_by_key(|&&i| graph.fns[i].body.len())
+            else {
+                continue;
+            };
+            let f = &graph.fns[owner];
+            if f.is_test || !reach.reached[owner] {
+                continue;
+            }
+            let (tag, rule) = if site.is_panic {
+                (PANIC_FREE_TAG, RULE_HOT_PANIC)
+            } else {
+                (HOT_ALLOC_TAG, RULE_HOT_ALLOC)
+            };
+            if lex::justified_in_window(&raw_lines, &code_lines, site.line, JUSTIFY_WINDOW, &[tag])
+            {
+                continue;
+            }
+            out.push(Violation {
+                rule,
+                path: rel.clone(),
+                line: site.line,
+                message: format!(
+                    "{} in `{}`, reachable from hot entry point via {} — justify with \
+                     `// {tag} ...` or remove it from the hot path",
+                    site.what,
+                    f.qualified(),
+                    describe_chain(&graph.chain(&reach, owner)),
+                ),
+            });
+        }
+    }
+    out.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    out
+}
+
+/// `a → b → c`, elided in the middle when the chain is long.
+fn describe_chain(chain: &[String]) -> String {
+    if chain.len() <= 5 {
+        chain.join(" → ")
+    } else {
+        format!("{} → … → {}", chain[0], chain[chain.len() - 3..].join(" → "))
+    }
+}
+
+/// [`check_sources`] over every Rust file under `root`.
+pub fn check_root(root: &std::path::Path) -> std::io::Result<Vec<Violation>> {
+    Ok(check_sources(&crate::lint::collect_sources(root)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sites_of(src: &str) -> (Vec<Site>, Vec<Site>) {
+        let views = lex::lex_views(src);
+        let starts = lex::line_starts(src);
+        (panic_sites(&views, &starts), alloc_sites(&views, &starts))
+    }
+
+    #[test]
+    fn panic_catalog_finds_the_usual_suspects() {
+        let src = "fn f(x: Option<u8>, xs: &[u8], a: usize, b: usize) -> u8 {\n\
+                   let v = x.unwrap();\n\
+                   assert!(b > 0);\n\
+                   let w = xs[a];\n\
+                   let q = a / b;\n\
+                   if v == 0 { panic!(\"zero\"); }\n\
+                   w + q as u8\n}\n";
+        let (p, _) = sites_of(src);
+        let whats: Vec<&str> = p.iter().map(|s| s.what.as_str()).collect();
+        assert!(whats.contains(&"`.unwrap()`"), "{whats:?}");
+        assert!(whats.contains(&"`assert!`"), "{whats:?}");
+        assert!(whats.contains(&"slice/array index"), "{whats:?}");
+        assert!(whats.contains(&"`/` with non-literal divisor"), "{whats:?}");
+        assert!(whats.contains(&"`panic!`"), "{whats:?}");
+    }
+
+    #[test]
+    fn debug_assert_and_float_division_are_exempt() {
+        let src = "fn f(x: f32, n: usize) -> f32 {\n\
+                   debug_assert!(n > 0);\n\
+                   let a = 1.0 / x;\n\
+                   let b = x / n as f32;\n\
+                   let c = x / 2.0;\n\
+                   a + b + c\n}\n";
+        let (p, _) = sites_of(src);
+        assert!(p.is_empty(), "{p:?}");
+    }
+
+    #[test]
+    fn types_and_attributes_are_not_index_sites() {
+        let src = "#[derive(Clone)]\nstruct S<'a> { xs: &'a [f32] }\n\
+                   fn f(s: &S<'_>) -> [f32; 2] { let _v: &mut [f32] = &mut [0.0; 2]; [0.0, 1.0] }\n";
+        let (p, _) = sites_of(src);
+        assert!(p.is_empty(), "{p:?}");
+    }
+
+    #[test]
+    fn integer_literal_divisor_is_exempt_but_identifier_is_not() {
+        let (p, _) = sites_of("fn f(a: usize) -> usize { a / 2 }\n");
+        assert!(p.is_empty(), "{p:?}");
+        let (p, _) = sites_of("fn f(a: usize, len: usize) -> usize { a % len }\n");
+        assert_eq!(p.len(), 1, "{p:?}");
+        assert_eq!(p[0].what, "`%` with non-literal divisor");
+    }
+
+    #[test]
+    fn alloc_catalog_finds_vec_string_and_macros() {
+        let src = "fn f() {\n\
+                   let mut v = Vec::with_capacity(4);\n\
+                   v.push(1u8);\n\
+                   let s = format!(\"{v:?}\");\n\
+                   let t = s.clone();\n\
+                   let b = Box::new(t);\n\
+                   drop(b);\n}\n";
+        let (_, a) = sites_of(src);
+        let whats: Vec<&str> = a.iter().map(|s| s.what.as_str()).collect();
+        for want in ["`Vec::with_capacity`", "`.push`", "`format!`", "`.clone`", "`Box::new`"] {
+            assert!(whats.contains(&want), "missing {want}: {whats:?}");
+        }
+    }
+
+    fn hot_world(extra_in_kernel: &str) -> Vec<(String, String)> {
+        vec![
+            (
+                "crates/core/src/serving/mod.rs".to_string(),
+                "pub struct ServingModel;\nimpl ServingModel {\n    \
+                 pub fn predict(&self) { step(); }\n}\n\
+                 fn step() { nn::kernel(); }\n"
+                    .to_string(),
+            ),
+            (
+                "crates/nn/src/infer.rs".to_string(),
+                format!("pub fn matmul_into() {{ kernel(); }}\npub fn kernel() {{ {extra_in_kernel} }}\n"),
+            ),
+            (
+                "crates/nn/src/cold.rs".to_string(),
+                // Not reachable from any entry point: free to panic.
+                "pub fn cold_path(x: Option<u8>) -> u8 { x.unwrap() }\n".to_string(),
+            ),
+        ]
+    }
+
+    #[test]
+    fn unjustified_panic_in_reachable_fn_is_flagged_with_chain() {
+        let v = check_sources(&hot_world("let x: Option<u8> = None; let _ = x.unwrap();"));
+        let hot: Vec<_> = v.iter().filter(|v| v.rule == RULE_HOT_PANIC).collect();
+        assert_eq!(hot.len(), 1, "{v:?}");
+        assert!(hot[0].message.contains("kernel"), "{}", hot[0].message);
+        assert!(hot[0].message.contains("→"), "witness chain expected: {}", hot[0].message);
+        // The unreachable cold path is not flagged.
+        assert!(v.iter().all(|v| v.path != "crates/nn/src/cold.rs"), "{v:?}");
+    }
+
+    #[test]
+    fn justified_sites_pass_but_string_smuggling_does_not() {
+        let v = check_sources(&hot_world(
+            "let x: Option<u8> = Some(1);\n    // PANIC-FREE: x is Some by construction.\n    \
+             let _ = x.unwrap();",
+        ));
+        assert!(v.iter().all(|v| v.rule != RULE_HOT_PANIC), "{v:?}");
+        let v = check_sources(&hot_world(
+            "let _j = \"PANIC-FREE: smuggled\"; let x: Option<u8> = Some(1); let _ = x.unwrap();",
+        ));
+        assert!(v.iter().any(|v| v.rule == RULE_HOT_PANIC), "{v:?}");
+    }
+
+    #[test]
+    fn unjustified_alloc_in_reachable_fn_is_flagged() {
+        let v = check_sources(&hot_world("let mut buf: Vec<f32> = Vec::new(); buf.push(0.0);"));
+        let hot: Vec<_> = v.iter().filter(|v| v.rule == RULE_HOT_ALLOC).collect();
+        assert_eq!(hot.len(), 2, "{v:?}"); // Vec::new and .push
+    }
+
+    #[test]
+    fn test_functions_are_never_flagged() {
+        let mut world = hot_world("");
+        world.push((
+            "crates/nn/src/infer_test_helpers.rs".to_string(),
+            "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { \
+             let v: Vec<u8> = Vec::new(); Some(1).unwrap(); drop(v); }\n}\n"
+                .to_string(),
+        ));
+        let v = check_sources(&world);
+        assert!(v.iter().all(|v| !v.path.contains("test_helpers")), "{v:?}");
+    }
+}

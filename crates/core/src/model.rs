@@ -578,12 +578,17 @@ impl CostModel {
     fn proj(&self, id: Option<ParamId>, which: &str) -> &[f32] {
         match id {
             Some(id) => self.store.value(id).data(),
+            // PANIC-FREE: construction registers a projection for every
+            // feature the config enables (shape::check validates the
+            // store), so this arm is unreachable for a built model.
             None => panic!("{which} enabled in the config but unregistered"),
         }
     }
 
     fn plan_context_impl(&self, plan: &EncodedPlan, qw: Option<&QuantizedWeights>) -> PlanContext {
         let n = plan.num_nodes();
+        // PANIC-FREE: deliberate guard — an empty plan is a caller bug;
+        // the encoder never produces one.
         assert!(n > 0, "cannot cost an empty plan");
         if let Some(qw) = qw {
             qw.assert_current(self);
@@ -596,6 +601,7 @@ impl CostModel {
             let hidden = self.cfg.hidden;
 
             // Pack node features row-major (the fast-path node_matrix).
+            // PANIC-FREE: n > 0 was asserted above, so row 0 exists.
             let dim = plan.node_features[0].len();
             let mut xs = arena.take(n * dim);
             for (row, feat) in xs.chunks_mut(dim).zip(&plan.node_features) {
@@ -615,6 +621,8 @@ impl CostModel {
                             arena,
                             qw.and_then(|qw| qw.lstm.as_ref()).map(|(wx, wh)| (wx, wh)),
                         ),
+                        // PANIC-FREE: the constructor builds the LSTM
+                        // cell whenever the config selects Lstm.
                         None => panic!("lstm exists for Lstm kind"),
                     },
                     PlanLayerKind::Cnn => match &self.cnn {
@@ -625,6 +633,8 @@ impl CostModel {
                             arena,
                             qw.and_then(|qw| qw.cnn.as_ref()),
                         ),
+                        // PANIC-FREE: the constructor builds the Conv1d
+                        // layer whenever the config selects Cnn.
                         None => panic!("cnn exists for Cnn kind"),
                     },
                 }
@@ -665,6 +675,8 @@ impl CostModel {
                 let mut scores = arena.take(0);
                 let mut ctx = arena.take(hidden);
                 for i in 0..n {
+                    // PANIC-FREE: i < n; h has n * hidden elements and
+                    // the encoder emits one children list per node.
                     let hi = &h[i * hidden..(i + 1) * hidden];
                     let kids = &plan.children[i];
                     if kids.is_empty() {
@@ -674,6 +686,7 @@ impl CostModel {
                         continue;
                     }
                     dot_attention_into(
+                        // PANIC-FREE: i < n and q_all has n * k elements.
                         &q_all[i * k..(i + 1) * k],
                         &k_all,
                         &h,
@@ -694,6 +707,7 @@ impl CostModel {
                 arena.give(ctx);
             } else {
                 for i in 0..n {
+                    // PANIC-FREE: i < n and h has n * hidden elements.
                     let hi = &h[i * hidden..(i + 1) * hidden];
                     for (acc, &v) in p.iter_mut().zip(hi.iter()) {
                         *acc += v / n as f32;
@@ -721,6 +735,7 @@ impl CostModel {
                 }
                 keys
             } else {
+                // HOT-ALLOC: Vec::new is capacity 0 — no heap allocation.
                 Vec::new()
             };
 
@@ -795,6 +810,9 @@ impl CostModel {
         resources: &[f32],
         qw: Option<&QuantizedWeights>,
     ) -> f64 {
+        // PANIC-FREE: deliberate staleness / tier-mismatch guards —
+        // pricing a context from another model state would silently
+        // return garbage, so these fail loudly instead.
         assert!(
             self.context_is_current(ctx),
             "stale PlanContext: the model was mutated, retrained or deserialised after \
@@ -819,6 +837,9 @@ impl CostModel {
             // `[p | stats]` for resource-blind ablations).
             let mut features = arena.take(self.head1.in_dim);
             let mut at = 0usize;
+            // PANIC-FREE: head1.in_dim = hidden (+ hidden + resource_dim
+            // when resource attention is on) + stats, so every `at`
+            // window below fits; the resource width guard is deliberate.
             features[at..at + hidden].copy_from_slice(&ctx.p);
             at += hidden;
             if self.cfg.resource_attention {
@@ -844,6 +865,8 @@ impl CostModel {
                 }
                 let mut scores = arena.take(0);
                 {
+                    // PANIC-FREE: at = hidden here and in_dim leaves at
+                    // least hidden + resource_dim + stats beyond it.
                     let (m_slot, _) = features[at..].split_at_mut(hidden);
                     dot_attention_into(
                         &q,
@@ -860,9 +883,12 @@ impl CostModel {
                 at += hidden;
                 arena.give(q);
                 arena.give(scores);
+                // PANIC-FREE: same in_dim layout argument as above.
                 features[at..at + self.cfg.resource_dim].copy_from_slice(resources);
                 at += self.cfg.resource_dim;
             }
+            // PANIC-FREE: the stats block is the final in_dim segment
+            // (debug-asserted below).
             features[at..at + ctx.stats.len()].copy_from_slice(&ctx.stats);
             debug_assert_eq!(at + ctx.stats.len(), self.head1.in_dim);
 
@@ -874,6 +900,8 @@ impl CostModel {
                 .head2
                 .infer_with(&self.store, &z1, 1, arena, qw.map(|q| &q.head2));
             let out = self.out.infer_with(&self.store, &z2, 1, arena, qw.map(|q| &q.out));
+            // PANIC-FREE: the output layer has out_dim = 1, so out[0]
+            // exists (shape::check pins the head shapes).
             let y = out[0] * self.label_std + self.label_mean;
             arena.give(features);
             arena.give(z1);
@@ -942,12 +970,15 @@ impl CostModel {
         qw: Option<&QuantizedWeights>,
     ) -> Vec<f64> {
         if items.is_empty() {
+            // HOT-ALLOC: Vec::new is capacity 0 — no heap allocation.
             return Vec::new();
         }
         telemetry::count("infer.predict.packed", items.len() as u64);
         let kcount = items.len();
         let hidden = self.cfg.hidden;
         let head_in = self.head1.in_dim;
+        // HOT-ALLOC: one K-element spine per batch; the contexts inside
+        // draw their buffers from the arena and are recycled below.
         let ctxs: Vec<PlanContext> = items
             .iter()
             .map(|(plan, _)| self.plan_context_impl(plan, qw))
@@ -963,6 +994,7 @@ impl CostModel {
                 // is independent, so row i equals the single-item `q`.
                 let mut rvecs = arena.take(kcount * rdim);
                 for (row, (_, res)) in rvecs.chunks_mut(rdim).zip(items.iter()) {
+                    // PANIC-FREE: deliberate width guard per item.
                     assert_eq!(res.len(), rdim, "resource vector width mismatch");
                     row.copy_from_slice(res);
                 }
@@ -980,6 +1012,10 @@ impl CostModel {
                 }
                 let mut scores = arena.take(0);
                 for (i, ctx) in ctxs.iter().enumerate() {
+                    // PANIC-FREE: i < kcount; features has kcount rows of
+                    // head_in = 2*hidden + rdim + stats, so every segment
+                    // offset below stays inside frow, and qs has
+                    // kcount * k elements.
                     let frow = &mut features[i * head_in..(i + 1) * head_in];
                     frow[..hidden].copy_from_slice(&ctx.p);
                     {
@@ -996,6 +1032,7 @@ impl CostModel {
                             m_slot,
                         );
                     }
+                    // PANIC-FREE: same head_in layout argument as above.
                     frow[2 * hidden..2 * hidden + rdim].copy_from_slice(items[i].1);
                     frow[2 * hidden + rdim..].copy_from_slice(&ctx.stats);
                 }
@@ -1004,6 +1041,8 @@ impl CostModel {
                 arena.give(scores);
             } else {
                 for (i, ctx) in ctxs.iter().enumerate() {
+                    // PANIC-FREE: i < kcount; head_in = hidden + stats in
+                    // the resource-blind layout.
                     let frow = &mut features[i * head_in..(i + 1) * head_in];
                     frow[..hidden].copy_from_slice(&ctx.p);
                     frow[hidden..].copy_from_slice(&ctx.stats);
@@ -1021,6 +1060,8 @@ impl CostModel {
             let out = self
                 .out
                 .infer_with(&self.store, &z2, kcount, arena, qw.map(|q| &q.out));
+            // HOT-ALLOC: the K-element result vector handed to the
+            // caller; all intermediate buffers come from the arena.
             let ys: Vec<f64> = out
                 .iter()
                 .map(|&o| denormalize_seconds(o * self.label_std + self.label_mean))
@@ -1170,6 +1211,8 @@ impl QuantizedWeights {
     }
 
     fn assert_current(&self, model: &CostModel) {
+        // PANIC-FREE: deliberate staleness guard — pricing through a
+        // snapshot of another model state would silently blend weights.
         assert!(
             self.model_identity == model.identity && self.model_version == model.version,
             "stale QuantizedWeights: the model was mutated, retrained or deserialised after \

@@ -25,9 +25,8 @@ pub fn select_plan(
     costs
         .iter()
         .enumerate()
-        .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite costs"))
-        .map(|(i, _)| i)
-        .expect("at least one plan")
+        .min_by(|a, b| a.1.total_cmp(b.1))
+        .map_or(0, |(i, _)| i)
 }
 
 /// The outcome of a head-to-head between the rule-based default plan and
@@ -89,9 +88,8 @@ pub fn evaluate_selection(
     let oracle = times
         .iter()
         .enumerate()
-        .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite times"))
-        .map(|(i, _)| i)
-        .expect("at least one plan");
+        .min_by(|a, b| a.1.total_cmp(b.1))
+        .map_or(0, |(i, _)| i);
     Ok(SelectionOutcome {
         chosen,
         chosen_seconds: times[chosen],

@@ -209,6 +209,8 @@ impl SloStats {
 
     /// Fallbacks attributed to `reason`.
     pub fn count(&self, reason: FallbackReason) -> u64 {
+        // PANIC-FREE: idx() enumerates the FallbackReason variants and
+        // by_reason is sized to that variant count.
         self.by_reason[reason.idx()]
     }
 
@@ -420,6 +422,8 @@ impl ServingModel {
             self.slo.total += 1;
             match p.source {
                 PredictionSource::Model => self.slo.model += 1,
+                // PANIC-FREE: idx() enumerates the variants and
+                // by_reason is sized to the variant count.
                 PredictionSource::Fallback(reason) => self.slo.by_reason[reason.idx()] += 1,
             }
         }
@@ -459,13 +463,20 @@ impl ServingModel {
         let _span = telemetry::span("serving.predict");
         telemetry::count("serving.predict", plans.len() as u64);
         if plans.is_empty() {
+            // HOT-ALLOC: Vec::new is capacity 0 — no heap allocation.
             return Vec::new();
         }
         if let Some(reason) = self.degraded {
+            // HOT-ALLOC: one response vector per request — the serving
+            // API hands owned predictions back to the caller.
             return plans.iter().map(|p| self.fall_back(p, res, reason)).collect();
         }
         // Per-plan admission: oversized plans are answered analytically,
         // the rest ride in one batch.
+        // HOT-ALLOC: per-request batch assembly — the slot vector, the
+        // admitted-index list and the response vector are all sized by
+        // the caller's batch and returned to (or dropped with) it.
+        // PANIC-FREE: i ranges over 0..plans.len() == out.len().
         let mut out: Vec<Option<ServingPrediction>> = plans
             .iter()
             .map(|p| {
@@ -475,6 +486,7 @@ impl ServingModel {
             .collect();
         let admitted: Vec<usize> = (0..plans.len()).filter(|&i| out[i].is_none()).collect();
         if admitted.is_empty() {
+            // HOT-ALLOC: the per-request response vector.
             return out.into_iter().flatten().collect();
         }
         // Drain any response from a request we previously abandoned.
@@ -489,6 +501,9 @@ impl ServingModel {
             }
         }
         let (encoded, features) = match &self.encoder {
+            // HOT-ALLOC: encoding builds one owned EncodedPlan per
+            // admitted plan; the worker takes ownership across the
+            // channel. PANIC-FREE: admitted holds indices < plans.len().
             Some(encoder) => (
                 admitted.iter().map(|&i| encoder.encode(plans[i])).collect::<Vec<_>>(),
                 res.feature_vector(&self.cfg.cluster),
@@ -514,6 +529,8 @@ impl ServingModel {
             match received {
                 Ok(resp) if resp.generation == generation => {
                     telemetry::count("serving.predict.model", admitted.len() as u64);
+                    // PANIC-FREE: admitted holds indices < out.len().
+                    // HOT-ALLOC: the per-request response vector.
                     for (&i, &seconds) in admitted.iter().zip(resp.seconds.iter()) {
                         out[i] =
                             Some(ServingPrediction { seconds, source: PredictionSource::Model });
@@ -543,6 +560,7 @@ impl ServingModel {
         res: &ResourceConfig,
         reason: FallbackReason,
     ) -> Vec<ServingPrediction> {
+        // HOT-ALLOC: the per-request response vector.
         out.into_iter()
             .zip(plans.iter())
             .map(|(slot, plan)| match slot {

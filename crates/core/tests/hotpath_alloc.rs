@@ -1,0 +1,125 @@
+//! Dynamic witness for the static hot-path guarantee checked by
+//! `analysis::panic` (`raal-lint --strict`): after warmup, a
+//! steady-state prediction performs **zero heap allocations**.
+//!
+//! A counting `#[global_allocator]` wraps the system allocator and
+//! tallies every `alloc`/`realloc` made by the *armed thread*. The
+//! counters are thread-local on purpose: the prediction runs entirely
+//! on the calling thread, while the libtest harness's main thread may
+//! concurrently park on its test-completion channel — which lazily
+//! allocates a waker — and a process-global counter would (flakily)
+//! pick that up. The test warms the thread-local inference arena, arms
+//! the counter, runs a batch of predictions through both weight tiers,
+//! and asserts the count stayed at zero.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use encoding::plan_encoder::{EncodedPlan, PLAN_STAT_FEATURES};
+use raal::{CostModel, FrozenModel, ModelConfig};
+
+/// System allocator wrapper that counts the armed thread's allocations.
+struct CountingAlloc;
+
+thread_local! {
+    // const-initialized so the TLS access itself never allocates (a
+    // lazily-initialized thread-local would recurse into `alloc`).
+    static ARMED: Cell<bool> = const { Cell::new(false) };
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn tally() {
+    // try_with: TLS may be unavailable during thread teardown; those
+    // allocations belong to the runtime, not the measured code.
+    let _ = ARMED.try_with(|armed| {
+        if armed.get() {
+            let _ = ALLOCS.try_with(|n| n.set(n.get() + 1));
+        }
+    });
+}
+
+// SAFETY: defers every operation to `System`, which upholds the
+// `GlobalAlloc` contract; the counter is a side effect only.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        tally();
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    // SAFETY: same deferral to `System` as `alloc` above.
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        tally();
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// Runs `f` with this thread's allocation counter armed; returns its
+/// tally.
+fn count_allocs<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    ALLOCS.with(|n| n.set(0));
+    ARMED.with(|a| a.set(true));
+    let r = f();
+    ARMED.with(|a| a.set(false));
+    (ALLOCS.with(|n| n.get()), r)
+}
+
+const DIM: usize = 10;
+
+fn toy_plan(n: usize) -> EncodedPlan {
+    EncodedPlan {
+        node_features: (0..n)
+            .map(|i| (0..DIM).map(|d| ((i * 5 + d) % 11) as f32 / 11.0).collect())
+            .collect(),
+        children: (0..n).map(|i| if i == 0 { vec![] } else { vec![i - 1] }).collect(),
+        plan_stats: vec![0.2; PLAN_STAT_FEATURES],
+    }
+}
+
+#[test]
+fn steady_state_predict_is_allocation_free() {
+    let model = CostModel::new(ModelConfig {
+        hidden: 8,
+        latent_k: 4,
+        head_hidden: 8,
+        ..ModelConfig::raal(DIM)
+    });
+    let frozen = FrozenModel::freeze(model);
+    let plan = toy_plan(6);
+    let resources = vec![1.0f32, 1.0, 0.25, 0.5, 0.25, 0.9, 0.8];
+
+    // Warmup: populate the thread-local arena pools (and any lazy
+    // telemetry state) for both weight tiers.
+    let mut warm = 0.0;
+    for _ in 0..32 {
+        warm += frozen.predict_seconds(&plan, &resources);
+        warm += frozen.predict_seconds_f32(&plan, &resources);
+    }
+    assert!(warm.is_finite());
+
+    // Steady state: every buffer comes from the arena, so the global
+    // allocator must not be touched at all.
+    let (n_quant, y_quant) = count_allocs(|| {
+        (0..64)
+            .map(|_| frozen.predict_seconds(&plan, &resources))
+            .sum::<f64>()
+    });
+    let (n_f32, y_f32) = count_allocs(|| {
+        (0..64)
+            .map(|_| frozen.predict_seconds_f32(&plan, &resources))
+            .sum::<f64>()
+    });
+
+    assert!(y_quant.is_finite() && y_f32.is_finite());
+    assert_eq!(
+        n_quant, 0,
+        "quantized steady-state predict_seconds touched the heap {n_quant} time(s)"
+    );
+    assert_eq!(n_f32, 0, "f32 steady-state predict_seconds touched the heap {n_f32} time(s)");
+}

@@ -96,6 +96,9 @@ impl InferArena {
     /// Returns a buffer to the pool for reuse.
     pub fn give(&mut self, buf: Vec<f32>) {
         if self.free.len() < MAX_POOLED {
+            // HOT-ALLOC: the free-list grows to at most MAX_POOLED slots
+            // during warmup and then reuses them; steady state reclaims
+            // buffers without touching the allocator.
             self.free.push(buf);
         }
     }
@@ -149,6 +152,10 @@ pub fn matmul_into(a: &[f32], m: usize, k: usize, b: &[f32], n: usize, out: &mut
 fn matmul_into_scalar(a: &[f32], m: usize, k: usize, b: &[f32], n: usize, out: &mut [f32]) {
     out.fill(0.0);
     for i in 0..m {
+        // PANIC-FREE: i < m and kk < k by loop bounds, so every range
+        // below is within the documented (debug-asserted) lengths
+        // a = m*k, b = k*n, out = m*n; violating that contract panics by
+        // design rather than reading out of bounds.
         let a_row = &a[i * k..(i + 1) * k];
         let o_row = &mut out[i * n..(i + 1) * n];
         for (kk, &av) in a_row.iter().enumerate() {
@@ -192,6 +199,9 @@ pub fn softmax_inplace(xs: &mut [f32]) {
         sum += *x;
     }
     for x in xs.iter_mut() {
+        // PANIC-FREE: f32 division cannot panic (0/0 yields NaN, not a
+        // trap); sum >= 1 whenever xs is non-empty since exp(0) = 1 for
+        // the max element.
         *x /= sum;
     }
 }
@@ -243,6 +253,8 @@ pub fn fast_sigmoid(x: f32) -> f32 {
 #[inline(always)]
 pub fn fast_tanh(x: f32) -> f32 {
     let e = fast_exp(2.0 * x);
+    // PANIC-FREE: f32 division cannot panic; e >= 0, so the denominator
+    // is at least 1.
     (e - 1.0) / (e + 1.0)
 }
 
@@ -338,6 +350,10 @@ mod x86 {
         debug_assert_eq!(out.len(), m * n, "matmul_into out length");
         let bp = b.as_ptr();
         for i in 0..m {
+            // PANIC-FREE: i < m, so both row ranges sit inside the
+            // documented a = m*k / out = m*n length contract re-asserted
+            // above; a violated contract panics here instead of feeding
+            // the raw-pointer loops below.
             let a_row = &a[i * k..(i + 1) * k];
             let o = out[i * n..(i + 1) * n].as_mut_ptr();
             let mut j = 0;

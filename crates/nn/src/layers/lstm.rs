@@ -129,6 +129,8 @@ impl LstmCell {
         arena: &mut InferArena,
         qw: Option<(&QuantizedMatrix, &QuantizedMatrix)>,
     ) -> Vec<f32> {
+        // PANIC-FREE: deliberate input guards; the model constructor
+        // fixes in_dim and every serving caller encodes to that width.
         assert!(n > 0, "LSTM sequence must be non-empty");
         assert_eq!(xs.len(), n * self.in_dim, "LSTM input length mismatch");
         let _k = telemetry::kernel_span("nn.lstm_seq");
@@ -145,6 +147,8 @@ impl LstmCell {
         let mut ct = arena.take(hidden);
         let mut out = arena.take(n * hidden);
         for t in 0..n {
+            // PANIC-FREE: t < n and xs.len() == n * in_dim (asserted at
+            // entry), so the step slice is always in bounds.
             let x_t = &xs[t * self.in_dim..(t + 1) * self.in_dim];
             match qw {
                 Some((qwx, qwh)) => {
@@ -157,23 +161,31 @@ impl LstmCell {
                 }
             }
             // z = (x@Wx + h@Wh) + b, associated exactly like the tape.
+            // PANIC-FREE: j < gates; xz/hz are arena buffers of length
+            // gates and b is the gate bias tensor of the same length.
             for j in 0..gates {
                 xz[j] = (xz[j] + hz[j]) + b[j];
             }
             // Gate layout [i, f, g, o]: sigmoid the contiguous [i, f]
             // block, tanh the candidate, sigmoid the output gate — three
             // vectorised sweeps instead of four scalar calls per lane.
+            // PANIC-FREE: every gate range ends at or before
+            // xz.len() == gates == 4 * hidden.
             infer::sigmoid_slice(&mut xz[..2 * hidden]);
             infer::tanh_slice(&mut xz[2 * hidden..3 * hidden]);
             infer::sigmoid_slice(&mut xz[3 * hidden..]);
+            // PANIC-FREE: j < hidden indexes the hidden-sized arena
+            // buffers c/h/ct, and every xz offset is below 4 * hidden.
             for j in 0..hidden {
                 c[j] = xz[hidden + j] * c[j] + xz[j] * xz[2 * hidden + j];
             }
             ct.copy_from_slice(&c);
             infer::tanh_slice(&mut ct);
+            // PANIC-FREE: same bounds as the cell-state sweep above.
             for j in 0..hidden {
                 h[j] = xz[3 * hidden + j] * ct[j];
             }
+            // PANIC-FREE: t < n and out has length n * hidden.
             out[t * hidden..(t + 1) * hidden].copy_from_slice(&h);
         }
         arena.give(h);

@@ -69,11 +69,14 @@ impl ParamStore {
 
     /// Name given at registration.
     pub fn name(&self, id: ParamId) -> &str {
+        // PANIC-FREE: ParamId values are only minted by register() on
+        // this store, so id.0 < params.len() for any id a caller holds.
         &self.params[id.0].name
     }
 
     /// Current value.
     pub fn value(&self, id: ParamId) -> &Tensor {
+        // PANIC-FREE: same ParamId minting argument as name().
         &self.params[id.0].value
     }
 

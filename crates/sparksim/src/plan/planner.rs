@@ -77,10 +77,13 @@ impl<'a> Planner<'a> {
     /// Catalyst analogue: the single plan the rule-based default would pick
     /// (first join order, threshold-driven strategies).
     pub fn default_plan(&self, spec: &QuerySpec) -> PhysicalPlan {
+        // Single-table building is total, so a spec whose join graph
+        // turns out disconnected still gets a (degenerate) plan instead
+        // of panicking the serving path.
         self.enumerate(spec)
             .into_iter()
             .next()
-            .expect("enumerate always returns at least one plan")
+            .unwrap_or_else(|| self.build_single_table(spec, true))
     }
 
     /// Enumerates up to `max_plans` distinct physical plans, default first.
@@ -109,24 +112,32 @@ impl<'a> Planner<'a> {
         // "default cost model" runs and the learned model must beat.
         if let Some(syntactic) = self.syntactic_order(spec) {
             let strats = self.rule_based_strategies(spec, &syntactic);
-            push(self.build_join_plan(spec, &syntactic, &strats), &mut plans);
+            if let Some(plan) = self.build_join_plan(spec, &syntactic, &strats) {
+                push(plan, &mut plans);
+            }
         }
 
         let orders = self.join_orders(spec);
         let num_joins = spec.num_joins();
         for (oi, order) in orders.iter().enumerate() {
             let default_strats = self.default_strategies(spec, order);
-            push(self.build_join_plan(spec, order, &default_strats), &mut plans);
+            if let Some(plan) = self.build_join_plan(spec, order, &default_strats) {
+                push(plan, &mut plans);
+            }
             // Strategy variants: flip each join's strategy, first joins first;
             // for the primary order also try the all-flipped combination.
             for j in 0..num_joins {
                 let mut variant = default_strats.clone();
                 variant[j] = flip(variant[j]);
-                push(self.build_join_plan(spec, order, &variant), &mut plans);
+                if let Some(plan) = self.build_join_plan(spec, order, &variant) {
+                    push(plan, &mut plans);
+                }
             }
             if oi == 0 && num_joins >= 2 {
                 let flipped: Vec<_> = default_strats.iter().map(|&s| flip(s)).collect();
-                push(self.build_join_plan(spec, order, &flipped), &mut plans);
+                if let Some(plan) = self.build_join_plan(spec, order, &flipped) {
+                    push(plan, &mut plans);
+                }
             }
         }
         plans
@@ -181,7 +192,7 @@ impl<'a> Planner<'a> {
             .map(|b| estimate_scan_rows(spec, b, self.catalog))
             .collect();
         let mut starts: Vec<usize> = (0..n).collect();
-        starts.sort_by(|&a, &b| rows[a].partial_cmp(&rows[b]).unwrap());
+        starts.sort_by(|&a, &b| rows[a].total_cmp(&rows[b]));
         starts.truncate(2);
 
         let mut orders = Vec::new();
@@ -208,13 +219,15 @@ impl<'a> Planner<'a> {
                         best = Some((cand, est));
                     }
                 }
-                let (next, est) =
-                    best.expect("join graph connectivity validated during resolution");
+                // A disconnected join graph (cross join the resolver
+                // does not model) ends the greedy walk; the incomplete
+                // order is dropped below.
+                let Some((next, est)) = best else { break };
                 current_rows = est;
                 included.insert(&spec.bindings[next].name);
                 order.push(next);
             }
-            if !orders.contains(&order) {
+            if order.len() == n && !orders.contains(&order) {
                 orders.push(order);
             }
         }
@@ -238,8 +251,14 @@ impl<'a> Planner<'a> {
     }
 
     fn binding_row_width(&self, spec: &QuerySpec, binding: &str) -> f64 {
-        let b = spec.binding(binding).expect("binding exists");
-        let stats = self.catalog.stats(&b.table).expect("stats exist");
+        // An unknown binding or a table without stats estimates at the
+        // 8-byte floor rather than panicking mid-planning.
+        let Some(b) = spec.binding(binding) else {
+            return 8.0;
+        };
+        let Some(stats) = self.catalog.stats(&b.table) else {
+            return 8.0;
+        };
         spec.required_columns(binding)
             .iter()
             .filter_map(|c| stats.column(&c.column))
@@ -313,12 +332,14 @@ impl<'a> Planner<'a> {
         plan
     }
 
+    /// `None` when `order` skips a join edge the spec never provided —
+    /// i.e. the join graph is disconnected under this order.
     fn build_join_plan(
         &self,
         spec: &QuerySpec,
         order: &[usize],
         strategies: &[JoinStrategy],
-    ) -> PhysicalPlan {
+    ) -> Option<PhysicalPlan> {
         let mut plan = PhysicalPlan::new();
         let (mut current, mut current_rows) = self.scan_node(&mut plan, spec, order[0], true);
         let mut included: Vec<&str> = vec![&spec.bindings[order[0]].name];
@@ -329,15 +350,9 @@ impl<'a> Planner<'a> {
         for (step, &bi) in order[1..].iter().enumerate() {
             let b = &spec.bindings[bi];
             // Pick the connecting edge (first by spec order).
-            let (edge_idx, edge) = spec
-                .join_edges
-                .iter()
-                .enumerate()
-                .find(|(i, e)| {
-                    !applied_edges.contains(i)
-                        && included.iter().any(|inc| e.connects(inc, &b.name))
-                })
-                .expect("connectivity validated");
+            let (edge_idx, edge) = spec.join_edges.iter().enumerate().find(|(i, e)| {
+                !applied_edges.contains(i) && included.iter().any(|inc| e.connects(inc, &b.name))
+            })?;
             applied_edges.insert(edge_idx);
             let (left_key, right_key) = if included.contains(&edge.left.table.as_str()) {
                 (edge.left.clone(), edge.right.clone())
@@ -481,7 +496,7 @@ impl<'a> Planner<'a> {
             }
         }
         self.finish_plan(&mut plan, spec, current, current_rows, width);
-        plan
+        Some(plan)
     }
 
     /// Adds aggregation / projection / ordering / limit above `node`.
@@ -554,8 +569,8 @@ impl<'a> Planner<'a> {
             let columns: Vec<ColumnRef> = if spec.wildcard {
                 spec.bindings
                     .iter()
-                    .flat_map(|b| {
-                        let table = self.catalog.table(&b.table).expect("exists");
+                    .filter_map(|b| self.catalog.table(&b.table).map(|t| (b, t)))
+                    .flat_map(|(b, table)| {
                         table
                             .schema
                             .columns
