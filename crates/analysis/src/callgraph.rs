@@ -260,6 +260,24 @@ pub const HOT_ENTRY_POINTS: &[EntryPoint] = &[
         self_ty: Some("ServingModel"),
         name: "predict_many",
     },
+    // The sharded service's client side and its per-shard dispatcher
+    // loop: both run per-request in steady state, so the whole
+    // queue/coalesce/settle path is held to the same standard.
+    EntryPoint {
+        krate: "core",
+        self_ty: Some("ShardedServing"),
+        name: "predict",
+    },
+    EntryPoint {
+        krate: "core",
+        self_ty: Some("ShardedServing"),
+        name: "predict_many",
+    },
+    EntryPoint {
+        krate: "core",
+        self_ty: None,
+        name: "dispatch_loop",
+    },
     EntryPoint {
         krate: "core",
         self_ty: Some("FrozenModel"),

@@ -345,7 +345,11 @@ fn rule_span_names(
     let checks: [NameCheck; 6] = [
         ("telemetry::span(", |n| schema::SPAN_NAMES.contains(&n), "SPAN_NAMES"),
         ("telemetry::kernel_span(", |n| schema::SPAN_NAMES.contains(&n), "SPAN_NAMES"),
-        ("telemetry::count(", |n| schema::COUNTER_NAMES.contains(&n), "COUNTER_NAMES"),
+        (
+            "telemetry::count(",
+            schema::counter_is_registered,
+            "COUNTER_NAMES/COUNTER_PREFIXES",
+        ),
         (
             "telemetry::observe(",
             |n| schema::HISTOGRAM_NAMES.contains(&n),

@@ -123,7 +123,7 @@ fn name_is_registered(event_type: &str, name: &str) -> bool {
     match event_type {
         "span" => schema::SPAN_NAMES.contains(&name),
         "event" => schema::EVENT_NAMES.contains(&name),
-        "counter" => schema::COUNTER_NAMES.contains(&name),
+        "counter" => schema::counter_is_registered(name),
         "gauge" => schema::gauge_is_registered(name),
         "histogram" => {
             schema::HISTOGRAM_NAMES.contains(&name)

@@ -14,7 +14,9 @@
 //! * [`metrics`] — RE, MSE, COR and R² (Eqs. 12–15);
 //! * [`selection`] — plan selection with a trained model (Fig. 1's use);
 //! * [`serving`] — production guard rails: deadlines, admission control
-//!   and graceful degradation to an analytical fallback.
+//!   and graceful degradation to an analytical fallback; its
+//!   [`serving::shard`] submodule scales that to a sharded,
+//!   cross-request-batching, multi-tenant service.
 //!
 //! Quickstart: see `examples/quickstart.rs` at the workspace root.
 
@@ -36,6 +38,7 @@ pub use model::{
 };
 pub use persist::ModelBundle;
 pub use selection::{evaluate_selection, select_plan, SelectionOutcome};
+pub use serving::shard::{ShardConfig, ShardedServing};
 pub use serving::{
     FallbackModel, FallbackReason, PredictionSource, ServingConfig, ServingModel, ServingPrediction,
 };

@@ -52,6 +52,7 @@
 //! ```
 
 pub mod handoff;
+pub mod shard;
 
 use crate::model::FrozenModel;
 use crate::persist::ModelBundle;
@@ -128,16 +129,21 @@ pub enum FallbackReason {
     Busy,
     /// The worker thread died; the server is permanently degraded.
     WorkerLost,
+    /// The tenant already had its fair share of requests in flight
+    /// ([`shard::ShardConfig::tenant_inflight`]); only the sharded
+    /// service produces this reason.
+    TenantQuota,
 }
 
 impl FallbackReason {
     /// Every reason, in a stable order (indexes [`SloStats::by_reason`]).
-    pub const ALL: [FallbackReason; 5] = [
+    pub const ALL: [FallbackReason; 6] = [
         FallbackReason::Checkpoint,
         FallbackReason::Admission,
         FallbackReason::Deadline,
         FallbackReason::Busy,
         FallbackReason::WorkerLost,
+        FallbackReason::TenantQuota,
     ];
 
     /// The registered telemetry counter for this reason.
@@ -148,6 +154,7 @@ impl FallbackReason {
             FallbackReason::Deadline => "serving.fallback.deadline",
             FallbackReason::Busy => "serving.fallback.busy",
             FallbackReason::WorkerLost => "serving.fallback.worker_lost",
+            FallbackReason::TenantQuota => "serving.fallback.tenant_quota",
         }
     }
 
@@ -160,6 +167,7 @@ impl FallbackReason {
             FallbackReason::Deadline => "serving.slo.burn.deadline",
             FallbackReason::Busy => "serving.slo.burn.busy",
             FallbackReason::WorkerLost => "serving.slo.burn.worker_lost",
+            FallbackReason::TenantQuota => "serving.slo.burn.tenant_quota",
         }
     }
 
@@ -170,6 +178,7 @@ impl FallbackReason {
             FallbackReason::Deadline => 2,
             FallbackReason::Busy => 3,
             FallbackReason::WorkerLost => 4,
+            FallbackReason::TenantQuota => 5,
         }
     }
 }
@@ -186,7 +195,7 @@ pub struct SloStats {
     /// Predictions answered by the deep model.
     pub model: u64,
     /// Fallback counts, indexed per [`FallbackReason::ALL`].
-    pub by_reason: [u64; 5],
+    pub by_reason: [u64; 6],
     /// The configured [`ServingConfig::slo_target`].
     pub slo_target: f64,
 }

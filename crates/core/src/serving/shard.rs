@@ -1,0 +1,1125 @@
+//! Sharded multi-tenant serving: N frozen-model replicas behind
+//! striped request queues, with cross-request batching and per-tenant
+//! fair-share admission.
+//!
+//! [`ServingModel`](super::ServingModel) is one worker behind one
+//! caller; this module is the cluster-scale version. A
+//! [`ShardedServing`] service owns [`ShardConfig::shards`] *shards*,
+//! each a [`BatchQueue`] + dispatcher thread + [`Handoff`] inference
+//! worker holding a clone of one Arc-shared [`FrozenModel`] (a
+//! reference-count bump — all shards price with the same weights).
+//! Client threads call [`ShardedServing::predict`] concurrently through
+//! `&self`; each call is striped round-robin onto a shard queue, and
+//! the shard's **coalescer** packs every request that is queued at
+//! dispatch time — up to [`ShardConfig::max_batch`] of them — into a
+//! single [`predict_packed`](FrozenModel::predict_packed) call, so
+//! concurrent tenants share one head matmul per layer exactly the way
+//! one caller's `predict_many` batch does.
+//!
+//! The guard rails of the single-worker server all carry over, per
+//! shard: the dispatcher runs `predict_many`'s generation/pending
+//! state machine over the same [`Handoff`] protocol (deadline →
+//! `serving.fallback.deadline`, wedged worker → `serving.fallback.busy`,
+//! dead worker → `serving.fallback.worker_lost`), oversized plans fall
+//! back at admission, and a corrupt checkpoint degrades the whole
+//! service instead of panicking. Two additions are new here:
+//!
+//! * **fair-share admission** — a tenant with
+//!   [`ShardConfig::tenant_inflight`] requests already in flight is
+//!   shed analytically (`serving.fallback.tenant_quota`), so one noisy
+//!   tenant cannot queue out the rest;
+//! * **per-tenant telemetry** — every call counts
+//!   `serving.tenant.predict.<tenant>`, every shed request counts
+//!   `serving.tenant.shed.<tenant>`.
+//!
+//! A permanently degraded service still answers every call from the
+//! analytical fallback:
+//!
+//! ```
+//! use raal::serving::shard::{ShardConfig, ShardedServing};
+//! use raal::serving::{FallbackReason, PredictionSource};
+//! use sparksim::catalog::Catalog;
+//! use sparksim::engine::Engine;
+//! use sparksim::resource::{ClusterConfig, ResourceConfig};
+//! use sparksim::schema::{ColumnDef, TableSchema};
+//! use sparksim::storage::{Column, ColumnData, Table};
+//! use sparksim::types::DataType;
+//! use std::sync::Arc;
+//!
+//! let mut catalog = Catalog::new();
+//! catalog.register(Table::new(
+//!     TableSchema::new("t", vec![ColumnDef::new("id", DataType::Int, false)]),
+//!     vec![Column::non_null(ColumnData::Int((0..100).collect()))],
+//! ));
+//! let engine = Engine::new(catalog);
+//! let plan = engine.plan_candidates("SELECT COUNT(*) FROM t").unwrap().remove(0);
+//!
+//! let service = ShardedServing::from_checkpoint(
+//!     std::path::Path::new("/nonexistent/raal.json"),
+//!     Arc::new(|_: &sparksim::PhysicalPlan, _: &ResourceConfig| 42.0),
+//!     ShardConfig::default(),
+//! );
+//! assert!(service.is_degraded());
+//! let pred = service.predict("tenant-a", &plan, &ResourceConfig::default_for(&ClusterConfig::default()));
+//! assert_eq!(pred.seconds, 42.0);
+//! assert_eq!(pred.source, PredictionSource::Fallback(FallbackReason::Checkpoint));
+//! ```
+//!
+//! The building blocks ([`BatchQueue`], [`ReplySlot`]) are public on
+//! purpose: they are built on [`raal_sync`] primitives, so the
+//! model-check suite (`crates/core/tests/model_check.rs`) explores the
+//! *real* coalescer protocol — not a test double — across all bounded
+//! schedules, proving no request is lost, none is answered twice, and
+//! shutdown completes with requests still queued.
+
+#![deny(missing_docs)]
+
+use super::handoff::Handoff;
+use super::{
+    FallbackModel, FallbackReason, PredictionSource, ServingConfig, ServingPrediction, SloStats,
+};
+use crate::model::FrozenModel;
+use crate::persist::ModelBundle;
+use encoding::plan_encoder::EncodedPlan;
+use encoding::PlanEncoder;
+use raal_sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use raal_sync::mpsc::RecvTimeoutError;
+use raal_sync::sync::{Condvar, Mutex, MutexGuard};
+use raal_sync::thread;
+use sparksim::plan::physical::PhysicalPlan;
+use sparksim::resource::ResourceConfig;
+use std::collections::{HashMap, VecDeque};
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Acquires a mutex, recovering the guard from a poisoned lock: every
+/// protected value here (queue states, reply slots, the tenant map)
+/// stays consistent across a panicking holder, because each critical
+/// section is a handful of field writes with no invariant spanning an
+/// unwind point.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Blocks on a condvar, recovering from poison like [`lock`].
+fn wait<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    match cv.wait(guard) {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Timed condvar wait; returns the reacquired guard and whether the
+/// wait timed out.
+fn wait_timeout<'a, T>(
+    cv: &Condvar,
+    guard: MutexGuard<'a, T>,
+    dur: Duration,
+) -> (MutexGuard<'a, T>, bool) {
+    match cv.wait_timeout(guard, dur) {
+        Ok((guard, timeout)) => (guard, timeout.timed_out()),
+        Err(poisoned) => {
+            let (guard, timeout) = poisoned.into_inner();
+            (guard, timeout.timed_out())
+        }
+    }
+}
+
+/// Sharded-service settings. The per-request guard rails (deadline,
+/// admission size, quantization tier, SLO target) live in the embedded
+/// [`ServingConfig`]; the fields here shape the fleet around them.
+#[derive(Debug, Clone)]
+pub struct ShardConfig {
+    /// Number of shards (queue + dispatcher + inference worker trios).
+    /// Each shard prices one coalesced batch at a time, so this is the
+    /// service's inference parallelism. Clamped to at least 1.
+    pub shards: usize,
+    /// Most requests one dispatch may coalesce into a single packed
+    /// inference call. Larger batches amortise the per-layer matmul
+    /// further but put more requests behind one deadline. Clamped to
+    /// at least 1.
+    pub max_batch: usize,
+    /// Bound on queued requests per shard; a full queue sheds new
+    /// arrivals to the fallback (`serving.fallback.busy`) instead of
+    /// growing without limit.
+    pub queue_capacity: usize,
+    /// Fair-share cap: the most requests one tenant may have in flight
+    /// (queued or being priced) across the whole service before new
+    /// ones are shed (`serving.fallback.tenant_quota`).
+    pub tenant_inflight: u32,
+    /// The per-request guard rails, shared with the single-worker
+    /// [`ServingModel`](super::ServingModel).
+    pub serving: ServingConfig,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        Self {
+            shards: 4,
+            max_batch: 32,
+            queue_capacity: 1024,
+            tenant_inflight: 64,
+            serving: ServingConfig::default(),
+        }
+    }
+}
+
+/// A single-use completion cell: the serving client parks on it while
+/// the shard dispatcher works, and exactly one of them settles it.
+///
+/// The three states make the settle race explicit: the dispatcher's
+/// [`complete`](Self::complete) moves `Waiting → Done` and returns
+/// `true`; a client whose [`wait_deadline`](Self::wait_deadline)
+/// expires moves `Waiting → Abandoned`, after which `complete` returns
+/// `false` — so both sides always agree on who owned the outcome (the
+/// service uses that agreement to release the tenant's in-flight slot
+/// exactly once).
+pub struct ReplySlot<T> {
+    state: Mutex<SlotState<T>>,
+    cv: Condvar,
+}
+
+enum SlotState<T> {
+    Waiting,
+    Done(T),
+    Abandoned,
+}
+
+impl<T> ReplySlot<T> {
+    /// A fresh slot in the `Waiting` state.
+    pub fn new() -> Self {
+        Self {
+            state: Mutex::new(SlotState::Waiting),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Settles the slot with `value` if it is still awaited; `true`
+    /// means this call delivered the outcome, `false` that the waiter
+    /// already abandoned it (or it was settled before).
+    pub fn complete(&self, value: T) -> bool {
+        let mut state = lock(&self.state);
+        match *state {
+            SlotState::Waiting => {
+                *state = SlotState::Done(value);
+                self.cv.notify_all();
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Waits up to `deadline` for the outcome. `None` means the wait
+    /// expired and the slot is now `Abandoned`: a later `complete` will
+    /// return `false` and the value will be dropped by the completer.
+    pub fn wait_deadline(&self, deadline: Duration) -> Option<T> {
+        let mut state = lock(&self.state);
+        loop {
+            match std::mem::replace(&mut *state, SlotState::Abandoned) {
+                SlotState::Done(value) => return Some(value),
+                SlotState::Abandoned => return None,
+                SlotState::Waiting => {}
+            }
+            *state = SlotState::Waiting;
+            let (reacquired, timed_out) = wait_timeout(&self.cv, state, deadline);
+            state = reacquired;
+            if timed_out {
+                // The completer may have slipped in between the timeout
+                // and reacquiring the lock; prefer its answer.
+                return match std::mem::replace(&mut *state, SlotState::Abandoned) {
+                    SlotState::Done(value) => Some(value),
+                    _ => None,
+                };
+            }
+            // Woken without timeout: re-check the state. Only
+            // `complete` notifies, so a wake without `Done` is a
+            // spurious one and the loop re-arms the full deadline —
+            // acceptable, since that costs latency only on a wakeup
+            // that real condvars essentially never deliver.
+        }
+    }
+}
+
+impl<T> Default for ReplySlot<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A bounded multi-producer queue drained in batches by one consumer —
+/// the mutex-striped buffer between serving clients and a shard's
+/// dispatcher.
+///
+/// [`push`](Self::push) never blocks (a full or closed queue rejects
+/// the item back to the caller, which sheds it to the fallback);
+/// [`drain`](Self::drain) blocks until work or close. After
+/// [`close`](Self::close), pushes fail but drains keep returning the
+/// backlog until it is empty, which is how shutdown guarantees no
+/// queued request is lost.
+pub struct BatchQueue<T> {
+    state: Mutex<QueueState<T>>,
+    cv: Condvar,
+    capacity: usize,
+}
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+impl<T> BatchQueue<T> {
+    /// A queue holding at most `capacity` items (0 rejects everything).
+    pub fn bounded(capacity: usize) -> Self {
+        Self {
+            state: Mutex::new(QueueState { items: VecDeque::new(), closed: false }),
+            cv: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Enqueues `item`, or hands it back if the queue is full or
+    /// closed. Never blocks.
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let mut state = lock(&self.state);
+        if state.closed || state.items.len() >= self.capacity {
+            return Err(item);
+        }
+        state.items.push_back(item);
+        self.cv.notify_one();
+        Ok(())
+    }
+
+    /// Moves up to `max` queued items into `into`, blocking while the
+    /// queue is empty and open. Returns `false` only when the queue is
+    /// closed *and* fully drained — the consumer's signal to exit.
+    pub fn drain(&self, max: usize, into: &mut Vec<T>) -> bool {
+        let mut state = lock(&self.state);
+        loop {
+            if !state.items.is_empty() {
+                let take = max.max(1).min(state.items.len());
+                into.extend(state.items.drain(..take));
+                return true;
+            }
+            if state.closed {
+                return false;
+            }
+            state = wait(&self.cv, state);
+        }
+    }
+
+    /// Closes the queue: future pushes fail, and drains return the
+    /// remaining backlog then `false`.
+    pub fn close(&self) {
+        let mut state = lock(&self.state);
+        state.closed = true;
+        self.cv.notify_all();
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        lock(&self.state).items.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// One tenant's admission state and cached telemetry names. The names
+/// are built once at first sighting so the per-predict counter bumps
+/// borrow them without allocating.
+struct TenantEntry {
+    inflight: AtomicU32,
+    predict_counter: String,
+    shed_counter: String,
+}
+
+impl TenantEntry {
+    /// Claims an in-flight slot under `limit`; `false` means the tenant
+    /// is at its fair share and the request must be shed.
+    fn try_acquire(&self, limit: u32) -> bool {
+        // ORDERING: the in-flight gate is a saturation counter; no data
+        // is published through it, so relaxed increments suffice.
+        let prev = self.inflight.fetch_add(1, Ordering::Relaxed);
+        if prev >= limit {
+            // ORDERING: undo of the optimistic relaxed increment above.
+            self.inflight.fetch_sub(1, Ordering::Relaxed);
+            return false;
+        }
+        true
+    }
+
+    /// Returns an in-flight slot claimed by [`Self::try_acquire`].
+    fn release(&self) {
+        // ORDERING: matches the relaxed admission counter in try_acquire.
+        self.inflight.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// The tenant registry: interns one [`TenantEntry`] per tenant id.
+struct TenantTable {
+    map: Mutex<HashMap<String, Arc<TenantEntry>>>,
+    limit: u32,
+}
+
+impl TenantTable {
+    fn new(limit: u32) -> Self {
+        Self { map: Mutex::new(HashMap::new()), limit }
+    }
+
+    /// The interned entry for `tenant`, created on first sighting. The
+    /// sanitized `serving.tenant.*` counter names are built exactly
+    /// once, here.
+    fn entry(&self, tenant: &str) -> Arc<TenantEntry> {
+        let mut map = lock(&self.map);
+        if let Some(entry) = map.get(tenant) {
+            // HOT-ALLOC: Arc::clone is a reference-count bump, not a
+            // heap allocation.
+            return entry.clone();
+        }
+        // First sighting of this tenant: one-time registration cost
+        // (sanitized name strings, map entry); every later predict
+        // takes the borrow-only path above.
+        let sanitized = sanitize_tenant(tenant);
+        // HOT-ALLOC: once per tenant lifetime, not per predict.
+        let entry = Arc::new(TenantEntry {
+            inflight: AtomicU32::new(0),
+            predict_counter: format!("serving.tenant.predict.{sanitized}"),
+            shed_counter: format!("serving.tenant.shed.{sanitized}"),
+        });
+        // HOT-ALLOC: once per tenant lifetime (see above).
+        map.insert(tenant.to_string(), entry.clone());
+        entry
+    }
+}
+
+/// Folds a tenant id into the telemetry name alphabet (`[a-z0-9_]`),
+/// so the `serving.tenant.*` counter families stay Prometheus-safe no
+/// matter what callers pass.
+fn sanitize_tenant(tenant: &str) -> String {
+    let mut out: String = tenant
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if out.is_empty() {
+        out.push_str("anon");
+    }
+    out
+}
+
+/// The answer a dispatcher settles a [`ReplySlot`] with: one source for
+/// the whole coalesced job, and one estimate per admitted plan.
+struct JobOutcome {
+    source: PredictionSource,
+    seconds: Vec<f64>,
+}
+
+/// One queued serving call: the admitted plans of a `predict_many`,
+/// pre-encoded and priced analytically on the client thread (the
+/// fallback must be cheap and total, and pricing it eagerly means the
+/// dispatcher never needs the borrowed `PhysicalPlan`s).
+struct ShardJob {
+    plans: Vec<EncodedPlan>,
+    resources: Vec<f32>,
+    fallback: Vec<f64>,
+    tenant: Arc<TenantEntry>,
+    reply: Arc<ReplySlot<JobOutcome>>,
+}
+
+/// One coalesced batch shipped to a shard's inference worker.
+struct WorkRequest {
+    generation: u64,
+    /// Per job: its encoded plans and its resource feature vector.
+    jobs: Vec<(Vec<EncodedPlan>, Vec<f32>)>,
+}
+
+/// The worker's packed answer, tagged with the request generation so
+/// the dispatcher can discard answers to batches it stopped waiting on.
+struct WorkResponse {
+    generation: u64,
+    seconds: Vec<f64>,
+}
+
+/// Everything a shard's dispatcher thread needs.
+struct ShardRuntime {
+    queue: Arc<BatchQueue<ShardJob>>,
+    deadline: Duration,
+    max_batch: usize,
+}
+
+/// A shard dispatcher: drains the queue in coalesced batches, ships
+/// each batch to the inference worker over the [`Handoff`], and settles
+/// every job's [`ReplySlot`] — with the packed model answer when it
+/// arrives in time, with the job's precomputed analytical estimates
+/// otherwise. Runs `predict_many`'s generation/pending state machine,
+/// so a deadline miss degrades exactly like the single-worker server:
+/// the next batch falls back `Busy` until the stale answer is drained,
+/// and a dead worker turns every later batch into `WorkerLost`.
+///
+/// Exits when the queue is closed and fully drained; dropping the
+/// handoff then closes the request channel and joins the worker.
+fn dispatch_loop(rt: ShardRuntime, handoff: Handoff<WorkRequest, WorkResponse>) {
+    // HOT-ALLOC: two scratch vectors per dispatcher lifetime, reused
+    // across every batch.
+    let mut batch: Vec<ShardJob> = Vec::with_capacity(rt.max_batch);
+    let mut counts: Vec<usize> = Vec::with_capacity(rt.max_batch);
+    let mut generation: u64 = 0;
+    let mut pending = false;
+    let mut lost = false;
+    loop {
+        debug_assert!(batch.is_empty());
+        if !rt.queue.drain(rt.max_batch, &mut batch) {
+            return;
+        }
+        let _span = telemetry::span("serving.shard.dispatch");
+        telemetry::count("serving.shard.batches", 1);
+        let total_plans: usize = batch.iter().map(|job| job.plans.len()).sum();
+        telemetry::observe("serving.batch_size", total_plans as u64);
+        if lost {
+            settle_fallback(&mut batch, FallbackReason::WorkerLost);
+            continue;
+        }
+        // Drain any response from a batch we previously abandoned; the
+        // worker is busy until it lands.
+        if pending {
+            while handoff.try_recv().is_ok() {
+                pending = false;
+            }
+            if pending {
+                settle_fallback(&mut batch, FallbackReason::Busy);
+                continue;
+            }
+        }
+        generation = generation.wrapping_add(1);
+        counts.clear();
+        // HOT-ALLOC: per-batch assembly — the job payloads are moved
+        // (not copied) into the request shipped across the channel.
+        let mut jobs = Vec::with_capacity(batch.len());
+        for job in &mut batch {
+            counts.push(job.plans.len());
+            jobs.push((std::mem::take(&mut job.plans), std::mem::take(&mut job.resources)));
+        }
+        if !handoff.send(WorkRequest { generation, jobs }) {
+            lost = true;
+            settle_fallback(&mut batch, FallbackReason::WorkerLost);
+            continue;
+        }
+        loop {
+            match handoff.recv_timeout(rt.deadline) {
+                Ok(resp) if resp.generation == generation => {
+                    settle_model(&mut batch, &counts, resp.seconds);
+                    break;
+                }
+                // A stale response from an abandoned batch; each
+                // drained one frees the worker, so this is bounded by
+                // the generation counter.
+                Ok(_stale) => continue,
+                Err(RecvTimeoutError::Timeout) => {
+                    pending = true;
+                    settle_fallback(&mut batch, FallbackReason::Deadline);
+                    break;
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    lost = true;
+                    settle_fallback(&mut batch, FallbackReason::WorkerLost);
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Settles every job in `batch` with its precomputed analytical
+/// estimates for `reason`. Telemetry counts only the jobs this side
+/// actually delivered — a job whose client already timed out and
+/// counted its own fallback is not double-counted.
+fn settle_fallback(batch: &mut Vec<ShardJob>, reason: FallbackReason) {
+    for job in batch.drain(..) {
+        let ShardJob { fallback, tenant, reply, .. } = job;
+        let delivered = fallback.len() as u64;
+        let outcome = JobOutcome {
+            source: PredictionSource::Fallback(reason),
+            seconds: fallback,
+        };
+        if reply.complete(outcome) {
+            tenant.release();
+            telemetry::count(reason.counter(), delivered);
+        }
+    }
+}
+
+/// Splits the worker's packed `seconds` back per job and settles each
+/// slot with the model answer. A length mismatch (a mangled batch —
+/// never produced by a correct worker) falls back analytically rather
+/// than handing a client someone else's estimate.
+fn settle_model(batch: &mut Vec<ShardJob>, counts: &[usize], seconds: Vec<f64>) {
+    let mut remaining = seconds.into_iter();
+    for (i, job) in batch.drain(..).enumerate() {
+        let want = counts.get(i).copied().unwrap_or(0);
+        // HOT-ALLOC: the per-job response vector handed to the waiting
+        // client.
+        let secs: Vec<f64> = remaining.by_ref().take(want).collect();
+        let ShardJob { fallback, tenant, reply, .. } = job;
+        let intact = secs.len() == want && want == fallback.len();
+        let delivered = fallback.len() as u64;
+        let outcome = if intact {
+            JobOutcome { source: PredictionSource::Model, seconds: secs }
+        } else {
+            JobOutcome {
+                source: PredictionSource::Fallback(FallbackReason::WorkerLost),
+                seconds: fallback,
+            }
+        };
+        if reply.complete(outcome) {
+            tenant.release();
+            if intact {
+                telemetry::count("serving.predict.model", delivered);
+            } else {
+                telemetry::count(FallbackReason::WorkerLost.counter(), delivered);
+            }
+        }
+    }
+}
+
+/// Lifetime service-quality counters, shared by every client thread.
+struct ServiceStats {
+    total: AtomicU64,
+    model: AtomicU64,
+    by_reason: [AtomicU64; 6],
+}
+
+impl ServiceStats {
+    fn new() -> Self {
+        Self {
+            total: AtomicU64::new(0),
+            model: AtomicU64::new(0),
+            by_reason: [
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+            ],
+        }
+    }
+
+    fn record(&self, out: &[ServingPrediction]) {
+        // ORDERING: monotone statistics counters; readers only report,
+        // no data is published through them.
+        self.total.fetch_add(out.len() as u64, Ordering::Relaxed);
+        for p in out {
+            match p.source {
+                // ORDERING: same monotone statistics counters.
+                PredictionSource::Model => {
+                    self.model.fetch_add(1, Ordering::Relaxed);
+                }
+                PredictionSource::Fallback(reason) => {
+                    // PANIC-FREE: idx() enumerates the FallbackReason
+                    // variants and by_reason is sized to that count.
+                    // ORDERING: same monotone statistics counters.
+                    self.by_reason[reason.idx()].fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+}
+
+/// The sharded, batching, multi-tenant serving service. See the
+/// [module docs](self) for the architecture and `docs/SERVING.md` for
+/// the operator's guide.
+///
+/// Unlike [`ServingModel`](super::ServingModel), every method takes
+/// `&self`: the service is `Send + Sync` and meant to be shared across
+/// client threads (`Arc<ShardedServing>` or a scoped borrow).
+///
+/// ```
+/// use encoding::word2vec::{train as w2v_train, W2vConfig};
+/// use encoding::{EncoderConfig, PlanEncoder};
+/// use raal::serving::shard::{ShardConfig, ShardedServing};
+/// use raal::serving::{PredictionSource, ServingConfig};
+/// use raal::{CostModel, ModelBundle, ModelConfig};
+/// use sparksim::catalog::Catalog;
+/// use sparksim::engine::Engine;
+/// use sparksim::resource::{ClusterConfig, ResourceConfig};
+/// use sparksim::schema::{ColumnDef, TableSchema};
+/// use sparksim::storage::{Column, ColumnData, Table};
+/// use sparksim::types::DataType;
+/// use std::sync::Arc;
+/// use std::time::Duration;
+///
+/// // A tiny (untrained) bundle keeps the example fast; production
+/// // loads a trained checkpoint with `ShardedServing::from_checkpoint`.
+/// let corpus = vec![vec!["filescan".to_string(), "hashaggregate".to_string()]];
+/// let encoder = PlanEncoder::new(
+///     w2v_train(&corpus, &W2vConfig { dim: 4, epochs: 1, ..Default::default() }),
+///     EncoderConfig { max_nodes: 32, structure: true },
+/// );
+/// let model = CostModel::new(ModelConfig {
+///     hidden: 8,
+///     latent_k: 4,
+///     head_hidden: 8,
+///     ..ModelConfig::raal(encoder.node_dim())
+/// });
+/// let bundle = ModelBundle::new(model, &encoder);
+///
+/// let mut catalog = Catalog::new();
+/// catalog.register(Table::new(
+///     TableSchema::new("t", vec![ColumnDef::new("id", DataType::Int, false)]),
+///     vec![Column::non_null(ColumnData::Int((0..100).collect()))],
+/// ));
+/// let engine = Engine::new(catalog);
+/// let plan = engine.plan_candidates("SELECT COUNT(*) FROM t").unwrap().remove(0);
+/// let res = ResourceConfig::default_for(&ClusterConfig::default());
+///
+/// let cfg = ShardConfig {
+///     shards: 2,
+///     serving: ServingConfig { deadline: Duration::from_secs(10), ..Default::default() },
+///     ..Default::default()
+/// };
+/// let service = ShardedServing::new(
+///     bundle,
+///     Arc::new(|plan: &sparksim::PhysicalPlan, _: &ResourceConfig| 1.0 + plan.len() as f64),
+///     cfg,
+/// );
+///
+/// // Concurrent tenants share the service through &self.
+/// let pred = service.predict("tenant-a", &plan, &res);
+/// assert_eq!(pred.source, PredictionSource::Model);
+/// assert!(pred.seconds.is_finite());
+/// assert_eq!(service.slo_stats().total, 1);
+///
+/// // Shutdown drains the queues, joins every dispatcher and worker,
+/// // and is idempotent; later predicts shed to the fallback.
+/// service.shutdown();
+/// assert!(service.predict("tenant-a", &plan, &res).source != PredictionSource::Model);
+/// ```
+pub struct ShardedServing {
+    queues: Vec<Arc<BatchQueue<ShardJob>>>,
+    dispatchers: Mutex<Vec<thread::JoinHandle<()>>>,
+    encoder: Option<PlanEncoder>,
+    model: Option<FrozenModel>,
+    fallback: Arc<dyn FallbackModel + Send + Sync>,
+    cfg: ShardConfig,
+    tenants: TenantTable,
+    next_shard: AtomicUsize,
+    degraded: Option<FallbackReason>,
+    stats: ServiceStats,
+}
+
+impl ShardedServing {
+    /// Serves a loaded bundle across [`ShardConfig::shards`] shards.
+    /// The model is quantized and frozen once ([`FrozenModel::freeze`]);
+    /// every shard's worker holds a reference-counted clone of the same
+    /// weights. Spawns two threads per shard (dispatcher + inference
+    /// worker) immediately.
+    pub fn new(
+        bundle: ModelBundle,
+        fallback: Arc<dyn FallbackModel + Send + Sync>,
+        cfg: ShardConfig,
+    ) -> Self {
+        let encoder = bundle.encoder();
+        let frozen = FrozenModel::freeze(bundle.model);
+        let shards = cfg.shards.max(1);
+        let mut queues = Vec::with_capacity(shards);
+        let mut dispatchers = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let queue = Arc::new(BatchQueue::bounded(cfg.queue_capacity));
+            let worker_model = frozen.clone();
+            let quantized = cfg.serving.quantized;
+            let handoff = Handoff::spawn(move |req: WorkRequest| {
+                // One packed pricing pass over the whole coalesced
+                // batch: every job's plans share one head matmul per
+                // layer, and the worker's thread-local arena is reused
+                // across requests.
+                let items: Vec<(&EncodedPlan, &[f32])> = req
+                    .jobs
+                    .iter()
+                    .flat_map(|(plans, res)| plans.iter().map(move |p| (p, res.as_slice())))
+                    .collect();
+                let seconds = if quantized {
+                    worker_model.predict_packed(&items)
+                } else {
+                    worker_model.model().predict_packed(&items)
+                };
+                WorkResponse { generation: req.generation, seconds }
+            });
+            let rt = ShardRuntime {
+                queue: queue.clone(),
+                deadline: cfg.serving.deadline,
+                max_batch: cfg.max_batch.max(1),
+            };
+            dispatchers.push(thread::spawn(move || dispatch_loop(rt, handoff)));
+            queues.push(queue);
+        }
+        let tenants = TenantTable::new(cfg.tenant_inflight);
+        Self {
+            queues,
+            dispatchers: Mutex::new(dispatchers),
+            encoder: Some(encoder),
+            model: Some(frozen),
+            fallback,
+            cfg,
+            tenants,
+            next_shard: AtomicUsize::new(0),
+            degraded: None,
+            stats: ServiceStats::new(),
+        }
+    }
+
+    /// Loads a checkpoint and serves it sharded; a bundle that fails
+    /// [`ModelBundle::load`] validation yields a permanently degraded
+    /// service (every predict answered by the fallback) instead of an
+    /// error or panic. See the [module docs](self) for an example.
+    pub fn from_checkpoint(
+        path: &Path,
+        fallback: Arc<dyn FallbackModel + Send + Sync>,
+        cfg: ShardConfig,
+    ) -> Self {
+        match ModelBundle::load(path) {
+            Ok(bundle) => Self::new(bundle, fallback, cfg),
+            Err(_) => Self::degraded(fallback, cfg, FallbackReason::Checkpoint),
+        }
+    }
+
+    /// A service with no deep model at all — every predict is answered
+    /// by the fallback with the given sticky reason. No threads are
+    /// spawned.
+    pub fn degraded(
+        fallback: Arc<dyn FallbackModel + Send + Sync>,
+        cfg: ShardConfig,
+        reason: FallbackReason,
+    ) -> Self {
+        let tenants = TenantTable::new(cfg.tenant_inflight);
+        Self {
+            queues: Vec::new(),
+            dispatchers: Mutex::new(Vec::new()),
+            encoder: None,
+            model: None,
+            fallback,
+            cfg,
+            tenants,
+            next_shard: AtomicUsize::new(0),
+            degraded: Some(reason),
+            stats: ServiceStats::new(),
+        }
+    }
+
+    /// True when the deep model is out of the serving path for good.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.is_some()
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ShardConfig {
+        &self.cfg
+    }
+
+    /// Number of live shards (0 for a degraded service).
+    pub fn shards(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// The frozen model handle, when the service is healthy.
+    pub fn model(&self) -> Option<&FrozenModel> {
+        self.model.as_ref()
+    }
+
+    /// Scores one plan for `tenant`: the deep model's packed answer if
+    /// it arrives within [`ServingConfig::deadline`], the analytical
+    /// fallback's otherwise — never a panic, never an unbounded wait.
+    ///
+    /// ```
+    /// use raal::serving::shard::{ShardConfig, ShardedServing};
+    /// use raal::serving::{FallbackReason, PredictionSource};
+    /// use sparksim::resource::{ClusterConfig, ResourceConfig};
+    /// # use sparksim::catalog::Catalog;
+    /// # use sparksim::engine::Engine;
+    /// # use sparksim::schema::{ColumnDef, TableSchema};
+    /// # use sparksim::storage::{Column, ColumnData, Table};
+    /// # use sparksim::types::DataType;
+    /// # let mut catalog = Catalog::new();
+    /// # catalog.register(Table::new(
+    /// #     TableSchema::new("t", vec![ColumnDef::new("id", DataType::Int, false)]),
+    /// #     vec![Column::non_null(ColumnData::Int((0..100).collect()))],
+    /// # ));
+    /// # let engine = Engine::new(catalog);
+    /// # let plan = engine.plan_candidates("SELECT COUNT(*) FROM t").unwrap().remove(0);
+    /// let service = ShardedServing::degraded(
+    ///     std::sync::Arc::new(|_: &sparksim::PhysicalPlan, _: &ResourceConfig| 7.0),
+    ///     ShardConfig::default(),
+    ///     FallbackReason::Checkpoint,
+    /// );
+    /// let res = ResourceConfig::default_for(&ClusterConfig::default());
+    /// let pred = service.predict("ad-hoc", &plan, &res);
+    /// assert_eq!(pred.seconds, 7.0);
+    /// assert_eq!(pred.source, PredictionSource::Fallback(FallbackReason::Checkpoint));
+    /// ```
+    pub fn predict(
+        &self,
+        tenant: &str,
+        plan: &PhysicalPlan,
+        res: &ResourceConfig,
+    ) -> ServingPrediction {
+        let mut out = self.predict_many(tenant, &[plan], res);
+        debug_assert_eq!(out.len(), 1);
+        // PANIC-FREE: predict_many returns exactly one prediction per
+        // input plan.
+        out.remove(0)
+    }
+
+    /// Scores K candidate plans for `tenant` under one resource
+    /// configuration. The admitted plans travel as one job; the shard's
+    /// coalescer may pack them together with other tenants' concurrent
+    /// jobs into a single [`FrozenModel::predict_packed`] call.
+    /// Oversized plans fall back individually at admission; a shed,
+    /// timed-out or failed job falls back for every admitted plan.
+    pub fn predict_many(
+        &self,
+        tenant: &str,
+        plans: &[&PhysicalPlan],
+        res: &ResourceConfig,
+    ) -> Vec<ServingPrediction> {
+        let t0 = telemetry::clock_us();
+        let out = self.predict_many_inner(tenant, plans, res);
+        telemetry::observe("serving.predict_us", telemetry::clock_us().saturating_sub(t0));
+        self.stats.record(&out);
+        if !out.is_empty() {
+            self.publish_slo();
+        }
+        out
+    }
+
+    /// Lifetime serving-quality counters for this service, aggregated
+    /// across every shard and client thread.
+    pub fn slo_stats(&self) -> SloStats {
+        // ORDERING: monotone statistics counters, read for reporting.
+        SloStats {
+            total: self.stats.total.load(Ordering::Relaxed),
+            model: self.stats.model.load(Ordering::Relaxed),
+            // PANIC-FREE: from_fn indexes 0..6 into the length-6 array.
+            // ORDERING: same monotone statistics counters.
+            by_reason: std::array::from_fn(|i| self.stats.by_reason[i].load(Ordering::Relaxed)),
+            slo_target: self.cfg.serving.slo_target,
+        }
+    }
+
+    /// A consistent snapshot of the process-wide metrics registry.
+    /// Empty when telemetry is disabled; [`Self::slo_stats`] is the
+    /// always-on view.
+    pub fn metrics_snapshot(&self) -> telemetry::MetricsSnapshot {
+        telemetry::metrics_snapshot()
+    }
+
+    /// Drains and stops the service: closes every shard queue (later
+    /// pushes shed to the fallback), lets each dispatcher finish the
+    /// backlog, then joins the dispatcher and inference-worker threads.
+    /// Idempotent; also run by `Drop`.
+    ///
+    /// ```
+    /// use raal::serving::shard::{ShardConfig, ShardedServing};
+    /// use raal::serving::FallbackReason;
+    /// use sparksim::resource::ResourceConfig;
+    /// let service = ShardedServing::degraded(
+    ///     std::sync::Arc::new(|_: &sparksim::PhysicalPlan, _: &ResourceConfig| 1.0),
+    ///     ShardConfig::default(),
+    ///     FallbackReason::Checkpoint,
+    /// );
+    /// service.shutdown();
+    /// service.shutdown(); // idempotent
+    /// ```
+    pub fn shutdown(&self) {
+        for queue in &self.queues {
+            queue.close();
+        }
+        for handle in self.take_dispatchers() {
+            let _ = handle.join();
+        }
+    }
+
+    /// Takes the dispatcher handles exactly once (empty after the first
+    /// call), so concurrent shutdowns join disjoint sets.
+    fn take_dispatchers(&self) -> Vec<thread::JoinHandle<()>> {
+        std::mem::take(&mut *lock(&self.dispatchers))
+    }
+
+    /// Round-robin stripe cursor; only called on a healthy service,
+    /// where at least one queue exists.
+    fn pick_shard(&self) -> usize {
+        // ORDERING: the stripe cursor is load-balancing state only; no
+        // data is published through it.
+        let n = self.next_shard.fetch_add(1, Ordering::Relaxed);
+        // PANIC-FREE: queues is non-empty on every healthy-service
+        // path (ShardConfig::shards is clamped to >= 1), so the
+        // modulus is never zero.
+        n % self.queues.len()
+    }
+
+    fn predict_many_inner(
+        &self,
+        tenant: &str,
+        plans: &[&PhysicalPlan],
+        res: &ResourceConfig,
+    ) -> Vec<ServingPrediction> {
+        let _span = telemetry::span("serving.predict");
+        telemetry::count("serving.predict", plans.len() as u64);
+        if plans.is_empty() {
+            // HOT-ALLOC: Vec::new is capacity 0 — no heap allocation.
+            return Vec::new();
+        }
+        let entry = self.tenants.entry(tenant);
+        telemetry::count(&entry.predict_counter, plans.len() as u64);
+        if let Some(reason) = self.degraded {
+            // HOT-ALLOC: one response vector per request — the serving
+            // API hands owned predictions back to the caller.
+            return plans.iter().map(|p| self.fall_back(p, res, reason)).collect();
+        }
+        // Per-plan admission: oversized plans are answered analytically,
+        // the rest ride in one job.
+        // HOT-ALLOC: per-request batch assembly — the slot vector, the
+        // admitted-index list and the response vector are all sized by
+        // the caller's batch and returned to (or dropped with) it.
+        // PANIC-FREE: i ranges over 0..plans.len() == out.len().
+        let mut out: Vec<Option<ServingPrediction>> = plans
+            .iter()
+            .map(|p| {
+                (p.len() > self.cfg.serving.max_plan_nodes)
+                    .then(|| self.fall_back(p, res, FallbackReason::Admission))
+            })
+            .collect();
+        let admitted: Vec<usize> = (0..plans.len()).filter(|&i| out[i].is_none()).collect();
+        if admitted.is_empty() {
+            // HOT-ALLOC: the per-request response vector.
+            return out.into_iter().flatten().collect();
+        }
+        // Fair share: a tenant at its in-flight cap is shed before any
+        // queue or encoding work happens on its behalf.
+        if !entry.try_acquire(self.tenants.limit) {
+            telemetry::count(&entry.shed_counter, admitted.len() as u64);
+            return self.resolve_all(out, plans, res, FallbackReason::TenantQuota);
+        }
+        let (encoded, features) = match &self.encoder {
+            // HOT-ALLOC: encoding builds one owned EncodedPlan per
+            // admitted plan; the shard takes ownership via the queue.
+            // PANIC-FREE: admitted holds indices < plans.len().
+            Some(encoder) => (
+                admitted.iter().map(|&i| encoder.encode(plans[i])).collect::<Vec<_>>(),
+                res.feature_vector(&self.cfg.serving.cluster),
+            ),
+            None => {
+                entry.release();
+                return self.resolve_all(out, plans, res, FallbackReason::WorkerLost);
+            }
+        };
+        // The fallback is priced eagerly on the client thread: it must
+        // be cheap and total, and this keeps borrowed plans off the
+        // dispatcher entirely.
+        // HOT-ALLOC: per-request job payload (owned by the shard until
+        // settle). PANIC-FREE: admitted holds indices < plans.len().
+        let fallback_secs: Vec<f64> = admitted
+            .iter()
+            .map(|&i| self.fallback.estimate_seconds(plans[i], res))
+            .collect();
+        // HOT-ALLOC: one reply cell per request, shared with the shard.
+        let reply = Arc::new(ReplySlot::new());
+        // HOT-ALLOC: Arc::clone bumps reference counts; the job struct
+        // itself rides inline in the queue's VecDeque slot.
+        let job = ShardJob {
+            plans: encoded,
+            resources: features,
+            fallback: fallback_secs,
+            tenant: entry.clone(),
+            reply: reply.clone(),
+        };
+        let shard = self.pick_shard();
+        // PANIC-FREE: pick_shard returns an index < queues.len().
+        // HOT-ALLOC: BatchQueue::push moves the job into a VecDeque
+        // slot; ring growth is amortized and capped by queue_capacity.
+        if self.queues[shard].push(job).is_err() {
+            // Full or closed queue: shed immediately.
+            entry.release();
+            return self.resolve_all(out, plans, res, FallbackReason::Busy);
+        }
+        match reply.wait_deadline(self.cfg.serving.deadline) {
+            Some(outcome) => {
+                // PANIC-FREE: admitted holds indices < out.len().
+                // HOT-ALLOC: the per-request response vector.
+                for (k, &i) in admitted.iter().enumerate() {
+                    out[i] = Some(match outcome.seconds.get(k) {
+                        Some(&seconds) => ServingPrediction { seconds, source: outcome.source },
+                        // Defensive: a short outcome (never produced by
+                        // a correct dispatcher) answers analytically.
+                        None => self.fall_back(plans[i], res, FallbackReason::WorkerLost),
+                    });
+                }
+                // HOT-ALLOC: the per-request response vector.
+                out.into_iter().flatten().collect()
+            }
+            None => {
+                // We abandoned the slot: the in-flight release is ours
+                // (the dispatcher's later complete() returns false and
+                // skips it), and so is the fallback accounting.
+                entry.release();
+                self.resolve_all(out, plans, res, FallbackReason::Deadline)
+            }
+        }
+    }
+
+    /// Fills every unresolved slot with a fallback answer for `reason`.
+    fn resolve_all(
+        &self,
+        out: Vec<Option<ServingPrediction>>,
+        plans: &[&PhysicalPlan],
+        res: &ResourceConfig,
+        reason: FallbackReason,
+    ) -> Vec<ServingPrediction> {
+        // HOT-ALLOC: the per-request response vector.
+        out.into_iter()
+            .zip(plans.iter())
+            .map(|(slot, plan)| match slot {
+                Some(p) => p,
+                None => self.fall_back(plan, res, reason),
+            })
+            .collect()
+    }
+
+    fn fall_back(
+        &self,
+        plan: &PhysicalPlan,
+        res: &ResourceConfig,
+        reason: FallbackReason,
+    ) -> ServingPrediction {
+        telemetry::count(reason.counter(), 1);
+        ServingPrediction {
+            seconds: self.fallback.estimate_seconds(plan, res),
+            source: PredictionSource::Fallback(reason),
+        }
+    }
+
+    /// Mirrors [`SloStats`] into the registered `serving.slo.*` gauges.
+    fn publish_slo(&self) {
+        let slo = self.slo_stats();
+        telemetry::gauge("serving.slo.hit_rate", slo.hit_rate());
+        telemetry::gauge("serving.slo.fallback_rate", slo.fallback_rate());
+        for reason in FallbackReason::ALL {
+            telemetry::gauge(reason.burn_gauge(), slo.error_budget_burn(reason));
+        }
+    }
+}
+
+impl Drop for ShardedServing {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

@@ -12,6 +12,7 @@
 #![cfg(raal_model_check)]
 
 use raal::serving::handoff::Handoff;
+use raal::serving::shard::{BatchQueue, ReplySlot};
 use raal_sync::model::{check, explore, replay, Config, FailureKind};
 use raal_sync::mpsc::RecvTimeoutError;
 use raal_sync::sync::Mutex;
@@ -98,6 +99,144 @@ fn stale_drain_preserves_response_order() {
             seen.is_empty() || seen == [1] || seen == [1, 2],
             "responses reordered or duplicated: {seen:?}"
         );
+    });
+}
+
+/// The sharded coalescer's core promise, explored on the production
+/// [`BatchQueue`]/[`ReplySlot`] types: every pushed job is drained by
+/// the dispatcher **exactly once** (no lost requests, no
+/// double-dispatch), and for every job the dispatcher's `complete()`
+/// verdict agrees with what the client observed — `true` iff the
+/// client's wait returned the value. The model treats every timed wait
+/// as a nondeterministic branch, so both the delivered and the
+/// abandoned outcome of each job are covered.
+#[test]
+fn coalescer_drains_each_job_exactly_once() {
+    explore("shard-coalescer-exactly-once", cfg(), || {
+        let q: Arc<BatchQueue<(u32, Arc<ReplySlot<u32>>)>> = Arc::new(BatchQueue::bounded(4));
+        let slots: Vec<Arc<ReplySlot<u32>>> = (0..2).map(|_| Arc::new(ReplySlot::new())).collect();
+        let qd = q.clone();
+        let dispatcher = thread::spawn(move || {
+            // The real dispatch loop's shape: drain in coalesced
+            // batches until closed-and-empty, settle every job.
+            let mut batch = Vec::new();
+            let mut log = Vec::new();
+            while qd.drain(2, &mut batch) {
+                for (v, slot) in batch.drain(..) {
+                    log.push((v, slot.complete(v * 10)));
+                }
+            }
+            log
+        });
+        for (i, slot) in slots.iter().enumerate() {
+            assert!(q.push((i as u32 + 1, slot.clone())).is_ok(), "queue has room");
+        }
+        q.close();
+        let got: Vec<Option<u32>> = slots
+            .iter()
+            .map(|s| s.wait_deadline(Duration::from_millis(5)))
+            .collect();
+        let log = dispatcher.join().unwrap();
+        // No lost requests, no double-dispatch: both jobs drained, once
+        // each, in FIFO order.
+        let drained: Vec<u32> = log.iter().map(|&(v, _)| v).collect();
+        assert_eq!(drained, [1, 2], "jobs lost, duplicated or reordered: {log:?}");
+        // Exactly-once settle: the dispatcher delivered iff the client
+        // saw the value; an abandoned wait never observes one.
+        for (&(v, delivered), got) in log.iter().zip(&got) {
+            match got {
+                Some(x) => {
+                    assert!(delivered, "client got a value the dispatcher never delivered");
+                    assert_eq!(*x, v * 10, "wrong value delivered");
+                }
+                None => assert!(!delivered, "value delivered but the client saw nothing"),
+            }
+        }
+    });
+}
+
+/// Shutdown with requests still queued: a producer races `close()`
+/// against its own pushes, then the dispatcher drains. Every job must
+/// be settled exactly once — by the dispatcher if the push won, by the
+/// producer's shed path if `close` won — and the dispatcher must
+/// terminate (a hang on `drain` after close is the classic lost-wakeup
+/// bug this exists to catch).
+#[test]
+fn shutdown_with_queued_requests_sheds_or_serves_every_job() {
+    explore("shard-coalescer-shutdown", cfg(), || {
+        let q: Arc<BatchQueue<Arc<ReplySlot<u32>>>> = Arc::new(BatchQueue::bounded(4));
+        let qc = q.clone();
+        let closer = thread::spawn(move || qc.close());
+        let mut settled_by_producer = 0u32;
+        let slots: Vec<Arc<ReplySlot<u32>>> = (0..2).map(|_| Arc::new(ReplySlot::new())).collect();
+        for slot in &slots {
+            if q.push(slot.clone()).is_err() {
+                // close() won the race: shed, like serving's Busy path.
+                assert!(slot.complete(0), "producer owns the slot it failed to enqueue");
+                settled_by_producer += 1;
+            }
+        }
+        closer.join().unwrap();
+        // Dispatcher arrives only after close: the backlog must still
+        // come out before drain reports closed-and-empty.
+        let mut batch = Vec::new();
+        let mut settled_by_dispatcher = 0u32;
+        while q.drain(2, &mut batch) {
+            for slot in batch.drain(..) {
+                assert!(slot.complete(1), "job settled twice");
+                settled_by_dispatcher += 1;
+            }
+        }
+        assert_eq!(
+            settled_by_producer + settled_by_dispatcher,
+            2,
+            "a queued request was lost across shutdown"
+        );
+    });
+}
+
+/// The abandon race, isolated: a client with a tiny deadline against a
+/// dispatcher completing the slot. In every interleaving exactly one
+/// side owns the outcome — `complete()` returns `true` iff the client's
+/// wait returned `Some` — which is the agreement the service uses to
+/// release a tenant's in-flight slot exactly once.
+#[test]
+fn reply_slot_settles_exactly_once_under_abandonment() {
+    explore("shard-replyslot-abandon", cfg(), || {
+        let slot: Arc<ReplySlot<u32>> = Arc::new(ReplySlot::new());
+        let sd = slot.clone();
+        let dispatcher = thread::spawn(move || sd.complete(7));
+        let got = slot.wait_deadline(Duration::from_millis(1));
+        let delivered = dispatcher.join().unwrap();
+        assert_eq!(
+            delivered,
+            got.is_some(),
+            "settle protocol split-brain: delivered={delivered}, got={got:?}"
+        );
+        if let Some(v) = got {
+            assert_eq!(v, 7);
+        }
+        // A late completion after the race is always rejected.
+        assert!(!slot.complete(8), "slot accepted a second outcome");
+    });
+}
+
+/// Two completers race one slot: exactly one wins in every schedule —
+/// the queue-level exactly-once guarantee cannot be faked by the slot
+/// accepting both answers.
+#[test]
+fn racing_completers_produce_exactly_one_winner() {
+    explore("shard-replyslot-race", cfg(), || {
+        let slot: Arc<ReplySlot<u32>> = Arc::new(ReplySlot::new());
+        let s2 = slot.clone();
+        let rival = thread::spawn(move || s2.complete(2));
+        let mine = slot.complete(1);
+        let theirs = rival.join().unwrap();
+        assert!(mine ^ theirs, "expected exactly one winner: mine={mine}, theirs={theirs}");
+        let got = slot.wait_deadline(Duration::from_millis(1));
+        if let Some(v) = got {
+            assert_eq!(v, if mine { 1 } else { 2 }, "loser's value observed");
+        }
     });
 }
 

@@ -1,0 +1,423 @@
+//! Integration tests for the sharded multi-tenant serving service:
+//! guard rails, fair-share shedding, shutdown semantics, and the
+//! bit-identity property — batched (coalesced) predictions must equal
+//! the same requests served one at a time, exactly.
+
+use encoding::word2vec::{train as w2v_train, W2vConfig};
+use encoding::{EncoderConfig, PlanEncoder};
+use raal::model::{CostModel, FrozenModel, ModelConfig};
+use raal::persist::ModelBundle;
+use raal::serving::shard::{BatchQueue, ReplySlot, ShardConfig, ShardedServing};
+use raal::serving::{FallbackModel, FallbackReason, PredictionSource, ServingConfig};
+use sparksim::catalog::Catalog;
+use sparksim::engine::Engine;
+use sparksim::plan::physical::PhysicalPlan;
+use sparksim::resource::{ClusterConfig, ResourceConfig};
+use sparksim::schema::{ColumnDef, TableSchema};
+use sparksim::storage::{Column, ColumnData, Table};
+use sparksim::types::DataType;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn engine() -> Engine {
+    let mut catalog = Catalog::new();
+    catalog.register(Table::new(
+        TableSchema::new(
+            "t",
+            vec![
+                ColumnDef::new("id", DataType::Int, false),
+                ColumnDef::new("x", DataType::Int, false),
+            ],
+        ),
+        vec![
+            Column::non_null(ColumnData::Int((0..200).collect())),
+            Column::non_null(ColumnData::Int((0..200).map(|i| i % 10).collect())),
+        ],
+    ));
+    catalog.register(Table::new(
+        TableSchema::new(
+            "u",
+            vec![
+                ColumnDef::new("t_id", DataType::Int, false),
+                ColumnDef::new("y", DataType::Int, false),
+            ],
+        ),
+        vec![
+            Column::non_null(ColumnData::Int((0..400).map(|i| i % 200).collect())),
+            Column::non_null(ColumnData::Int((0..400).map(|i| i % 7).collect())),
+        ],
+    ));
+    Engine::new(catalog)
+}
+
+fn some_plan(engine: &Engine) -> PhysicalPlan {
+    engine
+        .plan_candidates("SELECT t.x, COUNT(*) FROM t GROUP BY t.x")
+        .unwrap()
+        .remove(0)
+}
+
+fn candidate_plans(engine: &Engine) -> Vec<PhysicalPlan> {
+    engine
+        .plan_candidates("SELECT t.x, COUNT(*) FROM t, u WHERE t.id = u.t_id GROUP BY t.x")
+        .unwrap()
+}
+
+fn resources() -> ResourceConfig {
+    ResourceConfig::default_for(&ClusterConfig::default())
+}
+
+fn tiny_bundle() -> ModelBundle {
+    let corpus = vec![vec!["filescan".to_string(), "hashaggregate".to_string()]];
+    let encoder = PlanEncoder::new(
+        w2v_train(&corpus, &W2vConfig { dim: 4, epochs: 1, ..Default::default() }),
+        EncoderConfig { max_nodes: 32, structure: true },
+    );
+    let model = CostModel::new(ModelConfig {
+        hidden: 8,
+        latent_k: 4,
+        head_hidden: 8,
+        ..ModelConfig::raal(encoder.node_dim())
+    });
+    ModelBundle::new(model, &encoder)
+}
+
+fn analytical() -> Arc<dyn FallbackModel + Send + Sync> {
+    Arc::new(|plan: &PhysicalPlan, _res: &ResourceConfig| 1.0 + plan.len() as f64)
+}
+
+fn generous(shards: usize) -> ShardConfig {
+    ShardConfig {
+        shards,
+        serving: ServingConfig {
+            deadline: Duration::from_secs(10),
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+#[test]
+fn sharded_service_is_send_and_sync() {
+    fn assert_shareable<T: Send + Sync>() {}
+    assert_shareable::<ShardedServing>();
+}
+
+#[test]
+fn corrupt_checkpoint_degrades_the_whole_service() {
+    let dir = std::env::temp_dir().join("raal_shard_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("corrupt.json");
+    std::fs::write(&path, "{\"not\": \"a bundle\"}").unwrap();
+
+    let engine = engine();
+    let plan = some_plan(&engine);
+    let service = ShardedServing::from_checkpoint(&path, analytical(), ShardConfig::default());
+    assert!(service.is_degraded());
+    assert_eq!(service.shards(), 0);
+    let pred = service.predict("tenant-a", &plan, &resources());
+    assert_eq!(pred.source, PredictionSource::Fallback(FallbackReason::Checkpoint));
+    assert_eq!(pred.seconds, 1.0 + plan.len() as f64);
+    let stats = service.slo_stats();
+    assert_eq!(stats.total, 1);
+    assert_eq!(stats.count(FallbackReason::Checkpoint), 1);
+}
+
+#[test]
+fn healthy_service_answers_with_the_model() {
+    let engine = engine();
+    let plan = some_plan(&engine);
+    // The reference answer: an identically-seeded frozen model.
+    let expected = {
+        let bundle = tiny_bundle();
+        let encoder = bundle.encoder();
+        let features = resources().feature_vector(&ClusterConfig::default());
+        FrozenModel::freeze(bundle.model).predict_seconds(&encoder.encode(&plan), &features)
+    };
+    let lines = telemetry::testing::capture(|| {
+        let service = ShardedServing::new(tiny_bundle(), analytical(), generous(2));
+        let pred = service.predict("tenant-a", &plan, &resources());
+        assert_eq!(pred.source, PredictionSource::Model);
+        assert_eq!(pred.seconds, expected);
+        let stats = service.slo_stats();
+        assert_eq!((stats.total, stats.model), (1, 1));
+        assert_eq!(stats.hit_rate(), 1.0);
+        service.shutdown();
+    });
+    assert!(lines.iter().any(|l| l.contains("serving.predict.model")));
+    assert!(lines.iter().any(|l| l.contains("serving.shard.batches")));
+    assert!(
+        lines.iter().any(|l| l.contains("serving.tenant.predict.tenant_a")),
+        "per-tenant counter missing (tenant id should be sanitized)"
+    );
+}
+
+#[test]
+fn oversized_plans_fall_back_at_admission() {
+    let engine = engine();
+    let plan = some_plan(&engine);
+    let cfg = ShardConfig {
+        serving: ServingConfig {
+            deadline: Duration::from_secs(10),
+            max_plan_nodes: 1,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let service = ShardedServing::new(tiny_bundle(), analytical(), cfg);
+    let pred = service.predict("tenant-a", &plan, &resources());
+    assert_eq!(pred.source, PredictionSource::Fallback(FallbackReason::Admission));
+}
+
+#[test]
+fn tenant_over_quota_is_shed_but_others_are_not() {
+    let engine = engine();
+    let plan = some_plan(&engine);
+    // A zero in-flight budget sheds every admitted request of the
+    // noisy tenant deterministically, without any concurrency setup.
+    let cfg = ShardConfig { tenant_inflight: 0, ..generous(1) };
+    let lines = telemetry::testing::capture(|| {
+        let service = ShardedServing::new(tiny_bundle(), analytical(), cfg);
+        let pred = service.predict("noisy", &plan, &resources());
+        assert_eq!(pred.source, PredictionSource::Fallback(FallbackReason::TenantQuota));
+        assert_eq!(pred.seconds, 1.0 + plan.len() as f64);
+        let stats = service.slo_stats();
+        assert_eq!(stats.count(FallbackReason::TenantQuota), 1);
+    });
+    assert!(lines.iter().any(|l| l.contains("serving.fallback.tenant_quota")));
+    assert!(lines.iter().any(|l| l.contains("serving.tenant.shed.noisy")));
+}
+
+#[test]
+fn quota_slots_are_released_after_each_predict() {
+    let engine = engine();
+    let plan = some_plan(&engine);
+    // Budget of one in flight: sequential predicts must all succeed,
+    // because each release happens before the next acquire.
+    let cfg = ShardConfig { tenant_inflight: 1, ..generous(1) };
+    let service = ShardedServing::new(tiny_bundle(), analytical(), cfg);
+    for _ in 0..5 {
+        let pred = service.predict("tenant-a", &plan, &resources());
+        assert_eq!(pred.source, PredictionSource::Model);
+    }
+    // Deadline-abandoned predicts must release their slot too. A zero
+    // deadline races the dispatcher: each predict either abandons
+    // (client releases) or still wins a model answer (dispatcher
+    // releases) — the slot must come back either way.
+    let cfg = ShardConfig {
+        tenant_inflight: 1,
+        serving: ServingConfig { deadline: Duration::ZERO, ..Default::default() },
+        ..ShardConfig::default()
+    };
+    let service = ShardedServing::new(tiny_bundle(), analytical(), cfg);
+    for _ in 0..5 {
+        let pred = service.predict("tenant-a", &plan, &resources());
+        assert!(pred.seconds.is_finite());
+    }
+    let stats = service.slo_stats();
+    assert_eq!(
+        stats.count(FallbackReason::TenantQuota),
+        0,
+        "abandoned predicts leaked their in-flight slots"
+    );
+}
+
+#[test]
+fn zero_capacity_queue_sheds_busy() {
+    let engine = engine();
+    let plan = some_plan(&engine);
+    let cfg = ShardConfig { queue_capacity: 0, ..generous(1) };
+    let service = ShardedServing::new(tiny_bundle(), analytical(), cfg);
+    let pred = service.predict("tenant-a", &plan, &resources());
+    assert_eq!(pred.source, PredictionSource::Fallback(FallbackReason::Busy));
+}
+
+#[test]
+fn predict_many_batches_with_per_plan_admission() {
+    let engine = engine();
+    let candidates = candidate_plans(&engine);
+    assert!(candidates.len() >= 2, "need at least two candidate plans");
+    let refs: Vec<&PhysicalPlan> = candidates.iter().collect();
+    let max_nodes = refs.iter().map(|p| p.len()).min().unwrap();
+    let cfg = ShardConfig {
+        serving: ServingConfig {
+            deadline: Duration::from_secs(10),
+            max_plan_nodes: max_nodes,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let service = ShardedServing::new(tiny_bundle(), analytical(), cfg);
+    let preds = service.predict_many("tenant-a", &refs, &resources());
+    assert_eq!(preds.len(), refs.len());
+    for (plan, pred) in refs.iter().zip(&preds) {
+        if plan.len() > max_nodes {
+            assert_eq!(pred.source, PredictionSource::Fallback(FallbackReason::Admission));
+            assert_eq!(pred.seconds, 1.0 + plan.len() as f64);
+        } else {
+            assert_eq!(pred.source, PredictionSource::Model);
+        }
+    }
+}
+
+/// The coalescing property: predictions must be **bit-identical**
+/// whether a plan is priced alone, in a caller batch, or coalesced with
+/// other tenants' concurrent requests — cross-request batching may
+/// change throughput, never answers.
+#[test]
+fn coalesced_predictions_are_bit_identical_to_sequential() {
+    let engine = engine();
+    let mut plans = candidate_plans(&engine);
+    plans.push(some_plan(&engine));
+    let features = resources().feature_vector(&ClusterConfig::default());
+
+    // Reference: every plan priced one at a time, straight through the
+    // frozen model.
+    let bundle = tiny_bundle();
+    let encoder = bundle.encoder();
+    let frozen = FrozenModel::freeze(bundle.model);
+    let expected: Vec<f64> = plans
+        .iter()
+        .map(|p| frozen.predict_seconds(&encoder.encode(p), &features))
+        .collect();
+
+    // Concurrent clients hammer a small shard fleet so dispatch-time
+    // coalescing actually happens (one shard, many waiting clients).
+    let service = Arc::new(ShardedServing::new(tiny_bundle(), analytical(), generous(1)));
+    let threads = 8;
+    let rounds = 12;
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let service = Arc::clone(&service);
+            let plans = &plans;
+            let expected = &expected;
+            s.spawn(move || {
+                let res = resources();
+                let tenant = format!("tenant-{t}");
+                for r in 0..rounds {
+                    // Rotate through single-plan and multi-plan calls.
+                    if (t + r) % 2 == 0 {
+                        let i = (t + r) % plans.len();
+                        let pred = service.predict(&tenant, &plans[i], &res);
+                        assert_eq!(pred.source, PredictionSource::Model);
+                        assert_eq!(
+                            pred.seconds.to_bits(),
+                            expected[i].to_bits(),
+                            "coalesced single predict diverged from sequential reference"
+                        );
+                    } else {
+                        let refs: Vec<&PhysicalPlan> = plans.iter().collect();
+                        let preds = service.predict_many(&tenant, &refs, &res);
+                        assert_eq!(preds.len(), plans.len());
+                        for (k, pred) in preds.iter().enumerate() {
+                            assert_eq!(pred.source, PredictionSource::Model);
+                            assert_eq!(
+                                pred.seconds.to_bits(),
+                                expected[k].to_bits(),
+                                "coalesced batch predict diverged from sequential reference"
+                            );
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let stats = service.slo_stats();
+    assert_eq!(stats.hit_rate(), 1.0, "every coalesced predict should hit the model");
+}
+
+#[test]
+fn shutdown_under_traffic_completes_and_sheds_later_predicts() {
+    let engine = engine();
+    let plan = some_plan(&engine);
+    let service = Arc::new(ShardedServing::new(tiny_bundle(), analytical(), generous(2)));
+    std::thread::scope(|s| {
+        for t in 0..4 {
+            let service = Arc::clone(&service);
+            let plan = &plan;
+            s.spawn(move || {
+                let res = resources();
+                let tenant = format!("tenant-{t}");
+                for _ in 0..10 {
+                    // Every call completes with *some* finite answer,
+                    // before, during and after shutdown.
+                    let pred = service.predict(&tenant, plan, &res);
+                    assert!(pred.seconds.is_finite());
+                }
+            });
+        }
+        service.shutdown();
+    });
+    // After shutdown the queues are closed: predicts shed immediately.
+    let pred = service.predict("late", &plan, &resources());
+    assert_eq!(pred.source, PredictionSource::Fallback(FallbackReason::Busy));
+    // Idempotent (and Drop will run it again).
+    service.shutdown();
+}
+
+#[test]
+fn dropping_a_busy_service_joins_all_threads() {
+    let engine = engine();
+    let plan = some_plan(&engine);
+    let cfg = ShardConfig {
+        shards: 2,
+        serving: ServingConfig { deadline: Duration::ZERO, ..Default::default() },
+        ..Default::default()
+    };
+    let service = ShardedServing::new(tiny_bundle(), analytical(), cfg);
+    // Zero-deadline predicts usually abandon their jobs mid-flight
+    // (though a fast dispatcher may still win the race); drop must
+    // drain, close and join every dispatcher + worker regardless (a
+    // hang here is the failure).
+    for _ in 0..6 {
+        let pred = service.predict("tenant-a", &plan, &resources());
+        assert!(pred.seconds.is_finite());
+    }
+    drop(service);
+}
+
+#[test]
+fn slo_gauges_and_batch_histograms_reach_the_registry() {
+    let engine = engine();
+    let plan = some_plan(&engine);
+    telemetry::testing::capture(|| {
+        let service = ShardedServing::new(tiny_bundle(), analytical(), generous(1));
+        let refs = [&plan, &plan];
+        let preds = service.predict_many("tenant-a", &refs, &resources());
+        assert_eq!(preds.len(), 2);
+        service.shutdown();
+        let snap = service.metrics_snapshot();
+        assert_eq!(snap.gauges["serving.slo.hit_rate"], 1.0);
+        assert_eq!(snap.gauges["serving.slo.burn.tenant_quota"], 0.0);
+        assert!(snap.counters["serving.shard.batches"] >= 1);
+        assert!(snap.hists["serving.batch_size"].all.count >= 1);
+        assert_eq!(snap.counters["serving.tenant.predict.tenant_a"], 2);
+    });
+}
+
+/// Building blocks behave sanely outside the service too (the
+/// model-check suite explores their interleavings; this pins the
+/// single-threaded contract).
+#[test]
+fn batch_queue_and_reply_slot_contracts() {
+    let q: BatchQueue<u32> = BatchQueue::bounded(2);
+    assert!(q.push(1).is_ok());
+    assert!(q.push(2).is_ok());
+    assert_eq!(q.push(3), Err(3), "full queue hands the item back");
+    assert_eq!(q.len(), 2);
+    let mut got = Vec::new();
+    assert!(q.drain(8, &mut got));
+    assert_eq!(got, vec![1, 2]);
+    q.close();
+    assert_eq!(q.push(4), Err(4), "closed queue rejects pushes");
+    assert!(!q.drain(8, &mut got), "closed+empty queue signals exit");
+
+    let slot: ReplySlot<u32> = ReplySlot::new();
+    assert!(slot.complete(7), "first completion wins");
+    assert!(!slot.complete(8), "second completion is rejected");
+    assert_eq!(slot.wait_deadline(Duration::from_secs(1)), Some(7));
+
+    let slot: ReplySlot<u32> = ReplySlot::new();
+    assert_eq!(slot.wait_deadline(Duration::ZERO), None, "timeout abandons");
+    assert!(!slot.complete(9), "completing an abandoned slot reports false");
+}

@@ -331,32 +331,29 @@ fn cmp_column_literal(col: &Column, op: CmpOp, lit: &Value) -> Vec<Option<bool>>
     if lit.is_null() {
         return vec![None; n];
     }
-    match (&col.data, lit) {
-        (ColumnData::Int(v), _) if lit.as_f64().is_some() => {
-            let x = lit.as_f64().unwrap();
-            (0..n)
-                .map(|i| {
-                    if col.is_valid(i) {
-                        (v[i] as f64).partial_cmp(&x).map(|o| op.test(o))
-                    } else {
-                        None
-                    }
-                })
-                .collect()
-        }
-        (ColumnData::Float(v), _) if lit.as_f64().is_some() => {
-            let x = lit.as_f64().unwrap();
-            (0..n)
-                .map(|i| {
-                    if col.is_valid(i) {
-                        v[i].partial_cmp(&x).map(|o| op.test(o))
-                    } else {
-                        None
-                    }
-                })
-                .collect()
-        }
-        (ColumnData::Str { codes, dict }, Value::Str(s)) => {
+    // Bind the numeric view of the literal once, so the numeric arms
+    // below need no per-arm re-extraction (and no unwrap).
+    let num = lit.as_f64();
+    match (&col.data, lit, num) {
+        (ColumnData::Int(v), _, Some(x)) => (0..n)
+            .map(|i| {
+                if col.is_valid(i) {
+                    (v[i] as f64).partial_cmp(&x).map(|o| op.test(o))
+                } else {
+                    None
+                }
+            })
+            .collect(),
+        (ColumnData::Float(v), _, Some(x)) => (0..n)
+            .map(|i| {
+                if col.is_valid(i) {
+                    v[i].partial_cmp(&x).map(|o| op.test(o))
+                } else {
+                    None
+                }
+            })
+            .collect(),
+        (ColumnData::Str { codes, dict }, Value::Str(s), _) => {
             // Compare each dictionary entry once, then map codes.
             let verdicts: Vec<bool> = dict.iter().map(|d| op.test(d.as_str().cmp(s))).collect();
             (0..n)

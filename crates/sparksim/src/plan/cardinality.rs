@@ -109,9 +109,13 @@ fn eq_selectivity(cs: &ColumnStats, lit: &Value) -> f64 {
 
 /// Estimated output rows of a scan of `binding` after its pushed filter.
 pub fn estimate_scan_rows(spec: &QuerySpec, binding: &Binding, catalog: &Catalog) -> f64 {
-    let stats = catalog
-        .stats(&binding.table)
-        .expect("binding validated against catalog");
+    // Bindings are validated against the catalog at resolve time, so a
+    // missing stats entry cannot happen on a well-formed spec; a zero
+    // estimate degrades the plan ranking instead of panicking if one
+    // ever arrives.
+    let Some(stats) = catalog.stats(&binding.table) else {
+        return 0.0;
+    };
     let base = stats.row_count as f64;
     match spec.table_filters.get(&binding.name) {
         Some(f) => base * estimate_selectivity(f, stats),

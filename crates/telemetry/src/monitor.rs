@@ -124,6 +124,40 @@ impl ClassState {
 
 /// Online per-class prediction-quality tracker with drift detection.
 /// See the [module docs](self) for the math and the telemetry surface.
+///
+/// A retraining loop feeds it ground truth as it arrives and polls the
+/// per-class verdicts — no telemetry required:
+///
+/// ```
+/// use telemetry::monitor::{MonitorConfig, QualityMonitor};
+///
+/// let mut monitor = QualityMonitor::new(MonitorConfig::default());
+///
+/// // A healthy class: predictions track observations.
+/// for i in 0..100u64 {
+///     let observed = 10.0 + (i % 7) as f64 / 10.0;
+///     assert!(monitor.record("scan", observed * 1.02, observed).is_none());
+/// }
+/// let stats = monitor.stats("scan").unwrap();
+/// assert_eq!(stats.samples, 100);
+/// assert!(stats.q_error_mean < 1.1 && !stats.drifted);
+///
+/// // A stale class: observed times run away from the predictions, and
+/// // the Page–Hinkley detector fires exactly once.
+/// let mut alarms = 0;
+/// for i in 0..60u64 {
+///     if let Some(alarm) = monitor.record("join", 10.0, 10.0 + i as f64) {
+///         assert_eq!(alarm.class, "join");
+///         alarms += 1;
+///     }
+/// }
+/// assert_eq!(alarms, 1);
+/// assert!(monitor.is_drifted("join") && !monitor.is_drifted("scan"));
+///
+/// // After retraining, `reset` re-arms the class.
+/// monitor.reset("join");
+/// assert!(!monitor.is_drifted("join"));
+/// ```
 #[derive(Debug, Default)]
 pub struct QualityMonitor {
     cfg: MonitorConfig,
@@ -132,6 +166,13 @@ pub struct QualityMonitor {
 
 /// Q-error of one prediction: `max(pred/obs, obs/pred)`, with both
 /// sides clamped away from zero so a degenerate pair stays finite.
+///
+/// ```
+/// assert_eq!(telemetry::monitor::q_error(10.0, 10.0), 1.0);
+/// assert_eq!(telemetry::monitor::q_error(5.0, 10.0), 2.0); // symmetric
+/// assert_eq!(telemetry::monitor::q_error(10.0, 5.0), 2.0);
+/// assert!(telemetry::monitor::q_error(0.0, 3.0).is_finite());
+/// ```
 pub fn q_error(predicted: f64, observed: f64) -> f64 {
     let p = predicted.abs().max(1e-9);
     let o = observed.abs().max(1e-9);

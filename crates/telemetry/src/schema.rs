@@ -77,6 +77,7 @@ pub const SPAN_NAMES: &[&str] = &[
     "sparksim.observe",
     "sparksim.simulate",
     "serving.predict",
+    "serving.shard.dispatch",
     "workload.generate",
     "encode.word2vec",
     "baselines.train_tlstm",
@@ -114,6 +115,8 @@ pub const COUNTER_NAMES: &[&str] = &[
     "serving.fallback.admission",
     "serving.fallback.busy",
     "serving.fallback.worker_lost",
+    "serving.fallback.tenant_quota",
+    "serving.shard.batches",
     "sparksim.jobs.completed",
     "monitor.samples",
     "monitor.drift.alarms",
@@ -123,7 +126,8 @@ pub const COUNTER_NAMES: &[&str] = &[
 /// is the serving layer's end-to-end latency (deadline hit-rate's raw
 /// material); the windowed recent view of it is what an SLO dashboard
 /// scrapes.
-pub const HISTOGRAM_NAMES: &[&str] = &["train.batch_ns", "infer.predict_ns", "serving.predict_us"];
+pub const HISTOGRAM_NAMES: &[&str] =
+    &["train.batch_ns", "infer.predict_ns", "serving.predict_us", "serving.batch_size"];
 
 /// Registered gauge names (`telemetry::gauge`): last-write-wins live
 /// values. The `serving.slo.*` family is the serving layer's SLO
@@ -139,6 +143,7 @@ pub const GAUGE_NAMES: &[&str] = &[
     "serving.slo.burn.deadline",
     "serving.slo.burn.busy",
     "serving.slo.burn.worker_lost",
+    "serving.slo.burn.tenant_quota",
 ];
 
 /// Registered gauge *families*: per-workload-class gauges published by
@@ -165,12 +170,29 @@ pub const EVENT_NAMES: &[&str] = &[
     "stage_reattempt",
 ];
 
+/// Registered counter *families*: the sharded serving layer publishes
+/// per-tenant traffic counters as `<prefix><tenant>`, where the tenant
+/// id is sanitized to `[a-z0-9_]` at registration time. A counter name
+/// is valid if it is in [`COUNTER_NAMES`] or extends one of these
+/// prefixes (see [`counter_is_registered`]).
+pub const COUNTER_PREFIXES: &[&str] = &["serving.tenant.predict.", "serving.tenant.shed."];
+
 /// Whether a gauge name is registered: either an exact [`GAUGE_NAMES`]
 /// entry or a per-class instantiation of a [`GAUGE_PREFIXES`] family
 /// (the class part must be non-empty).
 pub fn gauge_is_registered(name: &str) -> bool {
     GAUGE_NAMES.contains(&name)
         || GAUGE_PREFIXES
+            .iter()
+            .any(|p| name.len() > p.len() && name.starts_with(p))
+}
+
+/// Whether a counter name is registered: either an exact
+/// [`COUNTER_NAMES`] entry or a per-tenant instantiation of a
+/// [`COUNTER_PREFIXES`] family (the tenant part must be non-empty).
+pub fn counter_is_registered(name: &str) -> bool {
+    COUNTER_NAMES.contains(&name)
+        || COUNTER_PREFIXES
             .iter()
             .any(|p| name.len() > p.len() && name.starts_with(p))
 }
